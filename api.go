@@ -1,0 +1,173 @@
+// Package xsketch is the public API of the Twig XSKETCH library — a Go
+// implementation of "Selectivity Estimation for XML Twigs" (Polyzotis,
+// Garofalakis, Ioannidis; ICDE 2004).
+//
+// The typical flow is: parse or generate an XML document, build a synopsis
+// under a byte budget with the XBUILD construction algorithm, and estimate
+// twig-query selectivities:
+//
+//	doc, _ := xsketch.ParseXMLString(src)
+//	sk := xsketch.Build(doc, 50*1024)
+//	q, _ := xsketch.ParseQuery("for t0 in //movie[/type=0], t1 in t0/actor, t2 in t0/producer")
+//	estimate := sk.EstimateQuery(q)
+//	exact := xsketch.Exact(doc, q)
+//
+// The package re-exports the library's core types as aliases, so the full
+// surface of the implementation packages (estimation internals, refinement
+// operations, dataset generators, workload generation, metrics) is
+// reachable from here without importing internal paths.
+package xsketch
+
+import (
+	"fmt"
+	"io"
+
+	"xsketch/internal/build"
+	"xsketch/internal/eval"
+	"xsketch/internal/graphsyn"
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+	"xsketch/internal/workload"
+	"xsketch/internal/xmlgen"
+	"xsketch/internal/xmltree"
+	core "xsketch/internal/xsketch"
+)
+
+// Core data model.
+type (
+	// Document is an XML document in the library's arena tree form.
+	Document = xmltree.Document
+	// NodeID identifies a document element.
+	NodeID = xmltree.NodeID
+	// Path is a parsed XPath-subset expression.
+	Path = pathexpr.Path
+	// ValuePred is an inclusive integer range predicate.
+	ValuePred = pathexpr.ValuePred
+	// Query is a twig query (a tree of path-labeled nodes).
+	Query = twig.Query
+	// QueryNode is one node of a twig query.
+	QueryNode = twig.Node
+)
+
+// Synopsis types.
+type (
+	// Sketch is a Twig XSKETCH synopsis with estimation methods
+	// (EstimateQuery, EstimatePath, EstimateEmbedding, WriteDOT, ...).
+	Sketch = core.Sketch
+	// SketchConfig controls synopsis construction and estimation.
+	SketchConfig = core.Config
+	// ScopeEdge is one count dimension of a node's edge histogram.
+	ScopeEdge = core.ScopeEdge
+	// SynopsisNodeID identifies a synopsis node.
+	SynopsisNodeID = graphsyn.NodeID
+	// BuildOptions configures the XBUILD construction algorithm.
+	BuildOptions = build.Options
+	// Builder runs XBUILD incrementally (budget sweeps, tracing).
+	Builder = build.Builder
+	// Refinement is one XBUILD refinement operation.
+	Refinement = build.Refinement
+)
+
+// Workload and evaluation types.
+type (
+	// Evaluator computes exact path and twig selectivities.
+	Evaluator = eval.Evaluator
+	// Workload is a set of generated queries with exact selectivities.
+	Workload = workload.Workload
+	// WorkloadConfig controls workload generation.
+	WorkloadConfig = workload.Config
+	// WorkloadKind selects P, P+V, simple-path or negative workloads.
+	WorkloadKind = workload.Kind
+	// DatasetConfig controls the synthetic dataset generators.
+	DatasetConfig = xmlgen.Config
+)
+
+// Workload kinds (paper Section 6.1).
+const (
+	WorkloadP        = workload.KindP
+	WorkloadPV       = workload.KindPV
+	WorkloadSimple   = workload.KindSimple
+	WorkloadNegative = workload.KindNegative
+)
+
+// ParseXML reads an XML document.
+func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// ParseXMLString parses an XML document from a string.
+func ParseXMLString(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// WriteXML serializes a document as XML.
+func WriteXML(w io.Writer, d *Document) error { return xmltree.Serialize(w, d) }
+
+// NewDocument creates an empty document with the given root tag, to be
+// populated with Document.AddChild / AddValueChild.
+func NewDocument(rootTag string) *Document { return xmltree.NewDocument(rootTag) }
+
+// ParseQuery parses a twig query in the paper's for-clause notation, e.g.
+// "for t0 in //movie[/type=0], t1 in t0/actor, t2 in t0/producer".
+func ParseQuery(s string) (*Query, error) { return twig.Parse(s) }
+
+// ParsePath parses a path expression, e.g. "author/paper[year>2000]/title".
+func ParsePath(s string) (*Path, error) { return pathexpr.Parse(s) }
+
+// NewQuery builds a twig query programmatically from a root path; attach
+// children with Query.AddChild.
+func NewQuery(root *Path) *Query { return twig.New(root) }
+
+// Datasets lists the synthetic dataset names ("xmark", "imdb", "sprot").
+func Datasets() []string { return xmlgen.Names() }
+
+// GenerateDataset builds one of the paper's synthetic datasets at the
+// given scale (1 = paper-sized, roughly 100k elements).
+func GenerateDataset(name string, seed int64, scale float64) (*Document, error) {
+	for _, n := range xmlgen.AllNames() {
+		if n == name {
+			return xmlgen.Generate(name, xmlgen.Config{Seed: seed, Scale: scale}), nil
+		}
+	}
+	return nil, fmt.Errorf("xsketch: unknown dataset %q (want one of %v)", name, xmlgen.AllNames())
+}
+
+// DefaultSketchConfig returns the paper-prototype synopsis configuration.
+func DefaultSketchConfig() SketchConfig { return core.DefaultConfig() }
+
+// NewSketch builds the coarsest Twig XSKETCH (the label split graph with
+// initial histograms) without running XBUILD.
+func NewSketch(d *Document, cfg SketchConfig) *Sketch { return core.New(d, cfg) }
+
+// DefaultBuildOptions returns XBUILD options for the given byte budget.
+func DefaultBuildOptions(budgetBytes int) BuildOptions { return build.DefaultOptions(budgetBytes) }
+
+// Build constructs a Twig XSKETCH of at most roughly budgetBytes using the
+// XBUILD algorithm with default options.
+func Build(d *Document, budgetBytes int) *Sketch {
+	return build.XBuild(d, build.DefaultOptions(budgetBytes))
+}
+
+// BuildWithOptions constructs a synopsis with full control over XBUILD.
+func BuildWithOptions(d *Document, opts BuildOptions) *Sketch { return build.XBuild(d, opts) }
+
+// NewBuilder initializes an incremental XBUILD run (snapshots, tracing).
+func NewBuilder(d *Document, opts BuildOptions) *Builder { return build.NewBuilder(d, opts) }
+
+// NewEvaluator returns an exact evaluator for ground-truth selectivities.
+func NewEvaluator(d *Document) *Evaluator { return eval.New(d) }
+
+// Exact computes the exact selectivity (binding-tuple count) of a twig
+// query over the document.
+func Exact(d *Document, q *Query) int64 { return eval.New(d).Selectivity(q) }
+
+// GenerateWorkload builds a query workload over the document (see
+// WorkloadConfig and the Workload* kinds).
+func GenerateWorkload(d *Document, cfg WorkloadConfig) *Workload { return workload.Generate(d, cfg) }
+
+// DefaultWorkloadConfig mirrors the paper's workload parameters for the
+// given kind.
+func DefaultWorkloadConfig(kind WorkloadKind) WorkloadConfig { return workload.DefaultConfig(kind) }
+
+// SaveSketch persists a synopsis's construction state.
+func SaveSketch(w io.Writer, sk *Sketch) error { return core.Save(w, sk) }
+
+// LoadSketch restores a synopsis persisted by SaveSketch, rebinding it to
+// the document it was built from.
+func LoadSketch(r io.Reader, d *Document) (*Sketch, error) { return core.Load(r, d) }

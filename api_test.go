@@ -1,0 +1,124 @@
+package xsketch_test
+
+import (
+	"bytes"
+	"testing"
+
+	"xsketch"
+)
+
+// TestPublicAPIQuickstart exercises the documented public flow end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	doc, err := xsketch.ParseXMLString(`
+<bib>
+  <author><name/><paper><year>2001</year><keyword/></paper></author>
+  <author><name/><paper><year>1999</year><keyword/><keyword/></paper></author>
+</bib>`)
+	if err != nil {
+		t.Fatalf("ParseXMLString: %v", err)
+	}
+	sk := xsketch.Build(doc, 4096)
+	if sk.SizeBytes() <= 0 {
+		t.Fatal("empty synopsis")
+	}
+	q, err := xsketch.ParseQuery("for t0 in author, t1 in t0/paper, t2 in t1/keyword")
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	est := sk.EstimateQuery(q)
+	exact := xsketch.Exact(doc, q)
+	if exact != 3 {
+		t.Fatalf("exact = %d, want 3", exact)
+	}
+	if est < 2.5 || est > 3.5 {
+		t.Fatalf("estimate = %v, want ~3", est)
+	}
+}
+
+func TestPublicAPIDatasetsAndWorkloads(t *testing.T) {
+	if len(xsketch.Datasets()) != 3 {
+		t.Fatalf("Datasets = %v", xsketch.Datasets())
+	}
+	doc, err := xsketch.GenerateDataset("imdb", 1, 0.02)
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	if _, err := xsketch.GenerateDataset("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	cfg := xsketch.DefaultWorkloadConfig(xsketch.WorkloadP)
+	cfg.NumQueries = 10
+	w := xsketch.GenerateWorkload(doc, cfg)
+	if len(w.Queries) != 10 {
+		t.Fatalf("workload = %d queries", len(w.Queries))
+	}
+	ev := xsketch.NewEvaluator(doc)
+	for _, q := range w.Queries {
+		if ev.Selectivity(q.Twig) != q.Truth {
+			t.Fatal("evaluator disagrees with workload truth")
+		}
+	}
+}
+
+func TestPublicAPIBuilderAndPersistence(t *testing.T) {
+	doc, err := xsketch.GenerateDataset("sprot", 2, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := xsketch.DefaultBuildOptions(1 << 30)
+	opts.MaxSteps = 5
+	b := xsketch.NewBuilder(doc, opts)
+	b.Run()
+	if len(b.Steps()) == 0 {
+		t.Fatal("builder applied no refinements")
+	}
+	sk := b.Sketch()
+
+	var buf bytes.Buffer
+	if err := xsketch.SaveSketch(&buf, sk); err != nil {
+		t.Fatalf("SaveSketch: %v", err)
+	}
+	loaded, err := xsketch.LoadSketch(&buf, doc)
+	if err != nil {
+		t.Fatalf("LoadSketch: %v", err)
+	}
+	p, err := xsketch.ParsePath("entry/reference/author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := sk.EstimatePath(p), loaded.EstimatePath(p); a != b {
+		t.Fatalf("persisted estimate differs: %v vs %v", a, b)
+	}
+}
+
+func TestPublicAPIProgrammaticQuery(t *testing.T) {
+	doc := xsketch.NewDocument("r")
+	a := doc.AddChild(doc.Root(), "a")
+	doc.AddChild(a, "b")
+	doc.AddChild(a, "b")
+	doc.AddChild(a, "c")
+
+	root, err := xsketch.ParsePath("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xsketch.NewQuery(root)
+	pb, _ := xsketch.ParsePath("b")
+	pc, _ := xsketch.ParsePath("c")
+	q.AddChild(q.Root, pb)
+	q.AddChild(q.Root, pc)
+	if got := xsketch.Exact(doc, q); got != 2 {
+		t.Fatalf("Exact = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	if err := xsketch.WriteXML(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := xsketch.ParseXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xsketch.Exact(doc2, q) != 2 {
+		t.Fatal("round-tripped document changed the count")
+	}
+}

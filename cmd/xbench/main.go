@@ -1,0 +1,102 @@
+// Command xbench runs the paper's experiments at a configurable scale and
+// prints the corresponding tables and figures as text.
+//
+// Usage:
+//
+//	xbench -exp table1|table2|fig9a|fig9b|fig9c|negative|singlepath|ablations|all \
+//	       [-scale 0.05] [-queries 120] [-seed 1] [-paper]
+//
+// -paper selects the full-scale configuration (Scale 1, 1000-query
+// workloads); expect several minutes per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xsketch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, table2, fig9a, fig9b, fig9c, negative, singlepath, threeway, ablations, all")
+		scale   = flag.Float64("scale", 0.05, "dataset scale factor (1 = paper-sized)")
+		queries = flag.Int("queries", 120, "workload size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		paper   = flag.Bool("paper", false, "use the paper-scale configuration (slow)")
+		steps   = flag.Int("steps", 300, "max XBUILD refinement steps")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+	opts.WorkloadSize = *queries
+	opts.Seed = *seed
+	opts.BuildMaxSteps = *steps
+	if *paper {
+		opts = experiments.PaperOptions()
+		opts.Seed = *seed
+	}
+
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	w := os.Stdout
+	any := false
+	want := func(name string) bool {
+		if *exp == "all" || *exp == name {
+			any = true
+			return true
+		}
+		return false
+	}
+	if want("table1") {
+		run("table1", func() { experiments.FormatTable1(w, experiments.Table1(opts)) })
+	}
+	if want("table2") {
+		run("table2", func() { experiments.FormatTable2(w, experiments.Table2(opts)) })
+	}
+	if want("fig9a") {
+		run("fig9a", func() {
+			experiments.FormatSeries(w, "Figure 9(a). Branching Predicates: IMDB and XMark", experiments.Figure9a(opts))
+		})
+	}
+	if want("fig9b") {
+		run("fig9b", func() {
+			experiments.FormatSeries(w, "Figure 9(b). Branching and Value Predicates: IMDB and XMark", experiments.Figure9b(opts))
+		})
+	}
+	if want("fig9c") {
+		run("fig9c", func() { experiments.FormatRatios(w, experiments.Figure9c(opts)) })
+	}
+	if want("negative") {
+		run("negative", func() { experiments.FormatNegative(w, experiments.NegativeWorkload(opts)) })
+	}
+	if want("singlepath") {
+		run("singlepath", func() { experiments.FormatSinglePath(w, experiments.SinglePathComparison(opts)) })
+	}
+	if want("threeway") {
+		run("threeway", func() { experiments.FormatThreeWay(w, experiments.ThreeWay(opts)) })
+	}
+	if want("ablations") {
+		run("ablations", func() {
+			experiments.FormatAblation(w, "Ablation: refinement selection policy", experiments.AblationRefinementPolicy(opts))
+			experiments.FormatAblation(w, "Ablation: backward counts in edge-expand", experiments.AblationBackwardCounts(opts))
+			experiments.FormatAblation(w, "Ablation: uniform histogram bucket budget (no structural refinement)", experiments.AblationBucketBudget(opts))
+			experiments.FormatAblation(w, "Ablation: extended value histograms H^v (value-expand)", experiments.AblationValueExpand(opts))
+			experiments.FormatAblation(w, "Ablation: value summary method (equi-depth vs wavelet)", experiments.AblationValueSummary(opts))
+			experiments.FormatAblation(w, "Ablation: XBUILD scoring truths (exact vs reference summary)", experiments.AblationReferenceScoring(opts))
+			experiments.FormatAblation(w, "Ablation: stored per-edge counts vs stability bits", experiments.AblationEdgeCounts(opts))
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,98 @@
+// Command xbuild constructs a Twig XSKETCH synopsis for an XML document
+// and reports its structure and size, optionally tracing each refinement.
+//
+// Usage:
+//
+//	xbuild -in doc.xml -budget 51200 [-trace] [-seed 1]
+//	xbuild -dataset imdb -scale 0.1 -budget 4096
+//
+// Exactly one of -in (an XML file, '-' for stdin) or -dataset must be
+// given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xsketch/internal/build"
+	"xsketch/internal/cli"
+	"xsketch/internal/xsketch"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input XML file ('-' for stdin)")
+		dataset = flag.String("dataset", "", "generate a dataset instead of reading XML: xmark, imdb, sprot")
+		scale   = flag.Float64("scale", 0.1, "dataset scale when -dataset is used")
+		budget  = flag.Int("budget", 50*1024, "synopsis space budget in bytes")
+		seed    = flag.Int64("seed", 1, "random seed for XBUILD sampling")
+		trace   = flag.Bool("trace", false, "print each applied refinement")
+		steps   = flag.Int("steps", 1000, "max refinement steps")
+		out     = flag.String("o", "", "persist the built synopsis to this file (load with xestimate -synopsis)")
+		dot     = flag.String("dot", "", "write the built synopsis as a Graphviz digraph to this file")
+	)
+	flag.Parse()
+
+	doc, err := cli.LoadDoc(*in, *dataset, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	opts := build.DefaultOptions(*budget)
+	opts.Seed = *seed
+	opts.MaxSteps = *steps
+	b := build.NewBuilder(doc, opts)
+	fmt.Printf("coarsest synopsis: %d nodes, %d edges, %d bytes\n",
+		b.Sketch().Syn.NumNodes(), b.Sketch().Syn.NumEdges(), b.Sketch().SizeBytes())
+	b.Run()
+	sk := b.Sketch()
+	if *trace {
+		for i, s := range b.Steps() {
+			fmt.Printf("step %3d: %-40s -> %6d bytes (workload err %.1f%%)\n",
+				i+1, s.Refinement, s.SizeBytes, s.Error*100)
+		}
+	}
+	fmt.Printf("built synopsis:    %d nodes, %d edges, %d bytes (budget %d, %d refinements)\n",
+		sk.Syn.NumNodes(), sk.Syn.NumEdges(), sk.SizeBytes(), *budget, len(b.Steps()))
+	fmt.Println(sk.Stats())
+	if err := sk.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "synopsis validation failed:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := xsketch.Save(f, sk); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("persisted synopsis to %s\n", *out)
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sk.WriteDOT(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote DOT graph to %s\n", *dot)
+	}
+}

@@ -1,0 +1,98 @@
+// Command xestimate estimates the selectivity of a twig query over an XML
+// document using a Twig XSKETCH built on the fly, and compares it against
+// the exact count.
+//
+// Usage:
+//
+//	xestimate -in doc.xml -query "for t0 in //movie, t1 in t0/actor" [-budget 8192]
+//	xestimate -dataset imdb -scale 0.1 -query "t0 in movie[type=0], t1 in t0/actor, t2 in t0/producer"
+//
+// The query uses the paper's for-clause notation (see internal/twig).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xsketch/internal/build"
+	"xsketch/internal/cli"
+	"xsketch/internal/eval"
+	"xsketch/internal/twig"
+	"xsketch/internal/xsketch"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input XML file ('-' for stdin)")
+		dataset  = flag.String("dataset", "", "generate a dataset instead of reading XML")
+		scale    = flag.Float64("scale", 0.1, "dataset scale when -dataset is used")
+		query    = flag.String("query", "", "twig query in for-clause notation (required)")
+		budget   = flag.Int("budget", 16*1024, "synopsis space budget in bytes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		exact    = flag.Bool("exact", true, "also compute the exact selectivity")
+		synopsis = flag.String("synopsis", "", "load a persisted synopsis (from xbuild -o) instead of building one")
+		explain  = flag.Bool("explain", false, "print the per-embedding estimation breakdown")
+	)
+	flag.Parse()
+
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "-query is required")
+		os.Exit(2)
+	}
+	q, err := twig.Parse(*query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	doc, err := cli.LoadDoc(*in, *dataset, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var sk *xsketch.Sketch
+	if *synopsis != "" {
+		f, err := os.Open(*synopsis)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sk, err = xsketch.Load(f, doc)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		opts := build.DefaultOptions(*budget)
+		opts.Seed = *seed
+		sk = build.XBuild(doc, opts)
+	}
+	est := sk.EstimateQuery(q)
+	if *explain {
+		if _, err := sk.ExplainQuery(q).WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("query:     %s\n", q)
+	fmt.Printf("synopsis:  %d bytes (%d nodes)\n", sk.SizeBytes(), sk.Syn.NumNodes())
+	fmt.Printf("estimate:  %.2f binding tuples\n", est)
+	if *exact {
+		truth := eval.New(doc).Selectivity(q)
+		fmt.Printf("exact:     %d binding tuples\n", truth)
+		denom := float64(truth)
+		if denom < 1 {
+			denom = 1
+		}
+		fmt.Printf("rel error: %.1f%%\n", 100*abs(est-float64(truth))/denom)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,68 @@
+// Command xgen generates one of the synthetic datasets as an XML file.
+//
+// Usage:
+//
+//	xgen -dataset xmark|imdb|sprot [-scale 1] [-seed 1] [-o out.xml]
+//
+// With -o "-" (the default) the document is written to stdout.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xsketch/internal/xmlgen"
+	"xsketch/internal/xmltree"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "xmark", "dataset: xmark, imdb, sprot")
+		scale   = flag.Float64("scale", 1, "scale factor (1 = paper-sized)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "-", "output file ('-' for stdout)")
+		stats   = flag.Bool("stats", false, "print document statistics to stderr")
+	)
+	flag.Parse()
+
+	known := false
+	for _, n := range xmlgen.AllNames() {
+		if n == *dataset {
+			known = true
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown dataset %q (want one of %v)\n", *dataset, xmlgen.AllNames())
+		os.Exit(2)
+	}
+	doc := xmlgen.Generate(*dataset, xmlgen.Config{Seed: *seed, Scale: *scale})
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := xmltree.Serialize(bw, doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *stats {
+		s := xmltree.ComputeStats(doc)
+		fmt.Fprintf(os.Stderr, "%s: %d elements, %d tags, %d distinct paths, depth %d, %.2f MB\n",
+			*dataset, s.ElementCount, s.DistinctTags, s.DistinctPaths, s.MaxDepth,
+			float64(s.TextBytes)/(1<<20))
+	}
+}

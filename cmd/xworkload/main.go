@@ -1,0 +1,106 @@
+// Command xworkload generates a query workload over a document and dumps
+// it as tab-separated rows (query, exact count, optional synopsis estimate
+// and relative error), with summary statistics on stderr. Useful for
+// inspecting what the paper-style P / P+V / simple / negative workloads
+// look like and for offline analysis of estimation accuracy.
+//
+// Usage:
+//
+//	xworkload -dataset imdb -scale 0.1 -kind pv -n 100
+//	xworkload -in doc.xml -kind simple -n 50 -estimate -budget 8192
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"xsketch/internal/build"
+	"xsketch/internal/cli"
+	"xsketch/internal/metrics"
+	"xsketch/internal/workload"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input XML file ('-' for stdin)")
+		dataset  = flag.String("dataset", "", "generate a dataset instead of reading XML")
+		scale    = flag.Float64("scale", 0.1, "dataset scale when -dataset is used")
+		kindName = flag.String("kind", "p", "workload kind: p, pv, simple, negative")
+		n        = flag.Int("n", 100, "number of queries")
+		seed     = flag.Int64("seed", 1, "random seed")
+		estimate = flag.Bool("estimate", false, "also build a synopsis and report estimates")
+		budget   = flag.Int("budget", 16*1024, "synopsis budget when -estimate is used")
+		saveTo   = flag.String("o", "", "save the workload (replayable with workload.Load) to this file")
+	)
+	flag.Parse()
+
+	kind, ok := map[string]workload.Kind{
+		"p": workload.KindP, "pv": workload.KindPV,
+		"simple": workload.KindSimple, "negative": workload.KindNegative,
+	}[*kindName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown kind %q (want p, pv, simple, negative)\n", *kindName)
+		os.Exit(2)
+	}
+	doc, err := cli.LoadDoc(*in, *dataset, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := workload.DefaultConfig(kind)
+	cfg.NumQueries = *n
+	cfg.Seed = *seed
+	w := workload.Generate(doc, cfg)
+
+	var estFn func(q workload.Query) float64
+	if *estimate {
+		opts := build.DefaultOptions(*budget)
+		opts.Seed = *seed
+		sk := build.XBuild(doc, opts)
+		fmt.Fprintf(os.Stderr, "synopsis: %d bytes, %d nodes\n", sk.SizeBytes(), sk.Syn.NumNodes())
+		estFn = func(q workload.Query) float64 { return sk.EstimateQuery(q.Twig) }
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	var results []metrics.Result
+	for _, q := range w.Queries {
+		if estFn == nil {
+			fmt.Fprintf(out, "%d\t%s\n", q.Truth, q.Twig)
+			continue
+		}
+		est := estFn(q)
+		denom := math.Max(1, float64(q.Truth))
+		fmt.Fprintf(out, "%d\t%.2f\t%.1f%%\t%s\n", q.Truth, est, 100*math.Abs(est-float64(q.Truth))/denom, q.Twig)
+		results = append(results, metrics.Result{Truth: q.Truth, Estimate: est})
+	}
+
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := workload.Save(f, w); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "saved workload to %s\n", *saveTo)
+	}
+
+	st := w.Stats()
+	fmt.Fprintf(os.Stderr, "%d %s queries: avg result %.0f, avg fanout %.2f, avg nodes %.1f, %d with value predicates\n",
+		st.Count, kind, st.AvgResult, st.AvgFanout, st.AvgNodes, st.WithValuePreds)
+	if len(results) > 0 {
+		fmt.Fprintf(os.Stderr, "estimation: %s\n", metrics.Evaluate(results, 0))
+	}
+}

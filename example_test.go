@@ -1,0 +1,88 @@
+package xsketch_test
+
+import (
+	"fmt"
+	"log"
+
+	"xsketch"
+)
+
+// ExampleBuild demonstrates the core flow: parse, build, estimate.
+func ExampleBuild() {
+	doc, err := xsketch.ParseXMLString(`
+<bib>
+  <author><name/><paper><year>2001</year><keyword/></paper></author>
+  <author><name/><paper><year>1999</year><keyword/><keyword/></paper></author>
+  <author><name/><book><title/></book></author>
+</bib>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sk := xsketch.Build(doc, 4096)
+	q, err := xsketch.ParseQuery("for t0 in author, t1 in t0/paper, t2 in t1/keyword")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate: %.0f\n", sk.EstimateQuery(q))
+	fmt.Printf("exact:    %d\n", xsketch.Exact(doc, q))
+	// Output:
+	// estimate: 3
+	// exact:    3
+}
+
+// ExampleParseQuery shows the paper's for-clause notation round-tripping
+// through the parser.
+func ExampleParseQuery() {
+	q, err := xsketch.ParseQuery("for t0 in //movie[/type=0], t1 in t0/actor, t2 in t0/producer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.NodeCount(), "twig nodes, fanout", q.AvgFanout())
+	fmt.Println(q)
+	// Output:
+	// 3 twig nodes, fanout 2
+	// for t0 in //movie[type[=0]], t1 in t0/actor, t2 in t0/producer
+}
+
+// ExampleExact evaluates the paper's Figure 4 motivating twig exactly.
+func ExampleExact() {
+	doc := xsketch.NewDocument("r")
+	a := doc.AddChild(doc.Root(), "a")
+	for i := 0; i < 10; i++ {
+		doc.AddChild(a, "b")
+	}
+	for i := 0; i < 100; i++ {
+		doc.AddChild(a, "c")
+	}
+	q, _ := xsketch.ParseQuery("t0 in a, t1 in t0/b, t2 in t0/c")
+	fmt.Println(xsketch.Exact(doc, q))
+	// Output:
+	// 1000
+}
+
+// ExampleGenerateWorkload generates a paper-style P workload and prints
+// its summary statistics.
+func ExampleGenerateWorkload() {
+	doc, err := xsketch.GenerateDataset("imdb", 1, 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := xsketch.DefaultWorkloadConfig(xsketch.WorkloadP)
+	cfg.NumQueries = 25
+	w := xsketch.GenerateWorkload(doc, cfg)
+	st := w.Stats()
+	fmt.Println("queries:", st.Count)
+	fmt.Println("all positive:", allPositive(w))
+	// Output:
+	// queries: 25
+	// all positive: true
+}
+
+func allPositive(w *xsketch.Workload) bool {
+	for _, q := range w.Queries {
+		if q.Truth <= 0 {
+			return false
+		}
+	}
+	return true
+}

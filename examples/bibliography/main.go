@@ -1,0 +1,124 @@
+// Bibliography: the paper's running example (Figures 1-6). This program
+// walks through the whole pipeline on the Figure-1 document:
+//
+//  1. the binding tuples of the Figure-2 twig query (Example 2.1),
+//  2. the label-split synopsis with its stability labels (Figure 3),
+//  3. the edge distribution f_P of Example 3.1,
+//  4. the Section-4 worked estimate s(T) = 10/3 using the histograms
+//     H_A(p, n) and H_P(k, y, p) of Figure 6(b).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xsketch"
+	"xsketch/internal/xmltree"
+)
+
+func main() {
+	d := xmltree.Bibliography()
+	ev := xsketch.NewEvaluator(d)
+
+	// --- Example 2.1: binding tuples. ---
+	q := mustQuery("for t0 in author, t1 in t0/name, t2 in t0/paper[year>2000], t3 in t2/title, t4 in t2/keyword")
+	fmt.Println("Figure 2 twig query:", q)
+	tuples := ev.BindingTuples(q, 0)
+	fmt.Printf("binding tuples (%d):\n", len(tuples))
+	for _, tp := range tuples {
+		for i, e := range tp {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("t%d=%s#%d", i, d.Tag(d.Node(e).Tag), e)
+		}
+		fmt.Println()
+	}
+
+	// --- Figure 3: the label-split synopsis with stabilities. ---
+	cfg := xsketch.DefaultSketchConfig()
+	cfg.InitialEdgeBuckets = 16
+	cfg.InitialValueBuckets = 16
+	sk := xsketch.NewSketch(d, cfg)
+	fmt.Println("\nFigure 3 synopsis edges (B = backward stable, F = forward stable):")
+	for _, e := range sk.Syn.Edges() {
+		from := d.Tag(sk.Syn.Node(e.From).Tag)
+		to := d.Tag(sk.Syn.Node(e.To).Tag)
+		flags := ""
+		if e.BStable {
+			flags += "B"
+		}
+		if e.FStable {
+			flags += "F"
+		}
+		fmt.Printf("  %-8s -> %-8s %s\n", from, to, flags)
+	}
+
+	// --- Example 3.1: the edge distribution f_P. ---
+	paper := nodeByTag(sk, "paper")
+	author := nodeByTag(sk, "author")
+	scope := []xsketch.ScopeEdge{
+		{From: paper, To: nodeByTag(sk, "keyword")},
+		{From: paper, To: nodeByTag(sk, "year")},
+		{From: author, To: paper},
+		{From: author, To: nodeByTag(sk, "name")},
+	}
+	fp, err := sk.EdgeDistribution(paper, scope)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nExample 3.1 edge distribution f_P(C_K, C_Y, C_P, C_N):")
+	for _, p := range fp.Points() {
+		fmt.Printf("  f_P%v = %.2f\n", p.Coords, p.Freq)
+	}
+
+	// --- Section 4 worked example on the two-book variant. ---
+	d2 := workedDoc()
+	sk2 := xsketch.NewSketch(d2, cfg)
+	p2 := nodeByTagIn(sk2, "paper")
+	a2 := nodeByTagIn(sk2, "author")
+	s := sk2.Summary(p2)
+	s.ExtraScope = append(s.ExtraScope, xsketch.ScopeEdge{From: a2, To: p2})
+	sk2.RebuildNode(p2)
+	wq := mustQuery("t0 in author, t1 in t0/book, t2 in t0/name, t3 in t0/paper, t4 in t3/keyword, t5 in t3/year")
+	fmt.Printf("\nSection 4 worked example, T = A{B, N, P{K, Y}} with |A->B| = 2:\n")
+	fmt.Printf("  estimate s(T) = %.4f (paper: 10/3 = 3.3333)\n", sk2.EstimateQuery(wq))
+	fmt.Printf("  exact         = %d\n", xsketch.Exact(d2, wq))
+}
+
+// mustQuery parses a twig query or aborts.
+func mustQuery(src string) *xsketch.Query {
+	q, err := xsketch.ParseQuery(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
+}
+
+func nodeByTag(sk *xsketch.Sketch, tag string) xsketch.SynopsisNodeID { return nodeByTagIn(sk, tag) }
+
+func nodeByTagIn(sk *xsketch.Sketch, tag string) xsketch.SynopsisNodeID {
+	id, ok := sk.Syn.Doc.LookupTag(tag)
+	if !ok {
+		panic("unknown tag " + tag)
+	}
+	return sk.Syn.NodesByTag(id)[0]
+}
+
+// workedDoc is the bibliography with a second book under author a3, giving
+// the |A->B| = 2 of the paper's Figure 6 walk-through.
+func workedDoc() *xmltree.Document {
+	d := xmltree.Bibliography()
+	var a3 xmltree.NodeID
+	authorTag, _ := d.LookupTag("author")
+	bookTag, _ := d.LookupTag("book")
+	for i := 0; i < d.Len(); i++ {
+		id := xmltree.NodeID(i)
+		if d.Node(id).Tag == authorTag && len(d.ChildrenWithTag(id, bookTag)) > 0 {
+			a3 = id
+		}
+	}
+	b := d.AddChild(a3, "book")
+	d.AddChild(b, "title")
+	return d
+}

@@ -1,0 +1,66 @@
+// Movies: the paper's Section 1 motivating scenario. The twig query
+//
+//	for t0 in //movie[/type=X], t1 in t0/actor, t2 in t0/producer
+//
+// pairs every actor of a type-X movie with every producer, so its
+// selectivity depends on the correlation between movie type and cast
+// size ("we expect to retrieve more actors and producers per movie if
+// the type X is 'Action' than if it is 'Documentary'").
+//
+// This example builds the IMDB-like dataset, runs the query for both
+// genres at two synopsis budgets, and shows how XBUILD's refinements
+// recover the correlation the coarsest summary misses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xsketch"
+)
+
+func main() {
+	d, _ := xsketch.GenerateDataset("imdb", 1, 0.1)
+	ev := xsketch.NewEvaluator(d)
+	fmt.Printf("IMDB dataset: %d elements\n\n", d.Len())
+
+	queries := map[string]*xsketch.Query{}
+	for name, src := range map[string]string{
+		"action (type=0)":      "for t0 in //movie[/type=0], t1 in t0/actor, t2 in t0/producer",
+		"documentary (type=9)": "for t0 in //movie[/type=9], t1 in t0/actor, t2 in t0/producer",
+	} {
+		q, err := xsketch.ParseQuery(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries[name] = q
+	}
+
+	coarse := xsketch.NewSketch(d, xsketch.DefaultSketchConfig())
+	refined := xsketch.Build(d, coarse.SizeBytes()*6)
+
+	// The extended value histograms H^v (Section 3.2): correlate the
+	// movie type value into the movie node's edge histogram.
+	joint := xsketch.NewSketch(d, xsketch.DefaultSketchConfig())
+	movieTag, _ := d.LookupTag("movie")
+	typeTag, _ := d.LookupTag("type")
+	for _, m := range joint.Syn.NodesByTag(movieTag) {
+		for _, tn := range joint.Syn.NodesByTag(typeTag) {
+			joint.Summary(m).Buckets = 64
+			joint.AddValueDim(m, tn, 10)
+		}
+	}
+
+	fmt.Printf("%-22s %12s %12s %12s %12s\n", "genre", "exact", "coarse", "refined", "H^v joint")
+	for name, q := range queries {
+		truth := ev.Selectivity(q)
+		fmt.Printf("%-22s %12d %12.1f %12.1f %12.1f\n",
+			name, truth, coarse.EstimateQuery(q), refined.EstimateQuery(q), joint.EstimateQuery(q))
+	}
+	fmt.Printf("\ncoarse %dB, refined %dB, H^v joint %dB\n",
+		coarse.SizeBytes(), refined.SizeBytes(), joint.SizeBytes())
+	fmt.Println("\nThe coarse summary estimates both genres from the same average cast")
+	fmt.Println("statistics; XBUILD's refinements separate them partially; the")
+	fmt.Println("extended value histogram H^v (value-expand) captures the type/cast")
+	fmt.Println("correlation directly, the paper's Section 3.2 extension.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: parse an XML document, build a Twig XSKETCH, and estimate a
+// twig query's selectivity against the exact count.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xsketch"
+)
+
+const doc = `
+<bib>
+  <author><name/><paper><title/><year>1999</year><keyword/><keyword/></paper>
+          <paper><title/><year>2002</year><keyword/></paper></author>
+  <author><name/><paper><title/><year>2001</year><keyword/></paper></author>
+  <author><name/><paper><title/><year>1998</year><keyword/></paper>
+          <book><title/></book></author>
+</bib>`
+
+func main() {
+	// 1. Parse the document into the arena tree model.
+	d, err := xsketch.ParseXMLString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d elements\n", d.Len())
+
+	// 2. Build a Twig XSKETCH with XBUILD under a byte budget.
+	sk := xsketch.Build(d, 2048)
+	fmt.Printf("synopsis: %d nodes, %d bytes\n", sk.Syn.NumNodes(), sk.SizeBytes())
+
+	// 3. Estimate twig queries and compare with exact evaluation.
+	ev := xsketch.NewEvaluator(d)
+	for _, src := range []string{
+		"for t0 in author, t1 in t0/name, t2 in t0/paper[year>2000], t3 in t2/title, t4 in t2/keyword",
+		"for t0 in author, t1 in t0/paper, t2 in t1/keyword",
+		"for t0 in author[book], t1 in t0/paper",
+		"for t0 in //title",
+	} {
+		q, err := xsketch.ParseQuery(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-95s est %6.2f  exact %d\n", q, sk.EstimateQuery(q), ev.Selectivity(q))
+	}
+}

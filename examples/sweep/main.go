@@ -1,0 +1,82 @@
+// Sweep: the experiment behind the paper's Figure 9 as a library user
+// would run it — one incremental XBUILD pass over a document, snapshotting
+// the synopsis at increasing byte budgets and scoring a fixed workload at
+// each, printing the error-vs-size curve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xsketch"
+)
+
+func main() {
+	doc, err := xsketch.GenerateDataset("imdb", 1, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := xsketch.DefaultWorkloadConfig(xsketch.WorkloadP)
+	cfg.NumQueries = 100
+	w := xsketch.GenerateWorkload(doc, cfg)
+	fmt.Printf("IMDB dataset: %d elements, %d evaluation queries\n\n", doc.Len(), len(w.Queries))
+
+	opts := xsketch.DefaultBuildOptions(1 << 30)
+	b := xsketch.NewBuilder(doc, opts)
+	coarse := b.Sketch().SizeBytes()
+
+	fmt.Printf("%10s %12s %12s\n", "size (B)", "avg error", "refinements")
+	for _, factor := range []float64{1, 1.5, 2, 3, 4, 6} {
+		b.RunTo(int(factor * float64(coarse)))
+		sk := b.Sketch()
+		fmt.Printf("%10d %11.1f%% %12d\n", sk.SizeBytes(), avgError(sk, w)*100, len(b.Steps()))
+	}
+
+	fmt.Println("\nlast refinements applied:")
+	steps := b.Steps()
+	for _, s := range steps[max(0, len(steps)-5):] {
+		fmt.Printf("  %s -> %d bytes\n", s.Refinement, s.SizeBytes)
+	}
+}
+
+// avgError scores the workload with the paper's sanity-bounded metric,
+// computed inline to keep the example self-contained.
+func avgError(sk *xsketch.Sketch, w *xsketch.Workload) float64 {
+	truths := w.Truths()
+	sanity := percentile10(truths)
+	total := 0.0
+	for _, q := range w.Queries {
+		est := sk.EstimateQuery(q.Twig)
+		denom := float64(q.Truth)
+		if sanity > denom {
+			denom = sanity
+		}
+		diff := est - float64(q.Truth)
+		if diff < 0 {
+			diff = -diff
+		}
+		total += diff / denom
+	}
+	return total / float64(len(w.Queries))
+}
+
+func percentile10(xs []int64) float64 {
+	sorted := append([]int64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	s := float64(sorted[len(sorted)/10])
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module xsketch
+
+go 1.22

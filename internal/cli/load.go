@@ -1,0 +1,38 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"xsketch/internal/xmlgen"
+	"xsketch/internal/xmltree"
+)
+
+// LoadDoc resolves the common -in/-dataset flag pair of the tools: exactly
+// one of in (an XML file path, "-" for stdin) or dataset (a generator
+// name) must be given.
+func LoadDoc(in, dataset string, scale float64, seed int64) (*xmltree.Document, error) {
+	switch {
+	case in != "" && dataset != "":
+		return nil, fmt.Errorf("give either -in or -dataset, not both")
+	case dataset != "":
+		for _, n := range xmlgen.AllNames() {
+			if n == dataset {
+				return xmlgen.Generate(dataset, xmlgen.Config{Seed: seed, Scale: scale}), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown dataset %q (want one of %v)", dataset, xmlgen.AllNames())
+	case in == "-":
+		return xmltree.Parse(bufio.NewReader(os.Stdin))
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return xmltree.Parse(bufio.NewReader(f))
+	}
+	return nil, fmt.Errorf("give -in <file> or -dataset <name>")
+}

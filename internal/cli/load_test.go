@@ -1,0 +1,49 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDocDataset(t *testing.T) {
+	d, err := LoadDoc("", "imdb", 0.02, 1)
+	if err != nil {
+		t.Fatalf("LoadDoc(dataset): %v", err)
+	}
+	if d.Len() < 100 {
+		t.Fatalf("dataset too small: %d", d.Len())
+	}
+	if _, err := LoadDoc("", "parts", 0.02, 1); err != nil {
+		t.Fatalf("LoadDoc(parts): %v", err)
+	}
+}
+
+func TestLoadDocFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(`<a><b>7</b></a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDoc(path, "", 0, 0)
+	if err != nil {
+		t.Fatalf("LoadDoc(file): %v", err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestLoadDocErrors(t *testing.T) {
+	if _, err := LoadDoc("x.xml", "imdb", 1, 1); err == nil {
+		t.Fatal("accepted both -in and -dataset")
+	}
+	if _, err := LoadDoc("", "nope", 1, 1); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+	if _, err := LoadDoc("", "", 1, 1); err == nil {
+		t.Fatal("accepted neither flag")
+	}
+	if _, err := LoadDoc("/no/such/file.xml", "", 1, 1); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}

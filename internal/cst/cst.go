@@ -1,0 +1,506 @@
+// Package cst reimplements the Correlated Suffix Trees of Chen et al.
+// ("Counting Twig Matches in a Tree", ICDE 2001), the baseline of the
+// paper's Figure 9(c). No open-source artifact of CSTs exists; this
+// implementation follows the published description:
+//
+//   - a trie over label paths (anchored root paths plus bounded-length
+//     path suffixes) with per-node occurrence counts;
+//   - set hashing: each trie node carries a min-hash signature of the set
+//     of parents of its matching elements, used to correlate sibling
+//     branches of a twig (the "MOSH" family of estimators; we implement the
+//     P-MOSH flavour the paper reports as most accurate);
+//   - greedy pruning of low-frequency trie nodes down to a space budget,
+//     with pruned mass pooled into per-parent star counts used as a uniform
+//     fallback — exactly the rigidity the paper contrasts with XBUILD's
+//     error-driven refinement.
+//
+// As in the paper's comparison, the CST is built on path structure only
+// (element values ignored) and estimates twig queries with simple path
+// expressions; unsupported features (value predicates, descendant steps
+// below the root) degrade gracefully by ignoring the predicate.
+package cst
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+// anchor is the synthetic label marking paths anchored at the document
+// root.
+const anchor = "^"
+
+// Config controls CST construction.
+type Config struct {
+	// MaxSuffix bounds the length of unanchored path suffixes inserted per
+	// element (the trie's Markov order).
+	MaxSuffix int
+	// SignatureSize is the number of min-hash values per trie node.
+	SignatureSize int
+	// NodeBytes, CountBytes and HashBytes price the stored trie for budget
+	// comparisons with XSKETCH synopses.
+	NodeBytes, CountBytes, HashBytes int
+}
+
+// DefaultConfig mirrors a compact CST: order-3 suffixes, 4-hash signatures
+// with 2-byte stored hashes (set-hashing signatures are kept small so the
+// trie can afford nodes at tight budgets).
+func DefaultConfig() Config {
+	return Config{MaxSuffix: 3, SignatureSize: 4, NodeBytes: 4, CountBytes: 4, HashBytes: 2}
+}
+
+// CST is a pruned correlated suffix tree.
+type CST struct {
+	cfg     Config
+	root    *tnode
+	rootTag string // the document root's tag, implied by anchored lookups
+}
+
+type tnode struct {
+	label    string
+	count    int
+	parents  int      // number of distinct document parents of the matching elements
+	sig      []uint64 // min-hash signature of the parent set
+	children map[string]*tnode
+	parent   *tnode
+	// starCount and starKinds pool the mass of pruned children for the
+	// uniform fallback.
+	starCount int
+	starKinds int
+}
+
+func newTnode(label string, parent *tnode, sigK int) *tnode {
+	sig := make([]uint64, sigK)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	return &tnode{label: label, parent: parent, sig: sig, children: map[string]*tnode{}}
+}
+
+// Build constructs the unpruned CST for a document.
+func Build(d *xmltree.Document, cfg Config) *CST {
+	if cfg.MaxSuffix < 1 {
+		cfg.MaxSuffix = 1
+	}
+	if cfg.SignatureSize < 1 {
+		cfg.SignatureSize = 1
+	}
+	t := &CST{
+		cfg:     cfg,
+		root:    newTnode("", nil, cfg.SignatureSize),
+		rootTag: d.Tag(d.Node(d.Root()).Tag),
+	}
+	parentSets := map[*tnode]map[xmltree.NodeID]struct{}{}
+
+	insert := func(labels []string, elem, parent xmltree.NodeID) {
+		cur := t.root
+		for _, l := range labels {
+			next := cur.children[l]
+			if next == nil {
+				next = newTnode(l, cur, cfg.SignatureSize)
+				cur.children[l] = next
+			}
+			cur = next
+		}
+		cur.count++
+		set := parentSets[cur]
+		if set == nil {
+			set = map[xmltree.NodeID]struct{}{}
+			parentSets[cur] = set
+		}
+		set[parent] = struct{}{}
+		for i := 0; i < cfg.SignatureSize; i++ {
+			h := saltedHash(uint64(parent), uint64(i))
+			if h < cur.sig[i] {
+				cur.sig[i] = h
+			}
+		}
+	}
+
+	for i := 0; i < d.Len(); i++ {
+		id := xmltree.NodeID(i)
+		tags := d.PathTags(id)
+		labels := make([]string, 0, len(tags)+1)
+		labels = append(labels, anchor)
+		for _, tg := range tags {
+			labels = append(labels, d.Tag(tg))
+		}
+		parent := d.Node(id).Parent
+		// Anchored full path (with root marker).
+		insert(labels, id, parent)
+		// Unanchored suffixes up to MaxSuffix, skipping the marker.
+		bare := labels[1:]
+		for l := 1; l <= cfg.MaxSuffix && l <= len(bare); l++ {
+			insert(bare[len(bare)-l:], id, parent)
+		}
+	}
+	for n, set := range parentSets {
+		n.parents = len(set)
+	}
+	return t
+}
+
+// saltedHash mixes a value with a salt (64-bit FNV-1a over both words).
+func saltedHash(v, salt uint64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+		buf[8+i] = byte(salt >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// NumNodes returns the number of trie nodes (excluding the root).
+func (t *CST) NumNodes() int {
+	n := -1 // skip root
+	var rec func(*tnode)
+	rec = func(x *tnode) {
+		n++
+		for _, c := range x.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	return n
+}
+
+// SizeBytes prices the stored trie: per node, a label reference, the count,
+// the parent count, the star pool and the signature.
+func (t *CST) SizeBytes() int {
+	per := t.cfg.NodeBytes + 2*t.cfg.CountBytes + t.cfg.CountBytes +
+		t.cfg.SignatureSize*t.cfg.HashBytes
+	return t.NumNodes() * per
+}
+
+// Prune greedily removes the lowest-count leaf nodes until the trie fits
+// the byte budget; the pruned mass pools into the parent's star counters.
+func (t *CST) Prune(budgetBytes int) {
+	for t.SizeBytes() > budgetBytes {
+		leaf := t.smallestLeaf()
+		if leaf == nil {
+			return
+		}
+		p := leaf.parent
+		delete(p.children, leaf.label)
+		p.starCount += leaf.count + leaf.starCount
+		p.starKinds += 1 + leaf.starKinds
+	}
+}
+
+// smallestLeaf returns the leaf (non-root) trie node with the smallest
+// count, breaking ties toward deeper nodes and lexicographically for
+// determinism.
+func (t *CST) smallestLeaf() *tnode {
+	var best *tnode
+	bestDepth := -1
+	var rec func(x *tnode, depth int)
+	rec = func(x *tnode, depth int) {
+		if len(x.children) == 0 && x.parent != nil {
+			if best == nil || x.count < best.count ||
+				(x.count == best.count && depth > bestDepth) ||
+				(x.count == best.count && depth == bestDepth && x.label < best.label) {
+				best = x
+				bestDepth = depth
+			}
+			return
+		}
+		keys := make([]string, 0, len(x.children))
+		for k := range x.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rec(x.children[k], depth+1)
+		}
+	}
+	rec(t.root, 0)
+	return best
+}
+
+// lookupStats resolves a label sequence to (count, parents, signature,
+// exact). When the walk falls off the pruned trie it returns the uniform
+// star fallback and exact = false; a total miss yields zeros.
+func (t *CST) lookupStats(labels []string) (count, parents float64, sig []uint64, exact bool) {
+	cur := t.root
+	for _, l := range labels {
+		next := cur.children[l]
+		if next == nil {
+			if cur.starKinds > 0 {
+				// Uniform fallback: pruned mass spread evenly over pruned
+				// kinds; deeper labels cannot be followed, so assume the
+				// remaining steps retain the mass (the CST's uniformity
+				// assumption).
+				c := float64(cur.starCount) / float64(cur.starKinds)
+				return c, c, nil, false
+			}
+			return 0, 0, nil, false
+		}
+		cur = next
+	}
+	return float64(cur.count), float64(cur.parents), cur.sig, true
+}
+
+// Count estimates the number of elements reached by a root path given as a
+// label sequence relative to the document root (the twig-root convention),
+// using maximal overlap parsing: the longest anchored prefix found in the
+// trie extended by suffix-conditional probabilities.
+func (t *CST) Count(labels []string) float64 {
+	// Absolute-style paths that start with the root tag denote the root
+	// element itself; drop the redundant step.
+	if len(labels) > 0 && labels[0] == t.rootTag {
+		labels = labels[1:]
+	}
+	if len(labels) == 0 {
+		return 1
+	}
+	full := append([]string{anchor, t.rootTag}, labels...)
+	if c, _, _, ok := t.lookupStats(full); ok || c > 0 {
+		return c
+	}
+	// Maximal overlap: find the longest prefix with an exact count, then
+	// extend with conditional suffix estimates.
+	best := 0
+	var bestCount float64
+	for i := len(full); i >= 1; i-- {
+		if c, _, _, ok := t.lookupStats(full[:i]); ok {
+			best = i
+			bestCount = c
+			break
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	est := bestCount
+	for j := best; j < len(full); j++ {
+		est *= t.condProb(full[:j+1])
+		if est == 0 {
+			return 0
+		}
+	}
+	return est
+}
+
+// condProb estimates P(label_j | preceding window) from unanchored suffix
+// counts of length up to MaxSuffix.
+func (t *CST) condProb(prefix []string) float64 {
+	// Drop the anchor for suffix lookups.
+	bare := prefix
+	if len(bare) > 0 && bare[0] == anchor {
+		bare = bare[1:]
+	}
+	if len(bare) == 0 {
+		return 0
+	}
+	for l := t.cfg.MaxSuffix; l >= 1; l-- {
+		if l > len(bare) {
+			continue
+		}
+		den, _, _, okDen := t.lookupStats(bare[len(bare)-l : len(bare)-1])
+		num, _, _, okNum := t.lookupStats(bare[len(bare)-l:])
+		if l == 1 {
+			// Unconditional frequency: num / total elements.
+			total := 0.0
+			for _, c := range t.root.children {
+				if c.label != anchor && len(c.label) > 0 {
+					total += float64(c.count)
+				}
+			}
+			if total > 0 && (okNum || num > 0) {
+				return num / total
+			}
+			continue
+		}
+		if (okDen || den > 0) && (okNum || num > 0) && den > 0 {
+			return num / den
+		}
+	}
+	return 0
+}
+
+// EstimateQuery estimates the number of binding tuples of a twig query
+// with simple (child-axis) path expressions. Value predicates and
+// branching predicates inside paths are ignored (the comparison workload
+// contains neither); a descendant step at the query root is resolved as an
+// unanchored suffix count, deeper descendant steps fall back to suffix
+// estimates.
+func (t *CST) EstimateQuery(q *twig.Query) float64 {
+	if q.Root == nil {
+		return 0
+	}
+	rootLabels := stepLabels(q.Root)
+	var base float64
+	var prefix []string
+	if isDescendantRoot(q.Root) {
+		// //tag: count all elements with the tag via the unanchored
+		// suffix trie, then continue with the remaining labels.
+		base = t.suffixCount(rootLabels[:1])
+		for j := 1; j < len(rootLabels); j++ {
+			base *= t.condProb(append([]string{}, rootLabels[:j+1]...))
+		}
+		prefix = rootLabels
+	} else {
+		base = t.Count(rootLabels)
+		prefix = append([]string{anchor, t.rootTag}, rootLabels...)
+	}
+	if base == 0 {
+		return 0
+	}
+	return base * t.contrib(q.Root, prefix)
+}
+
+// suffixCount returns the unanchored count for a label sequence.
+func (t *CST) suffixCount(labels []string) float64 {
+	c, _, _, _ := t.lookupStats(labels)
+	return c
+}
+
+// contrib returns the expected binding tuples of the subtree below twig
+// node tn, per element matching prefix.
+func (t *CST) contrib(tn *twig.Node, prefix []string) float64 {
+	if len(tn.Children) == 0 {
+		return 1
+	}
+	baseCount, _, _, _ := t.lookupStats(prefix)
+	if baseCount == 0 {
+		return 0
+	}
+	// Per-branch statistics at the first label of each child path.
+	type branch struct {
+		labels   []string
+		count    float64 // elements at prefix+first
+		parents  float64 // distinct parents with such a child
+		sig      []uint64
+		contProb float64 // continuation over the remaining labels
+	}
+	branches := make([]branch, 0, len(tn.Children))
+	for _, ct := range tn.Children {
+		ls := stepLabels(ct)
+		if len(ls) == 0 {
+			return 0
+		}
+		ext := append(append([]string{}, prefix...), ls[0])
+		c, p, sig, _ := t.lookupStats(ext)
+		if c == 0 || p == 0 {
+			return 0
+		}
+		cont := 1.0
+		cur := ext
+		for j := 1; j < len(ls); j++ {
+			cur = append(cur, ls[j])
+			cont *= t.condProb(cur)
+		}
+		branches = append(branches, branch{labels: ls, count: c, parents: p, sig: sig, contProb: cont})
+	}
+	// Probability a prefix-element has all branch kinds: P-MOSH combines
+	// the per-branch parent fractions with a min-hash intersection
+	// correction chained over the branches.
+	stats := make([]branchStat, len(branches))
+	for i, b := range branches {
+		stats[i] = branchStat{parents: b.parents, sig: b.sig}
+	}
+	joint := t.jointParentFraction(stats, baseCount)
+	if joint == 0 {
+		return 0
+	}
+	result := joint
+	for i, b := range branches {
+		perParent := b.count / b.parents
+		sub := t.contrib(tn.Children[i], append(append([]string{}, prefix...), b.labels...))
+		result *= perParent * b.contProb * sub
+		if result == 0 {
+			return 0
+		}
+	}
+	return result
+}
+
+type branchStat struct {
+	parents float64
+	sig     []uint64
+}
+
+// jointParentFraction estimates the fraction of base elements whose
+// children include every branch kind. Sets are intersected pairwise using
+// min-hash Jaccard estimates, chaining through the branches; missing
+// signatures (star fallbacks) degrade to independence.
+func (t *CST) jointParentFraction(bs []branchStat, base float64) float64 {
+	if len(bs) == 0 || base == 0 {
+		return 1
+	}
+	curSize := bs[0].parents
+	curSig := bs[0].sig
+	for _, b := range bs[1:] {
+		if curSig == nil || b.sig == nil {
+			// Independence fallback.
+			curSize = curSize * b.parents / base
+			curSig = nil
+			continue
+		}
+		j := jaccard(curSig, b.sig)
+		inter := j / (1 + j) * (curSize + b.parents)
+		if m := minF(curSize, b.parents); inter > m {
+			inter = m
+		}
+		// Keep the signature of the smaller operand as a proxy for the
+		// running intersection.
+		if b.parents < curSize {
+			curSig = b.sig
+		}
+		curSize = inter
+	}
+	frac := curSize / base
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return frac
+}
+
+// jaccard estimates the Jaccard coefficient of two sets from their
+// min-hash signatures (fraction of matching positions).
+func jaccard(a, b []uint64) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	match := 0
+	for i := range a {
+		if a[i] == b[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a))
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// stepLabels extracts the label sequence of a twig node's path expression,
+// ignoring predicates.
+func stepLabels(tn *twig.Node) []string {
+	out := make([]string, 0, len(tn.Path.Steps))
+	for _, s := range tn.Path.Steps {
+		out = append(out, s.Label)
+	}
+	return out
+}
+
+// isDescendantRoot reports whether the twig root's first step uses the
+// descendant axis.
+func isDescendantRoot(tn *twig.Node) bool {
+	if len(tn.Path.Steps) == 0 {
+		return false
+	}
+	return tn.Path.Steps[0].Axis == pathexpr.Descendant
+}

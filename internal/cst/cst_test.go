@@ -1,0 +1,223 @@
+package cst
+
+import (
+	"math"
+	"testing"
+
+	"xsketch/internal/eval"
+	"xsketch/internal/metrics"
+	"xsketch/internal/twig"
+	"xsketch/internal/workload"
+	"xsketch/internal/xmlgen"
+	"xsketch/internal/xmltree"
+)
+
+func bibCST() *CST {
+	return Build(xmltree.Bibliography(), DefaultConfig())
+}
+
+func TestBuildCounts(t *testing.T) {
+	c := bibCST()
+	cases := []struct {
+		labels []string
+		want   float64
+	}{
+		{[]string{"author"}, 3},
+		{[]string{"author", "paper"}, 4},
+		{[]string{"author", "paper", "keyword"}, 5},
+		{[]string{"author", "book"}, 1},
+		{[]string{"author", "book", "title"}, 1},
+	}
+	for _, cse := range cases {
+		if got := c.Count(cse.labels); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("Count(%v) = %v, want %v", cse.labels, got, cse.want)
+		}
+	}
+	if got := c.Count([]string{"magazine"}); got != 0 {
+		t.Errorf("Count(missing) = %v", got)
+	}
+}
+
+func TestSuffixCounts(t *testing.T) {
+	c := bibCST()
+	// Unanchored suffix [title] counts all titles (paper + book).
+	if got := c.suffixCount([]string{"title"}); got != 5 {
+		t.Errorf("suffixCount(title) = %v, want 5", got)
+	}
+	if got := c.suffixCount([]string{"book", "title"}); got != 1 {
+		t.Errorf("suffixCount(book/title) = %v, want 1", got)
+	}
+	if got := c.suffixCount([]string{"paper", "title"}); got != 4 {
+		t.Errorf("suffixCount(paper/title) = %v, want 4", got)
+	}
+}
+
+func TestEstimateChainQueries(t *testing.T) {
+	c := bibCST()
+	d := xmltree.Bibliography()
+	ev := eval.New(d)
+	for _, src := range []string{
+		"t0 in author",
+		"t0 in author/paper",
+		"t0 in author/paper/keyword",
+		"t0 in author/book/title",
+	} {
+		q := twig.MustParse(src)
+		got := c.EstimateQuery(q)
+		want := float64(ev.Selectivity(q))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("EstimateQuery(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEstimateDescendantRoot(t *testing.T) {
+	c := bibCST()
+	q := twig.MustParse("t0 in //title")
+	if got := c.EstimateQuery(q); math.Abs(got-5) > 1e-9 {
+		t.Errorf("//title = %v, want 5", got)
+	}
+}
+
+func TestEstimateBranchingTwig(t *testing.T) {
+	c := bibCST()
+	d := xmltree.Bibliography()
+	ev := eval.New(d)
+	q := twig.MustParse("t0 in author, t1 in t0/paper, t2 in t0/name")
+	got := c.EstimateQuery(q)
+	want := float64(ev.Selectivity(q)) // 4
+	// The estimate need not be exact (it relies on parent-fraction and
+	// fanout uniformity) but must be in the right ballpark.
+	if got < want/2 || got > want*2 {
+		t.Errorf("branching twig = %v, want near %v", got, want)
+	}
+	// Twig with a rare branch: author with book AND paper.
+	q2 := twig.MustParse("t0 in author, t1 in t0/book, t2 in t0/paper")
+	got2 := c.EstimateQuery(q2)
+	truth2 := float64(ev.Selectivity(q2)) // 1
+	if got2 <= 0 || got2 > 4*truth2+1 {
+		t.Errorf("book+paper twig = %v, truth %v", got2, truth2)
+	}
+}
+
+func TestEstimateZeroForMissing(t *testing.T) {
+	c := bibCST()
+	for _, src := range []string{
+		"t0 in magazine",
+		"t0 in author, t1 in t0/magazine",
+	} {
+		if got := c.EstimateQuery(twig.MustParse(src)); got != 0 {
+			t.Errorf("EstimateQuery(%q) = %v, want 0", src, got)
+		}
+	}
+}
+
+func TestPruneReducesSizeAndKeepsEstimates(t *testing.T) {
+	d := xmlgen.SwissProt(xmlgen.Config{Seed: 4, Scale: 0.03})
+	c := Build(d, DefaultConfig())
+	full := c.SizeBytes()
+	if full == 0 {
+		t.Fatal("empty CST")
+	}
+	budget := full / 2
+	c.Prune(budget)
+	if c.SizeBytes() > budget {
+		t.Fatalf("Prune left %d bytes > budget %d", c.SizeBytes(), budget)
+	}
+	// Frequent anchored paths survive pruning.
+	if got := c.Count([]string{"entry"}); got == 0 {
+		t.Fatal("frequent path pruned away")
+	}
+}
+
+func TestPrunedFallbackNonZero(t *testing.T) {
+	// After heavy pruning, estimates for pruned paths use the star pool.
+	d := xmlgen.SwissProt(xmlgen.Config{Seed: 4, Scale: 0.03})
+	c := Build(d, DefaultConfig())
+	c.Prune(c.SizeBytes() / 8)
+	w := workload.Generate(d, func() workload.Config {
+		cfg := workload.DefaultConfig(workload.KindSimple)
+		cfg.NumQueries = 30
+		return cfg
+	}())
+	nonzero := 0
+	for _, q := range w.Queries {
+		if c.EstimateQuery(q.Twig) > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(w.Queries)/2 {
+		t.Fatalf("only %d of %d pruned estimates nonzero", nonzero, len(w.Queries))
+	}
+}
+
+func TestCSTAccuracyOnSimpleWorkload(t *testing.T) {
+	// Unpruned CST on a small document: average error on simple-path twigs
+	// should be moderate (it is a real estimator, not a stub).
+	d := xmlgen.XMark(xmlgen.Config{Seed: 6, Scale: 0.02})
+	c := Build(d, DefaultConfig())
+	wcfg := workload.DefaultConfig(workload.KindSimple)
+	wcfg.NumQueries = 50
+	w := workload.Generate(d, wcfg)
+	if len(w.Queries) < 20 {
+		t.Fatalf("workload too small: %d", len(w.Queries))
+	}
+	results := make([]metrics.Result, len(w.Queries))
+	for i, q := range w.Queries {
+		results[i] = metrics.Result{Truth: q.Truth, Estimate: c.EstimateQuery(q.Twig)}
+	}
+	s := metrics.Evaluate(results, 10)
+	t.Logf("unpruned CST on XMark: %s", s)
+	if s.AvgError > 1.5 {
+		t.Fatalf("unpruned CST error %.0f%% implausibly high", s.AvgError*100)
+	}
+}
+
+func TestJaccardAndJoint(t *testing.T) {
+	a := []uint64{1, 2, 3, 4}
+	b := []uint64{1, 2, 9, 9}
+	if got := jaccard(a, b); got != 0.5 {
+		t.Fatalf("jaccard = %v", got)
+	}
+	if got := jaccard(nil, nil); got != 0 {
+		t.Fatalf("jaccard(nil) = %v", got)
+	}
+	// Identical signatures: intersection estimate equals the smaller set.
+	c := &CST{cfg: DefaultConfig()}
+	frac := c.jointParentFraction([]branchStat{
+		{parents: 10, sig: a},
+		{parents: 10, sig: a},
+	}, 20)
+	if math.Abs(frac-0.5) > 1e-9 {
+		t.Fatalf("joint fraction = %v, want 0.5", frac)
+	}
+	// Disjoint signatures: near-zero intersection.
+	dsig := []uint64{7, 8, 11, 12}
+	frac2 := c.jointParentFraction([]branchStat{
+		{parents: 10, sig: a},
+		{parents: 10, sig: dsig},
+	}, 20)
+	if frac2 > 0.1 {
+		t.Fatalf("disjoint joint fraction = %v", frac2)
+	}
+}
+
+func TestPruneDeterminism(t *testing.T) {
+	d := xmlgen.IMDB(xmlgen.Config{Seed: 8, Scale: 0.02})
+	c1 := Build(d, DefaultConfig())
+	c2 := Build(d, DefaultConfig())
+	c1.Prune(c1.SizeBytes() / 3)
+	c2.Prune(c2.SizeBytes() / 3)
+	if c1.NumNodes() != c2.NumNodes() {
+		t.Fatalf("nondeterministic pruning: %d vs %d nodes", c1.NumNodes(), c2.NumNodes())
+	}
+}
+
+func TestSizeBytesScalesWithSignature(t *testing.T) {
+	d := xmltree.Bibliography()
+	small := Build(d, Config{MaxSuffix: 2, SignatureSize: 2, NodeBytes: 4, CountBytes: 4, HashBytes: 4})
+	big := Build(d, Config{MaxSuffix: 2, SignatureSize: 16, NodeBytes: 4, CountBytes: 4, HashBytes: 4})
+	if small.SizeBytes() >= big.SizeBytes() {
+		t.Fatalf("size %d !< %d", small.SizeBytes(), big.SizeBytes())
+	}
+}

@@ -1,0 +1,328 @@
+// Package eval implements exact evaluation of path expressions and twig
+// queries over xmltree documents. It provides the ground-truth selectivities
+// against which synopsis estimates are scored, and the reference evaluator
+// used by workload generation.
+//
+// Conventions:
+//
+//   - A path is evaluated from a context element. A child-axis step matches
+//     the context's children with the step label; a descendant-axis step
+//     matches descendants at any depth >= 1.
+//   - A twig query's root path is evaluated from the document root element,
+//     so "author" denotes author children of the root while "//author"
+//     denotes author elements anywhere. (The paper writes "t0 in A" for
+//     documents whose authors sit directly under the root, where the two
+//     coincide.)
+//   - A step's value predicate requires the reached element to carry a value
+//     inside the range; a branching predicate requires at least one match of
+//     the nested relative path.
+//
+// Selectivity is computed with the product-of-children dynamic program: for
+// twig node t matched at element e,
+//
+//	count(t, e) = Σ_{e' ∈ P_t(e)} Π_{c ∈ children(t)} count(c, e')
+//
+// which counts exactly the binding tuples of the paper's Section 2. On
+// tree-structured data path results are sets (deduplication is only needed
+// when descendant steps can stack), which the evaluator handles.
+package eval
+
+import (
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+// Evaluator evaluates paths and twigs over a single document. It caches the
+// tag interning lookups; it is cheap to construct.
+type Evaluator struct {
+	doc *xmltree.Document
+}
+
+// New returns an Evaluator for the document.
+func New(d *xmltree.Document) *Evaluator {
+	return &Evaluator{doc: d}
+}
+
+// Doc returns the underlying document.
+func (ev *Evaluator) Doc() *xmltree.Document { return ev.doc }
+
+// EvalPath returns the set of elements reached by evaluating p from ctx, in
+// document order (ascending NodeID). Value and branching predicates are
+// applied at each step.
+func (ev *Evaluator) EvalPath(ctx xmltree.NodeID, p *pathexpr.Path) []xmltree.NodeID {
+	frontier := []xmltree.NodeID{ctx}
+	for _, step := range p.Steps {
+		frontier = ev.evalStep(frontier, step)
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	return frontier
+}
+
+// evalStep advances a frontier of distinct elements across one step.
+// The result is kept in ascending NodeID order and deduplicated.
+func (ev *Evaluator) evalStep(frontier []xmltree.NodeID, step *pathexpr.Step) []xmltree.NodeID {
+	d := ev.doc
+	tag, ok := d.LookupTag(step.Label)
+	if !ok {
+		return nil
+	}
+	var out []xmltree.NodeID
+	var seen map[xmltree.NodeID]struct{}
+	if step.Axis == pathexpr.Descendant && len(frontier) > 1 {
+		seen = make(map[xmltree.NodeID]struct{})
+	}
+	emit := func(id xmltree.NodeID) {
+		if !ev.nodeSatisfies(id, step) {
+			return
+		}
+		if seen != nil {
+			if _, dup := seen[id]; dup {
+				return
+			}
+			seen[id] = struct{}{}
+		}
+		out = append(out, id)
+	}
+	for _, e := range frontier {
+		switch step.Axis {
+		case pathexpr.Child:
+			for _, c := range d.Node(e).Children {
+				if d.Node(c).Tag == tag {
+					emit(c)
+				}
+			}
+		case pathexpr.Descendant:
+			ev.walkDescendants(e, func(id xmltree.NodeID) {
+				if d.Node(id).Tag == tag {
+					emit(id)
+				}
+			})
+		}
+	}
+	if seen != nil {
+		sortNodeIDs(out)
+	}
+	return out
+}
+
+// walkDescendants visits every strict descendant of e in document order.
+func (ev *Evaluator) walkDescendants(e xmltree.NodeID, fn func(xmltree.NodeID)) {
+	d := ev.doc
+	stack := make([]xmltree.NodeID, 0, 8)
+	ch := d.Node(e).Children
+	for i := len(ch) - 1; i >= 0; i-- {
+		stack = append(stack, ch[i])
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fn(id)
+		ch := d.Node(id).Children
+		for i := len(ch) - 1; i >= 0; i-- {
+			stack = append(stack, ch[i])
+		}
+	}
+}
+
+// nodeSatisfies checks a step's value and branching predicates on a matched
+// element.
+func (ev *Evaluator) nodeSatisfies(id xmltree.NodeID, step *pathexpr.Step) bool {
+	if step.Value != nil {
+		n := ev.doc.Node(id)
+		if !n.HasValue || !step.Value.Matches(n.Value) {
+			return false
+		}
+	}
+	for _, br := range step.Branches {
+		if !ev.pathExists(id, br) {
+			return false
+		}
+	}
+	return true
+}
+
+// pathExists reports whether at least one match of p exists from ctx
+// (existential semantics of branching predicates), with early exit.
+func (ev *Evaluator) pathExists(ctx xmltree.NodeID, p *pathexpr.Path) bool {
+	return ev.existsFrom(ctx, p.Steps)
+}
+
+func (ev *Evaluator) existsFrom(ctx xmltree.NodeID, steps []*pathexpr.Step) bool {
+	if len(steps) == 0 {
+		return true
+	}
+	step := steps[0]
+	d := ev.doc
+	tag, ok := d.LookupTag(step.Label)
+	if !ok {
+		return false
+	}
+	try := func(id xmltree.NodeID) bool {
+		return d.Node(id).Tag == tag && ev.nodeSatisfies(id, step) && ev.existsFrom(id, steps[1:])
+	}
+	switch step.Axis {
+	case pathexpr.Child:
+		for _, c := range d.Node(ctx).Children {
+			if try(c) {
+				return true
+			}
+		}
+	case pathexpr.Descendant:
+		found := false
+		ev.walkDescendants(ctx, func(id xmltree.NodeID) {
+			if !found && try(id) {
+				found = true
+			}
+		})
+		return found
+	}
+	return false
+}
+
+// Selectivity returns the exact number of binding tuples of q over the
+// document (the paper's s(T_Q)).
+func (ev *Evaluator) Selectivity(q *twig.Query) int64 {
+	if q.Root == nil {
+		return 0
+	}
+	total := ev.countNode(ev.doc.Root(), q.Root)
+	// XPath-style absolute paths: a child-axis first step naming the root
+	// element's tag also matches the root itself ("/bib/author" selects
+	// the bib root, then its authors). This only adds matches (the root is
+	// not among its own children), so both conventions coexist.
+	return total + ev.rootSelfCount(q)
+}
+
+// rootSelfCount returns the binding tuples contributed by the root-self
+// interpretation of the query's first step: the step's predicates must
+// hold on the root element and the remaining steps evaluate from the root
+// (an empty remainder binds the twig root to the root element itself,
+// since an empty path evaluates to its context).
+func (ev *Evaluator) rootSelfCount(q *twig.Query) int64 {
+	rq, ok := ev.rootSelfRewrite(q)
+	if !ok {
+		return 0
+	}
+	return ev.countNode(ev.doc.Root(), rq.Root)
+}
+
+// rootSelfRewrite strips the query's first step when it denotes the
+// document root element (child axis, root tag, predicates satisfied on the
+// root). ok is false when the interpretation does not apply.
+func (ev *Evaluator) rootSelfRewrite(q *twig.Query) (*twig.Query, bool) {
+	steps := q.Root.Path.Steps
+	if len(steps) == 0 || steps[0].Axis != pathexpr.Child {
+		return nil, false
+	}
+	d := ev.doc
+	root := d.Root()
+	if d.Tag(d.Node(root).Tag) != steps[0].Label || !ev.nodeSatisfies(root, steps[0]) {
+		return nil, false
+	}
+	rq := q.Clone()
+	rq.Root.Path.Steps = rq.Root.Path.Steps[1:]
+	return rq, true
+}
+
+func (ev *Evaluator) countNode(ctx xmltree.NodeID, t *twig.Node) int64 {
+	matches := ev.EvalPath(ctx, t.Path)
+	if len(t.Children) == 0 {
+		return int64(len(matches))
+	}
+	var total int64
+	for _, e := range matches {
+		prod := int64(1)
+		for _, c := range t.Children {
+			prod *= ev.countNode(e, c)
+			if prod == 0 {
+				break
+			}
+		}
+		total += prod
+	}
+	return total
+}
+
+// PathCount returns the number of elements reached by p from the document
+// root (the selectivity of a single path expression), including the
+// root-self interpretation of an absolute first step (see Selectivity).
+func (ev *Evaluator) PathCount(p *pathexpr.Path) int64 {
+	return ev.Selectivity(twig.New(p))
+}
+
+// BindingTuples materializes up to limit binding tuples of q (limit <= 0
+// means no limit), including those of the root-self interpretation (see
+// Selectivity). Each tuple lists one element per twig node in the query's
+// depth-first node order. Intended for tests and examples; Selectivity is
+// the efficient counting interface.
+func (ev *Evaluator) BindingTuples(q *twig.Query, limit int) [][]xmltree.NodeID {
+	out := ev.materialize(q, limit)
+	if rq, ok := ev.rootSelfRewrite(q); ok && (limit <= 0 || len(out) < limit) {
+		rest := limit
+		if limit > 0 {
+			rest = limit - len(out)
+		}
+		out = append(out, ev.materialize(rq, rest)...)
+	}
+	return out
+}
+
+// materialize enumerates binding tuples under the plain root-children
+// convention (no root-self interpretation).
+func (ev *Evaluator) materialize(q *twig.Query, limit int) [][]xmltree.NodeID {
+	if q.Root == nil {
+		return nil
+	}
+	order := q.Nodes()
+	index := make(map[*twig.Node]int, len(order))
+	for i, n := range order {
+		index[n] = i
+	}
+	// parentIdx[i] is the position of node i's parent in DFS order, or -1
+	// for the root. Since DFS order visits parents before children, by the
+	// time node i is assigned, current[parentIdx[i]] is valid.
+	parentIdx := make([]int, len(order))
+	q.Walk(func(n, parent *twig.Node, _ int) {
+		if parent == nil {
+			parentIdx[index[n]] = -1
+		} else {
+			parentIdx[index[n]] = index[parent]
+		}
+	})
+	var out [][]xmltree.NodeID
+	current := make([]xmltree.NodeID, len(order))
+	var assign func(i int) bool
+	assign = func(i int) bool {
+		if i == len(order) {
+			tuple := make([]xmltree.NodeID, len(current))
+			copy(tuple, current)
+			out = append(out, tuple)
+			return limit <= 0 || len(out) < limit
+		}
+		ctx := ev.doc.Root()
+		if parentIdx[i] >= 0 {
+			ctx = current[parentIdx[i]]
+		}
+		for _, e := range ev.EvalPath(ctx, order[i].Path) {
+			current[i] = e
+			if !assign(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	assign(0)
+	return out
+}
+
+func sortNodeIDs(ids []xmltree.NodeID) {
+	// insertion sort is fine: slices are small and mostly sorted.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

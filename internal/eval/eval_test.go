@@ -1,0 +1,383 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+func bibEval() *Evaluator { return New(xmltree.Bibliography()) }
+
+func TestEvalPathSimple(t *testing.T) {
+	ev := bibEval()
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"author", 3},
+		{"author/paper", 4},
+		{"author/paper/keyword", 5},
+		{"author/paper/year", 4},
+		{"author/book", 1},
+		{"author/book/title", 1},
+		{"author/name", 3},
+		{"author/paper/title", 4},
+		{"book", 0},       // books are not children of the root
+		{"author/zzz", 0}, // unknown tag
+	}
+	for _, c := range cases {
+		got := len(ev.EvalPath(ev.Doc().Root(), pathexpr.MustParse(c.path)))
+		if got != c.want {
+			t.Errorf("EvalPath(%q) = %d, want %d", c.path, got, c.want)
+		}
+	}
+}
+
+func TestEvalPathDescendant(t *testing.T) {
+	ev := bibEval()
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"//title", 5},
+		{"//paper", 4},
+		{"//keyword", 5},
+		{"author//title", 5},
+		{"//paper/keyword", 5},
+		{"//book//title", 1},
+	}
+	for _, c := range cases {
+		got := len(ev.EvalPath(ev.Doc().Root(), pathexpr.MustParse(c.path)))
+		if got != c.want {
+			t.Errorf("EvalPath(%q) = %d, want %d", c.path, got, c.want)
+		}
+	}
+}
+
+func TestEvalPathValuePred(t *testing.T) {
+	ev := bibEval()
+	// years: 1999, 2002, 2001, 1998
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"author/paper/year[>2000]", 2},
+		{"author/paper/year[>=2001]", 2},
+		{"author/paper/year[<2000]", 2},
+		{"author/paper/year[=2001]", 1},
+		{"author/paper/year[=1998:1999]", 2},
+		{"author/paper/year[>2002]", 0},
+	}
+	for _, c := range cases {
+		got := len(ev.EvalPath(ev.Doc().Root(), pathexpr.MustParse(c.path)))
+		if got != c.want {
+			t.Errorf("EvalPath(%q) = %d, want %d", c.path, got, c.want)
+		}
+	}
+	// Elements without values never satisfy value predicates.
+	if got := len(ev.EvalPath(ev.Doc().Root(), pathexpr.MustParse("author/name[>0]"))); got != 0 {
+		t.Errorf("valueless elements matched a value predicate: %d", got)
+	}
+}
+
+func TestEvalPathBranchPred(t *testing.T) {
+	ev := bibEval()
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"author[book]", 1},
+		{"author[paper]", 3},
+		{"author[paper][book]", 1},
+		{"author/paper[year>2000]", 2},
+		{"author/paper[year>2000]/keyword", 2}, // p5 has 1 kw, p8 has 1 kw
+		{"author[paper/year>2000]/name", 2},
+		{"author[book]/paper", 1},
+		{"author[zzz]", 0},
+	}
+	for _, c := range cases {
+		got := len(ev.EvalPath(ev.Doc().Root(), pathexpr.MustParse(c.path)))
+		if got != c.want {
+			t.Errorf("EvalPath(%q) = %d, want %d", c.path, got, c.want)
+		}
+	}
+}
+
+func TestSelectivityPaperExample(t *testing.T) {
+	// Example 2.1's query over our Figure-1 fixture. Our fixture follows
+	// Example 3.1's keyword counts (p4 has 2 keywords; p5, p8 one each),
+	// so the query yields: p5 (year 2002) 1 tuple, p8 (year 2001) 1 tuple.
+	ev := bibEval()
+	q := twig.MustParse("for t0 in author, t1 in t0/name, t2 in t0/paper[year>2000], t3 in t2/title, t4 in t2/keyword")
+	if got := ev.Selectivity(q); got != 2 {
+		t.Fatalf("Selectivity = %d, want 2", got)
+	}
+	// Dropping the year predicate: papers have (title x keyword) counts
+	// 1*2, 1*1, 1*1, 1*1 = 5, each joined with the author's single name.
+	q2 := twig.MustParse("for t0 in author, t1 in t0/name, t2 in t0/paper, t3 in t2/title, t4 in t2/keyword")
+	if got := ev.Selectivity(q2); got != 5 {
+		t.Fatalf("Selectivity (no pred) = %d, want 5", got)
+	}
+}
+
+func TestSelectivityMotivating(t *testing.T) {
+	// Figure 4: the twig pairing b and c under the same a yields 2000 on
+	// the first document and 10100 on the second.
+	q := twig.MustParse("for t0 in a, t1 in t0/b, t2 in t0/c")
+	if got := New(xmltree.MotivatingUniform()).Selectivity(q); got != 2000 {
+		t.Fatalf("uniform doc selectivity = %d, want 2000", got)
+	}
+	if got := New(xmltree.MotivatingSkewed()).Selectivity(q); got != 10100 {
+		t.Fatalf("skewed doc selectivity = %d, want 10100", got)
+	}
+}
+
+func TestSelectivitySingleNode(t *testing.T) {
+	ev := bibEval()
+	if got := ev.Selectivity(twig.MustParse("t0 in author")); got != 3 {
+		t.Fatalf("Selectivity = %d, want 3", got)
+	}
+	if got := ev.Selectivity(twig.MustParse("t0 in author/paper/keyword")); got != 5 {
+		t.Fatalf("Selectivity = %d, want 5", got)
+	}
+}
+
+func TestSelectivityZero(t *testing.T) {
+	ev := bibEval()
+	cases := []string{
+		"t0 in magazine",
+		"t0 in author, t1 in t0/magazine",
+		"t0 in author/paper[year>2100]",
+		"t0 in author[book/keyword]",
+	}
+	for _, src := range cases {
+		if got := ev.Selectivity(twig.MustParse(src)); got != 0 {
+			t.Errorf("Selectivity(%q) = %d, want 0", src, got)
+		}
+	}
+}
+
+func TestSelectivityProductSemantics(t *testing.T) {
+	// An author with 2 papers and 1 book produces 2*1 combined tuples when
+	// both are requested.
+	ev := bibEval()
+	q := twig.MustParse("t0 in author, t1 in t0/paper, t2 in t0/book")
+	// Only a3 has a book; a3 has 1 paper. 1 author * 1 paper * 1 book = 1.
+	if got := ev.Selectivity(q); got != 1 {
+		t.Fatalf("Selectivity = %d, want 1", got)
+	}
+	q2 := twig.MustParse("t0 in author, t1 in t0/paper, t2 in t0/name")
+	// a1: 2 papers * 1 name; a2: 1; a3: 1 -> 4.
+	if got := ev.Selectivity(q2); got != 4 {
+		t.Fatalf("Selectivity = %d, want 4", got)
+	}
+}
+
+func TestPathCount(t *testing.T) {
+	ev := bibEval()
+	if got := ev.PathCount(pathexpr.MustParse("//keyword")); got != 5 {
+		t.Fatalf("PathCount = %d, want 5", got)
+	}
+}
+
+func TestBindingTuples(t *testing.T) {
+	ev := bibEval()
+	q := twig.MustParse("t0 in author, t1 in t0/paper, t2 in t1/keyword")
+	tuples := ev.BindingTuples(q, 0)
+	if int64(len(tuples)) != ev.Selectivity(q) {
+		t.Fatalf("materialized %d tuples, selectivity says %d", len(tuples), ev.Selectivity(q))
+	}
+	d := ev.Doc()
+	authorTag, _ := d.LookupTag("author")
+	paperTag, _ := d.LookupTag("paper")
+	kwTag, _ := d.LookupTag("keyword")
+	for _, tp := range tuples {
+		if len(tp) != 3 {
+			t.Fatalf("tuple arity = %d", len(tp))
+		}
+		if d.Node(tp[0]).Tag != authorTag || d.Node(tp[1]).Tag != paperTag || d.Node(tp[2]).Tag != kwTag {
+			t.Fatalf("tuple tags wrong: %v", tp)
+		}
+		if d.Node(tp[1]).Parent != tp[0] || d.Node(tp[2]).Parent != tp[1] {
+			t.Fatalf("tuple structure wrong: %v", tp)
+		}
+	}
+	// Tuples must be distinct.
+	seen := make(map[[3]xmltree.NodeID]bool)
+	for _, tp := range tuples {
+		k := [3]xmltree.NodeID{tp[0], tp[1], tp[2]}
+		if seen[k] {
+			t.Fatalf("duplicate tuple %v", tp)
+		}
+		seen[k] = true
+	}
+}
+
+func TestBindingTuplesLimit(t *testing.T) {
+	ev := bibEval()
+	q := twig.MustParse("t0 in author, t1 in t0/paper")
+	tuples := ev.BindingTuples(q, 2)
+	if len(tuples) != 2 {
+		t.Fatalf("limit ignored: %d tuples", len(tuples))
+	}
+}
+
+func TestDescendantDedup(t *testing.T) {
+	// A document where a nests under a: //a//b could otherwise double
+	// count.
+	d := xmltree.NewDocument("r")
+	a1 := d.AddChild(d.Root(), "a")
+	a2 := d.AddChild(a1, "a")
+	d.AddChild(a2, "b")
+	ev := New(d)
+	got := ev.EvalPath(d.Root(), pathexpr.MustParse("//a//b"))
+	if len(got) != 1 {
+		t.Fatalf("//a//b matched %d elements, want 1 (set semantics)", len(got))
+	}
+	// Selectivity counts binding tuples: (a1,b) and (a2,b) are distinct
+	// tuples for the twig a//b.
+	q := twig.MustParse("t0 in //a, t1 in t0//b")
+	if got := ev.Selectivity(q); got != 2 {
+		t.Fatalf("twig //a -> //b selectivity = %d, want 2", got)
+	}
+}
+
+// buildRandomDoc constructs a random document for the brute-force
+// cross-check property test.
+func buildRandomDoc(rng *rand.Rand, n int) *xmltree.Document {
+	tags := []string{"a", "b", "c"}
+	d := xmltree.NewDocument("r")
+	for d.Len() < n {
+		parent := xmltree.NodeID(rng.Intn(d.Len()))
+		tag := tags[rng.Intn(len(tags))]
+		if rng.Intn(3) == 0 {
+			d.AddValueChild(parent, tag, int64(rng.Intn(10)))
+		} else {
+			d.AddChild(parent, tag)
+		}
+	}
+	return d
+}
+
+// buildRandomTwig constructs a small random twig query over tags a,b,c.
+func buildRandomTwig(rng *rand.Rand) *twig.Query {
+	tags := []string{"a", "b", "c"}
+	randPath := func() *pathexpr.Path {
+		p := &pathexpr.Path{}
+		n := rng.Intn(2) + 1
+		for i := 0; i < n; i++ {
+			s := &pathexpr.Step{Axis: pathexpr.Child, Label: tags[rng.Intn(len(tags))]}
+			if rng.Intn(4) == 0 {
+				s.Axis = pathexpr.Descendant
+			}
+			if rng.Intn(5) == 0 {
+				v := pathexpr.ValuePred{Lo: 0, Hi: int64(rng.Intn(10))}
+				s.Value = &v
+			}
+			p.Steps = append(p.Steps, s)
+		}
+		return p
+	}
+	q := twig.New(randPath())
+	nodes := []*twig.Node{q.Root}
+	extra := rng.Intn(3)
+	for i := 0; i < extra; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		n := q.AddChild(parent, randPath())
+		nodes = append(nodes, n)
+	}
+	return q
+}
+
+func TestSelectivityMatchesMaterialization(t *testing.T) {
+	// Property: the counting DP agrees with brute-force tuple enumeration.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := buildRandomDoc(rng, 40)
+		ev := New(d)
+		q := buildRandomTwig(rng)
+		want := int64(len(ev.BindingTuples(q, 0)))
+		got := ev.Selectivity(q)
+		if got != want {
+			t.Logf("seed %d: query %s: DP=%d brute=%d", seed, q, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalPathResultsSortedAndDistinct(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := buildRandomDoc(rng, 60)
+		ev := New(d)
+		p := pathexpr.MustParse("//a//b")
+		got := ev.EvalPath(d.Root(), p)
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootSelfInterpretation(t *testing.T) {
+	// XPath-style absolute paths: the first step naming the root tag
+	// matches the root element itself.
+	ev := bibEval()
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"t0 in bib/author", 3},
+		{"t0 in bib/author/paper", 4},
+		{"t0 in bib", 1}, // binds the root itself
+		{"t0 in bib, t1 in t0/author", 3},
+		{"t0 in bib/author, t1 in t0/paper, t2 in t1/keyword", 5},
+	}
+	for _, c := range cases {
+		q := twig.MustParse(c.src)
+		if got := ev.Selectivity(q); got != c.want {
+			t.Errorf("Selectivity(%q) = %d, want %d", c.src, got, c.want)
+		}
+		if got := int64(len(ev.BindingTuples(q, 0))); got != c.want {
+			t.Errorf("BindingTuples(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+	// PathCount agrees.
+	if got := ev.PathCount(pathexpr.MustParse("bib/author/paper/keyword")); got != 5 {
+		t.Fatalf("PathCount(bib/...) = %d, want 5", got)
+	}
+	// Root-self with a failing predicate on the root contributes nothing.
+	if got := ev.Selectivity(twig.MustParse("t0 in bib[>5]/author")); got != 0 {
+		t.Fatalf("predicate on valueless root matched: %d", got)
+	}
+}
+
+func TestRootSelfUnionWithChildren(t *testing.T) {
+	// A child sharing the root's tag: both interpretations contribute.
+	d := xmltree.NewDocument("a")
+	a1 := d.AddChild(d.Root(), "a")
+	d.AddChild(a1, "b")
+	d.AddChild(d.Root(), "b")
+	ev := New(d)
+	// "a/b": root-self (b child of root: 1) + root's a-children's b (1).
+	if got := ev.Selectivity(twig.MustParse("t0 in a/b")); got != 2 {
+		t.Fatalf("a/b = %d, want 2", got)
+	}
+	// "a": root-self (1) + a-children of root (1).
+	if got := ev.Selectivity(twig.MustParse("t0 in a")); got != 2 {
+		t.Fatalf("a = %d, want 2", got)
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps the experiment tests fast; the benchmark harness runs
+// larger scales.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 0.02
+	o.WorkloadSize = 30
+	o.BudgetFactors = []float64{1, 2}
+	o.BuildMaxSteps = 25
+	return o
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1(tinyOptions())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ElementCount <= 0 || r.TextMB <= 0 || r.CoarsestKB <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		// The coarsest synopsis is a tiny fraction of the text size.
+		if r.CoarsestKB*1024 > r.TextMB*(1<<20)/10 {
+			t.Fatalf("coarsest synopsis too large: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	FormatTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "xmark") {
+		t.Fatalf("format output: %s", buf.String())
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2(tinyOptions())
+	// XMark P, XMark P+V, IMDB P, IMDB P+V, SProt P.
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgResult <= 0 {
+			t.Fatalf("AvgResult = %v for %+v", r.AvgResult, r)
+		}
+		if r.AvgFanout < 1 || r.AvgFanout > 3.5 {
+			t.Fatalf("AvgFanout = %v for %+v", r.AvgFanout, r)
+		}
+	}
+	var buf bytes.Buffer
+	FormatTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "P+V") {
+		t.Fatalf("format output: %s", buf.String())
+	}
+}
+
+func TestFigure9aShape(t *testing.T) {
+	o := tinyOptions()
+	series := Figure9a(o)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != len(o.BudgetFactors) {
+			t.Fatalf("%s: %d points", s.Dataset, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.SizeKB <= 0 || p.AvgError < 0 {
+				t.Fatalf("%s: bad point %+v", s.Dataset, p)
+			}
+		}
+		// Size grows along the sweep.
+		if s.Points[len(s.Points)-1].SizeKB < s.Points[0].SizeKB {
+			t.Fatalf("%s: sizes not monotone: %+v", s.Dataset, s.Points)
+		}
+		// The refined synopsis is no worse than the coarsest (allowing
+		// small sampling noise).
+		first, last := s.Points[0].AvgError, s.Points[len(s.Points)-1].AvgError
+		if last > first+0.10 {
+			t.Fatalf("%s: error grew along sweep: %.3f -> %.3f", s.Dataset, first, last)
+		}
+	}
+	var buf bytes.Buffer
+	FormatSeries(&buf, "Figure 9(a)", series)
+	if !strings.Contains(buf.String(), "imdb") {
+		t.Fatalf("format output: %s", buf.String())
+	}
+}
+
+func TestFigure9cShape(t *testing.T) {
+	o := tinyOptions()
+	series := Figure9c(o)
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != len(o.BudgetFactors) {
+			t.Fatalf("%s: %d points", s.Dataset, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Ratio < 0 {
+				t.Fatalf("%s: negative ratio %+v", s.Dataset, p)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	FormatRatios(&buf, series)
+	if !strings.Contains(buf.String(), "ratio") {
+		t.Fatalf("format output: %s", buf.String())
+	}
+}
+
+func TestNegativeWorkloadNearZero(t *testing.T) {
+	o := tinyOptions()
+	rows := NegativeWorkload(o)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		// "Close to zero estimates": average estimate below the sanity
+		// bound scale (which is 1 for all-zero truths -> error == avg est).
+		if r.AvgError > 0.75 {
+			t.Fatalf("%s: negative-workload error %.2f too high", r.Dataset, r.AvgError)
+		}
+	}
+	var buf bytes.Buffer
+	FormatNegative(&buf, rows)
+	if !strings.Contains(buf.String(), "avg estimate") {
+		t.Fatal("format output missing header")
+	}
+}
+
+func TestDatasetsFilter(t *testing.T) {
+	o := tinyOptions()
+	o.Datasets = []string{"imdb"}
+	rows := Table1(o)
+	if len(rows) != 1 || rows[0].Dataset != "imdb" {
+		t.Fatalf("filtered rows = %+v", rows)
+	}
+}
+
+func TestAblationBucketBudget(t *testing.T) {
+	o := tinyOptions()
+	rows := AblationBucketBudget(o)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Size grows with buckets; error does not get dramatically worse.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SizeKB < rows[i-1].SizeKB {
+			t.Fatalf("size not monotone: %+v", rows)
+		}
+	}
+	if rows[len(rows)-1].Error > rows[0].Error+0.10 {
+		t.Fatalf("more buckets increased error: %+v", rows)
+	}
+	var buf bytes.Buffer
+	FormatAblation(&buf, "bucket budget", rows)
+	if !strings.Contains(buf.String(), "buckets-16") {
+		t.Fatal("format output missing variant")
+	}
+}
+
+func TestFormatSinglePath(t *testing.T) {
+	var buf bytes.Buffer
+	FormatSinglePath(&buf, []SinglePathRow{{Dataset: "imdb", SizeKB: 3, TwigErr: 0.1, StructuralErr: 0.08}})
+	if !strings.Contains(buf.String(), "imdb") {
+		t.Fatal("format output missing row")
+	}
+}

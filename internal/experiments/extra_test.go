@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xsketch/internal/xmlgen"
+)
+
+func TestSinglePathComparison(t *testing.T) {
+	o := tinyOptions()
+	rows := SinglePathComparison(o)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TwigErr < 0 || r.StructuralErr < 0 {
+			t.Fatalf("negative error: %+v", r)
+		}
+		if r.SizeKB <= 0 {
+			t.Fatalf("zero size: %+v", r)
+		}
+	}
+}
+
+func TestAblationRefinementPolicy(t *testing.T) {
+	o := tinyOptions()
+	rows := AblationRefinementPolicy(o)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Variant] = true
+		if r.Error < 0 {
+			t.Fatalf("negative error: %+v", r)
+		}
+	}
+	if !names["marginal-gains"] || !names["random"] {
+		t.Fatalf("variants = %v", names)
+	}
+}
+
+func TestAblationBackwardCounts(t *testing.T) {
+	o := tinyOptions()
+	rows := AblationBackwardCounts(o)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Variant != "forward-only" || rows[1].Variant != "with-backward" {
+		t.Fatalf("variants = %+v", rows)
+	}
+}
+
+func TestAblationValueExpand(t *testing.T) {
+	o := tinyOptions()
+	rows := AblationValueExpand(o)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The joint variant must improve substantially over the bucket-matched
+	// control on the motivating query family.
+	var control, joint float64
+	for _, r := range rows {
+		switch r.Variant {
+		case "independent+64-buckets":
+			control = r.Error
+		case "joint-type+64-buckets":
+			joint = r.Error
+		}
+	}
+	if joint >= control {
+		t.Fatalf("value dimension did not help: joint %.3f vs control %.3f", joint, control)
+	}
+}
+
+func TestAblationValueSummary(t *testing.T) {
+	o := tinyOptions()
+	rows := AblationValueSummary(o)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Error < 0 || r.SizeKB <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	// Both methods must produce sane errors at comparable sizes; their
+	// relative accuracy fluctuates at this tiny scale (the paper-scale run
+	// shows them within a point of each other).
+	for i := 0; i+1 < len(rows); i += 2 {
+		for _, r := range rows[i : i+2] {
+			if r.Error > 2 {
+				t.Fatalf("value summary error implausible: %+v", r)
+			}
+		}
+		ratio := rows[i].SizeKB / rows[i+1].SizeKB
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Fatalf("sizes not comparable: %+v vs %+v", rows[i], rows[i+1])
+		}
+	}
+}
+
+func TestMotivatingWorkload(t *testing.T) {
+	doc := xmlgen.IMDB(xmlgen.Config{Seed: 1, Scale: 0.02})
+	w := motivatingWorkload(doc)
+	if len(w.Queries) == 0 {
+		t.Fatal("no motivating queries")
+	}
+	for _, q := range w.Queries {
+		if q.Truth <= 0 {
+			t.Fatalf("non-positive truth: %s", q.Twig)
+		}
+	}
+}
+
+func TestFigure9b(t *testing.T) {
+	o := tinyOptions()
+	series := Figure9b(o)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	var buf bytes.Buffer
+	FormatSeries(&buf, "Figure 9(b)", series)
+	if !strings.Contains(buf.String(), "xmark") {
+		t.Fatal("format output missing dataset")
+	}
+}
+
+func TestPaperOptions(t *testing.T) {
+	o := PaperOptions()
+	if o.Scale != 1 || o.WorkloadSize != 1000 {
+		t.Fatalf("PaperOptions = %+v", o)
+	}
+}
+
+func TestAblationReferenceScoring(t *testing.T) {
+	o := tinyOptions()
+	rows := AblationReferenceScoring(o)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Variant != "exact-scored" || rows[1].Variant != "reference-scored" {
+		t.Fatalf("variants = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Error < 0 || r.SizeKB <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestThreeWay(t *testing.T) {
+	o := tinyOptions()
+	rows := ThreeWay(o)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SizeKB <= 0 || r.ErrX < 0 || r.ErrCST < 0 || r.ErrStatiX < 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		// The headline claim holds even at tiny scale: XSKETCH is at least
+		// as accurate as both baselines on skewed data (allow slack on the
+		// regular datasets).
+		if r.Dataset == "imdb" && (r.ErrX > r.ErrCST || r.ErrX > r.ErrStatiX+0.05) {
+			t.Fatalf("XSKETCH not leading on imdb: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	FormatThreeWay(&buf, rows)
+	if !strings.Contains(buf.String(), "StatiX") {
+		t.Fatal("format output missing StatiX")
+	}
+}

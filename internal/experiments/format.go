@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// This file renders experiment results as the text tables the paper
+// reports, for cmd/xbench and the benchmark harness.
+
+// FormatTable1 writes Table 1 ("Data Sets").
+func FormatTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 1. Data Sets")
+	fmt.Fprintln(tw, "dataset\telements\ttext (MB)\tcoarsest synopsis (KB)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\n", r.Dataset, r.ElementCount, r.TextMB, r.CoarsestKB)
+	}
+	tw.Flush()
+}
+
+// FormatTable2 writes Table 2 ("Workload Characteristics").
+func FormatTable2(w io.Writer, rows []Table2Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 2. Workload Characteristics")
+	fmt.Fprintln(tw, "dataset\tworkload\tavg result\tavg fanout")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.2f\n", r.Dataset, r.Workload, r.AvgResult, r.AvgFanout)
+	}
+	tw.Flush()
+}
+
+// FormatSeries writes an error-vs-size figure as one block per dataset.
+func FormatSeries(w io.Writer, title string, series []Series) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, title)
+	for _, s := range series {
+		fmt.Fprintf(tw, "%s:\tsize (KB)\tavg error\n", s.Dataset)
+		for _, p := range s.Points {
+			fmt.Fprintf(tw, "\t%.2f\t%.1f%%\n", p.SizeKB, p.AvgError*100)
+		}
+	}
+	tw.Flush()
+}
+
+// FormatRatios writes the Figure 9(c) comparison.
+func FormatRatios(w io.Writer, series []RatioSeries) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 9(c). Simple Paths: CSTs vs. XSKETCHes")
+	for _, s := range series {
+		fmt.Fprintf(tw, "%s:\tsize (KB)\terr CST\terr XSKETCH\tratio\n", s.Dataset)
+		for _, p := range s.Points {
+			fmt.Fprintf(tw, "\t%.2f\t%.1f%%\t%.1f%%\t%.2f\n",
+				p.SizeKB, p.ErrCST*100, p.ErrX*100, p.Ratio)
+		}
+	}
+	tw.Flush()
+}
+
+// FormatNegative writes the negative-workload experiment.
+func FormatNegative(w io.Writer, rows []NegativeRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Negative workloads (true selectivity 0)")
+	fmt.Fprintln(tw, "dataset\tqueries\tavg estimate\tavg error")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.1f%%\n", r.Dataset, r.Queries, r.AvgEstimate, r.AvgError*100)
+	}
+	tw.Flush()
+}
+
+// FormatSinglePath writes the Twig vs Structural XSKETCH comparison.
+func FormatSinglePath(w io.Writer, rows []SinglePathRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Single XPath expressions: Twig vs Structural XSKETCH")
+	fmt.Fprintln(tw, "dataset\tsize (KB)\ttwig-built err\tpath-built err")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f%%\t%.1f%%\n", r.Dataset, r.SizeKB, r.TwigErr*100, r.StructuralErr*100)
+	}
+	tw.Flush()
+}
+
+// FormatAblation writes an ablation table.
+func FormatAblation(w io.Writer, title string, rows []AblationRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, title)
+	fmt.Fprintln(tw, "dataset\tvariant\tsize (KB)\tavg error")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.1f%%\n", r.Dataset, r.Variant, r.SizeKB, r.Error*100)
+	}
+	tw.Flush()
+}
+
+// FormatThreeWay writes the three-technique extension comparison.
+func FormatThreeWay(w io.Writer, rows []ThreeWayRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Extension: XSKETCH vs CST vs StatiX-lite (simple paths, matched budgets)")
+	fmt.Fprintln(tw, "dataset\tsize (KB)\terr XSKETCH\terr CST\terr StatiX")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f%%\t%.1f%%\t%.1f%%\n",
+			r.Dataset, r.SizeKB, r.ErrX*100, r.ErrCST*100, r.ErrStatiX*100)
+	}
+	tw.Flush()
+}

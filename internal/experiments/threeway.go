@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"xsketch/internal/build"
+	"xsketch/internal/cst"
+	"xsketch/internal/statix"
+	"xsketch/internal/workload"
+	"xsketch/internal/xmlgen"
+	"xsketch/internal/xsketch"
+)
+
+// ThreeWayRow compares the three summarization techniques at one matched
+// budget.
+type ThreeWayRow struct {
+	Dataset   string
+	SizeKB    float64
+	ErrX      float64 // Twig XSKETCH
+	ErrCST    float64 // Correlated Suffix Tree (Chen et al.)
+	ErrStatiX float64 // StatiX-lite (Freire et al.)
+}
+
+// ThreeWay extends the paper's Figure 9(c) with the second related-work
+// baseline it discusses but does not measure: StatiX. All three techniques
+// are scored on the simple-path twig workload at a matched byte budget
+// (the XSKETCH's built size; the CST is pruned and the StatiX summary
+// coarsened to it).
+func ThreeWay(o Options) []ThreeWayRow {
+	var rows []ThreeWayRow
+	for _, ds := range o.datasets(xmlgen.Names()...) {
+		wcfg := workload.DefaultConfig(workload.KindSimple)
+		wcfg.NumQueries = o.WorkloadSize / 2
+		if wcfg.NumQueries < 10 {
+			wcfg.NumQueries = 10
+		}
+		wcfg.Seed = o.Seed + 7
+		w := workload.Generate(ds.doc, wcfg)
+
+		cfg := xsketch.DefaultConfig()
+		cfg.InitialValueBuckets = 0 // value-free comparison, as in Figure 9(c)
+		coarseSize := xsketch.New(ds.doc, cfg).SizeBytes()
+		opts := build.DefaultOptions(4 * coarseSize)
+		opts.Sketch = cfg
+		opts.Seed = o.Seed
+		opts.MaxSteps = o.BuildMaxSteps
+		b := build.NewBuilder(ds.doc, opts)
+		b.RunTo(4 * coarseSize)
+		sk := b.Sketch()
+		budget := sk.SizeBytes()
+
+		c := cst.Build(ds.doc, cst.DefaultConfig())
+		if c.SizeBytes() > budget {
+			c.Prune(budget)
+		}
+		sx := statix.Build(ds.doc, statix.Config{BucketsPerEdge: 64, BucketBytes: 8, NodeBytes: 6})
+		if sx.SizeBytes() > budget {
+			sx.Coarsen(budget)
+		}
+
+		var xres, cres, sres []result
+		for _, q := range w.Queries {
+			xres = append(xres, result{q.Truth, sk.EstimateQuery(q.Twig)})
+			cres = append(cres, result{q.Truth, c.EstimateQuery(q.Twig)})
+			sres = append(sres, result{q.Truth, sx.EstimateQuery(q.Twig)})
+		}
+		rows = append(rows, ThreeWayRow{
+			Dataset:   ds.name,
+			SizeKB:    float64(budget) / 1024,
+			ErrX:      scoreResults(xres, 0),
+			ErrCST:    scoreResults(cres, o.OutlierCap),
+			ErrStatiX: scoreResults(sres, o.OutlierCap),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,375 @@
+// Package graphsyn implements the generic graph-synopsis model underlying
+// XSKETCHes (paper Section 3.1): a partition of document elements into
+// synopsis nodes of equal tag, with edges between nodes whose extents are
+// linked by document edges, annotated with backward/forward stability.
+//
+// An edge u -> v is Backward-stable when every element of extent(v) has its
+// parent in extent(u), and Forward-stable when every element of extent(u)
+// has at least one child in extent(v).
+//
+// The synopsis keeps the full element-to-node assignment so construction
+// refinements (node splits) and distribution computations can consult
+// extents; the *stored* summary that the size model charges for consists
+// only of node tags, extent counts and per-edge stability bits, as in the
+// paper.
+package graphsyn
+
+import (
+	"fmt"
+	"sort"
+
+	"xsketch/internal/xmltree"
+)
+
+// NodeID identifies a synopsis node.
+type NodeID int32
+
+// Edge connects two synopsis nodes and carries the stability flags plus the
+// build-time statistics used to derive them.
+type Edge struct {
+	From, To NodeID
+	// ChildCount is the number of elements of To whose parent lies in From.
+	// (On tree data every element has one parent, so this equals the number
+	// of document edges represented by this synopsis edge.)
+	ChildCount int
+	// ParentCount is the number of elements of From with at least one child
+	// in To.
+	ParentCount int
+	// BStable: every element of To has its parent in From.
+	BStable bool
+	// FStable: every element of From has at least one child in To.
+	FStable bool
+}
+
+// Node is one synopsis node: a set of same-tag elements.
+type Node struct {
+	ID  NodeID
+	Tag xmltree.TagID
+	// Extent lists the member elements in ascending order. Extents are
+	// treated as immutable: splits build new slices, so clones may share
+	// them.
+	Extent []xmltree.NodeID
+	// Children and Parents list neighbor node IDs in ascending order.
+	Children []NodeID
+	Parents  []NodeID
+}
+
+// Count returns the extent size |u|.
+func (n *Node) Count() int { return len(n.Extent) }
+
+// Synopsis is a graph synopsis over a document.
+type Synopsis struct {
+	Doc   *xmltree.Document
+	nodes []*Node
+	// assign maps each element to its synopsis node.
+	assign []NodeID
+	edges  map[[2]NodeID]*Edge
+}
+
+// LabelSplit builds the coarsest synopsis: one node per distinct tag (the
+// paper's label split graph S0(G)).
+func LabelSplit(d *xmltree.Document) *Synopsis {
+	s := &Synopsis{
+		Doc:    d,
+		assign: make([]NodeID, d.Len()),
+		edges:  map[[2]NodeID]*Edge{},
+	}
+	byTag := make(map[xmltree.TagID]NodeID)
+	for i := 0; i < d.Len(); i++ {
+		tag := d.Node(xmltree.NodeID(i)).Tag
+		id, ok := byTag[tag]
+		if !ok {
+			id = NodeID(len(s.nodes))
+			s.nodes = append(s.nodes, &Node{ID: id, Tag: tag})
+			byTag[tag] = id
+		}
+		s.assign[i] = id
+		n := s.nodes[id]
+		n.Extent = append(n.Extent, xmltree.NodeID(i))
+	}
+	s.RecomputeEdges()
+	return s
+}
+
+// FromAssignment reconstructs a synopsis from an element-to-node
+// assignment (the inverse of the Split history), used when loading a
+// persisted synopsis. Node IDs are taken from the assignment; they must
+// form a contiguous range starting at 0 and every node must hold elements
+// of a single tag.
+func FromAssignment(d *xmltree.Document, assign []NodeID) (*Synopsis, error) {
+	if len(assign) != d.Len() {
+		return nil, fmt.Errorf("graphsyn: assignment covers %d of %d elements", len(assign), d.Len())
+	}
+	maxID := NodeID(-1)
+	for _, id := range assign {
+		if id < 0 {
+			return nil, fmt.Errorf("graphsyn: negative node id %d", id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	s := &Synopsis{
+		Doc:    d,
+		nodes:  make([]*Node, maxID+1),
+		assign: append([]NodeID(nil), assign...),
+		edges:  map[[2]NodeID]*Edge{},
+	}
+	for i, id := range assign {
+		n := s.nodes[id]
+		e := xmltree.NodeID(i)
+		if n == nil {
+			n = &Node{ID: id, Tag: d.Node(e).Tag}
+			s.nodes[id] = n
+		} else if n.Tag != d.Node(e).Tag {
+			return nil, fmt.Errorf("graphsyn: node %d mixes tags %d and %d", id, n.Tag, d.Node(e).Tag)
+		}
+		n.Extent = append(n.Extent, e)
+	}
+	for id, n := range s.nodes {
+		if n == nil {
+			return nil, fmt.Errorf("graphsyn: node id %d unused (non-contiguous assignment)", id)
+		}
+	}
+	s.RecomputeEdges()
+	return s, nil
+}
+
+// Assignment returns a copy of the element-to-node assignment.
+func (s *Synopsis) Assignment() []NodeID {
+	return append([]NodeID(nil), s.assign...)
+}
+
+// Nodes returns the synopsis nodes in ID order. The slice must not be
+// modified.
+func (s *Synopsis) Nodes() []*Node { return s.nodes }
+
+// NumNodes returns the number of synopsis nodes.
+func (s *Synopsis) NumNodes() int { return len(s.nodes) }
+
+// Node returns the node with the given ID.
+func (s *Synopsis) Node(id NodeID) *Node { return s.nodes[id] }
+
+// NodeOf returns the synopsis node containing element e.
+func (s *Synopsis) NodeOf(e xmltree.NodeID) NodeID { return s.assign[e] }
+
+// Edge returns the edge from u to v, or nil when absent.
+func (s *Synopsis) Edge(u, v NodeID) *Edge { return s.edges[[2]NodeID{u, v}] }
+
+// Edges returns all edges in deterministic (From, To) order.
+func (s *Synopsis) Edges() []*Edge {
+	out := make([]*Edge, 0, len(s.edges))
+	for _, e := range s.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// NumEdges returns the number of synopsis edges.
+func (s *Synopsis) NumEdges() int { return len(s.edges) }
+
+// NodesByTag returns the IDs of all nodes carrying tag, ascending.
+func (s *Synopsis) NodesByTag(tag xmltree.TagID) []NodeID {
+	var out []NodeID
+	for _, n := range s.nodes {
+		if n.Tag == tag {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// RecomputeEdges rebuilds the edge set, adjacency lists, counts and
+// stability flags from the current assignment. It runs in O(|document| +
+// |edges|) and is called after any repartitioning.
+func (s *Synopsis) RecomputeEdges() {
+	d := s.Doc
+	s.edges = make(map[[2]NodeID]*Edge, len(s.edges))
+	// Child counts: one pass over document edges.
+	for i := 0; i < d.Len(); i++ {
+		p := d.Node(xmltree.NodeID(i)).Parent
+		if p == xmltree.NilNode {
+			continue
+		}
+		key := [2]NodeID{s.assign[p], s.assign[i]}
+		e := s.edges[key]
+		if e == nil {
+			e = &Edge{From: key[0], To: key[1]}
+			s.edges[key] = e
+		}
+		e.ChildCount++
+	}
+	// Parent counts: for each element, the set of distinct child nodes.
+	var childNodes []NodeID
+	for i := 0; i < d.Len(); i++ {
+		n := d.Node(xmltree.NodeID(i))
+		if len(n.Children) == 0 {
+			continue
+		}
+		childNodes = childNodes[:0]
+		for _, c := range n.Children {
+			childNodes = append(childNodes, s.assign[c])
+		}
+		sortNodeIDs(childNodes)
+		prev := NodeID(-1)
+		for _, v := range childNodes {
+			if v == prev {
+				continue
+			}
+			prev = v
+			s.edges[[2]NodeID{s.assign[i], v}].ParentCount++
+		}
+	}
+	// Stability flags and adjacency lists.
+	for _, n := range s.nodes {
+		n.Children = n.Children[:0]
+		n.Parents = n.Parents[:0]
+	}
+	for _, e := range s.edges {
+		e.BStable = e.ChildCount == s.nodes[e.To].Count()
+		e.FStable = e.ParentCount == s.nodes[e.From].Count()
+		s.nodes[e.From].Children = append(s.nodes[e.From].Children, e.To)
+		s.nodes[e.To].Parents = append(s.nodes[e.To].Parents, e.From)
+	}
+	for _, n := range s.nodes {
+		sortNodeIDs(n.Children)
+		sortNodeIDs(n.Parents)
+	}
+}
+
+// Split partitions node v into two nodes: elements satisfying pred stay in
+// v (with a fresh extent), the rest move to a new node whose ID is
+// returned. It returns (newID, true) on success, or (0, false) when the
+// predicate does not actually split the extent (all or none satisfy it), in
+// which case the synopsis is unchanged. Edges are recomputed.
+func (s *Synopsis) Split(v NodeID, pred func(e xmltree.NodeID) bool) (NodeID, bool) {
+	old := s.nodes[v]
+	var keep, move []xmltree.NodeID
+	for _, e := range old.Extent {
+		if pred(e) {
+			keep = append(keep, e)
+		} else {
+			move = append(move, e)
+		}
+	}
+	if len(keep) == 0 || len(move) == 0 {
+		return 0, false
+	}
+	newID := NodeID(len(s.nodes))
+	s.nodes = append(s.nodes, &Node{ID: newID, Tag: old.Tag, Extent: move})
+	old.Extent = keep
+	for _, e := range move {
+		s.assign[e] = newID
+	}
+	s.RecomputeEdges()
+	return newID, true
+}
+
+// BStabilize splits node v so that the edge u -> v becomes backward-stable:
+// elements of v whose parent lies in u remain in v, the rest move to a new
+// node. Returns the new node's ID and whether a split occurred.
+func (s *Synopsis) BStabilize(u, v NodeID) (NodeID, bool) {
+	d := s.Doc
+	return s.Split(v, func(e xmltree.NodeID) bool {
+		p := d.Node(e).Parent
+		return p != xmltree.NilNode && s.assign[p] == u
+	})
+}
+
+// FStabilize splits node u so that the edge u -> v becomes forward-stable:
+// elements of u with at least one child in v remain in u, the rest move to
+// a new node. Returns the new node's ID and whether a split occurred.
+func (s *Synopsis) FStabilize(u, v NodeID) (NodeID, bool) {
+	d := s.Doc
+	return s.Split(u, func(e xmltree.NodeID) bool {
+		for _, c := range d.Node(e).Children {
+			if s.assign[c] == v {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Clone returns a deep copy sharing the document and extent backing arrays
+// (extents are immutable by convention).
+func (s *Synopsis) Clone() *Synopsis {
+	c := &Synopsis{
+		Doc:    s.Doc,
+		nodes:  make([]*Node, len(s.nodes)),
+		assign: make([]NodeID, len(s.assign)),
+		edges:  make(map[[2]NodeID]*Edge, len(s.edges)),
+	}
+	copy(c.assign, s.assign)
+	for i, n := range s.nodes {
+		cn := *n
+		cn.Children = append([]NodeID(nil), n.Children...)
+		cn.Parents = append([]NodeID(nil), n.Parents...)
+		c.nodes[i] = &cn
+	}
+	for k, e := range s.edges {
+		ce := *e
+		c.edges[k] = &ce
+	}
+	return c
+}
+
+// Validate checks the synopsis invariants: the extents partition the
+// document, tags are uniform within nodes, the assignment is consistent
+// with extents, and edge counts/stabilities match a recomputation.
+func (s *Synopsis) Validate() error {
+	seen := make([]bool, s.Doc.Len())
+	total := 0
+	for _, n := range s.nodes {
+		if n.Count() == 0 {
+			return fmt.Errorf("graphsyn: node %d has empty extent", n.ID)
+		}
+		for _, e := range n.Extent {
+			if seen[e] {
+				return fmt.Errorf("graphsyn: element %d in two extents", e)
+			}
+			seen[e] = true
+			total++
+			if s.Doc.Node(e).Tag != n.Tag {
+				return fmt.Errorf("graphsyn: node %d mixes tags", n.ID)
+			}
+			if s.assign[e] != n.ID {
+				return fmt.Errorf("graphsyn: element %d assigned to %d but in extent of %d", e, s.assign[e], n.ID)
+			}
+		}
+	}
+	if total != s.Doc.Len() {
+		return fmt.Errorf("graphsyn: extents cover %d of %d elements", total, s.Doc.Len())
+	}
+	// Cross-check edges by recomputing on a clone.
+	c := s.Clone()
+	c.RecomputeEdges()
+	if len(c.edges) != len(s.edges) {
+		return fmt.Errorf("graphsyn: edge set stale: %d vs recomputed %d", len(s.edges), len(c.edges))
+	}
+	for k, e := range s.edges {
+		ce := c.edges[k]
+		if ce == nil {
+			return fmt.Errorf("graphsyn: stale edge %v", k)
+		}
+		if *ce != *e {
+			return fmt.Errorf("graphsyn: edge %v stale: %+v vs recomputed %+v", k, e, ce)
+		}
+	}
+	return nil
+}
+
+// String renders a compact description for diagnostics.
+func (s *Synopsis) String() string {
+	return fmt.Sprintf("synopsis{%d nodes, %d edges over %d elements}", len(s.nodes), len(s.edges), s.Doc.Len())
+}
+
+func sortNodeIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,427 @@
+package graphsyn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"xsketch/internal/xmltree"
+)
+
+// bibSynopsis returns the label-split synopsis of the Figure-1 document,
+// which is exactly the paper's Figure 3(a)/(b).
+func bibSynopsis(t *testing.T) (*xmltree.Document, *Synopsis) {
+	t.Helper()
+	d := xmltree.Bibliography()
+	s := LabelSplit(d)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return d, s
+}
+
+func nodeByTag(t *testing.T, d *xmltree.Document, s *Synopsis, tag string) *Node {
+	t.Helper()
+	id, ok := d.LookupTag(tag)
+	if !ok {
+		t.Fatalf("unknown tag %q", tag)
+	}
+	ids := s.NodesByTag(id)
+	if len(ids) != 1 {
+		t.Fatalf("tag %q maps to %d nodes", tag, len(ids))
+	}
+	return s.Node(ids[0])
+}
+
+func TestLabelSplitCounts(t *testing.T) {
+	d, s := bibSynopsis(t)
+	if s.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d, want 8", s.NumNodes())
+	}
+	want := map[string]int{"bib": 1, "author": 3, "name": 3, "paper": 4, "book": 1, "title": 5, "year": 4, "keyword": 5}
+	for tag, count := range want {
+		n := nodeByTag(t, d, s, tag)
+		if n.Count() != count {
+			t.Errorf("|%s| = %d, want %d", tag, n.Count(), count)
+		}
+	}
+}
+
+func TestFigure3Stabilities(t *testing.T) {
+	d, s := bibSynopsis(t)
+	A := nodeByTag(t, d, s, "author")
+	P := nodeByTag(t, d, s, "paper")
+	B := nodeByTag(t, d, s, "book")
+	N := nodeByTag(t, d, s, "name")
+	T := nodeByTag(t, d, s, "title")
+	Y := nodeByTag(t, d, s, "year")
+	K := nodeByTag(t, d, s, "keyword")
+
+	// The paper: edge A -> P is both backward and forward stable (all
+	// papers have an author parent, all authors have a paper child).
+	ap := s.Edge(A.ID, P.ID)
+	if ap == nil || !ap.BStable || !ap.FStable {
+		t.Fatalf("A->P = %+v, want B+F stable", ap)
+	}
+	// A -> N: every author has a name and every name an author parent.
+	an := s.Edge(A.ID, N.ID)
+	if an == nil || !an.BStable || !an.FStable {
+		t.Fatalf("A->N = %+v", an)
+	}
+	// A -> B: only one author has a book: B-stable but not F-stable.
+	ab := s.Edge(A.ID, B.ID)
+	if ab == nil || !ab.BStable || ab.FStable {
+		t.Fatalf("A->B = %+v, want B-stable only", ab)
+	}
+	// P -> T: every paper has a title; T also has book parents, so the
+	// edge is F-stable but NOT B-stable.
+	pt := s.Edge(P.ID, T.ID)
+	if pt == nil || pt.BStable || !pt.FStable {
+		t.Fatalf("P->T = %+v, want F-stable only", pt)
+	}
+	// B -> T: F-stable (every book has a title), not B-stable.
+	bt := s.Edge(B.ID, T.ID)
+	if bt == nil || bt.BStable || !bt.FStable {
+		t.Fatalf("B->T = %+v, want F-stable only", bt)
+	}
+	// P -> Y and P -> K: B+F stable.
+	for _, to := range []*Node{Y, K} {
+		e := s.Edge(P.ID, to.ID)
+		if e == nil || !e.BStable || !e.FStable {
+			t.Fatalf("P->%s = %+v, want B+F stable", d.Tag(to.Tag), e)
+		}
+	}
+	// No edge between unrelated nodes.
+	if s.Edge(N.ID, K.ID) != nil {
+		t.Fatal("spurious edge N->K")
+	}
+}
+
+func TestEdgeCounts(t *testing.T) {
+	d, s := bibSynopsis(t)
+	A := nodeByTag(t, d, s, "author")
+	P := nodeByTag(t, d, s, "paper")
+	T := nodeByTag(t, d, s, "title")
+	ap := s.Edge(A.ID, P.ID)
+	if ap.ChildCount != 4 || ap.ParentCount != 3 {
+		t.Fatalf("A->P counts = %+v", ap)
+	}
+	pt := s.Edge(P.ID, T.ID)
+	if pt.ChildCount != 4 || pt.ParentCount != 4 {
+		t.Fatalf("P->T counts = %+v", pt)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	_, s := bibSynopsis(t)
+	for _, n := range s.Nodes() {
+		for i := 1; i < len(n.Children); i++ {
+			if n.Children[i] <= n.Children[i-1] {
+				t.Fatalf("node %d children unsorted: %v", n.ID, n.Children)
+			}
+		}
+		for i := 1; i < len(n.Parents); i++ {
+			if n.Parents[i] <= n.Parents[i-1] {
+				t.Fatalf("node %d parents unsorted: %v", n.ID, n.Parents)
+			}
+		}
+	}
+}
+
+func TestBStabilizeSplit(t *testing.T) {
+	d, s := bibSynopsis(t)
+	P := nodeByTag(t, d, s, "paper")
+	T := nodeByTag(t, d, s, "title")
+	// P -> T is not B-stable (book titles). B-stabilizing splits T into
+	// paper-titles (4) and the book title (1).
+	newID, ok := s.BStabilize(P.ID, T.ID)
+	if !ok {
+		t.Fatal("BStabilize did not split")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate after split: %v", err)
+	}
+	if T.Count() != 4 || s.Node(newID).Count() != 1 {
+		t.Fatalf("split sizes = %d, %d", T.Count(), s.Node(newID).Count())
+	}
+	e := s.Edge(P.ID, T.ID)
+	if e == nil || !e.BStable {
+		t.Fatalf("P->T after split = %+v, want B-stable", e)
+	}
+	B := nodeByTag(t, d, s, "book")
+	e2 := s.Edge(B.ID, newID)
+	if e2 == nil || !e2.BStable || !e2.FStable {
+		t.Fatalf("B->T' after split = %+v, want B+F stable", e2)
+	}
+	if s.Edge(B.ID, T.ID) != nil {
+		t.Fatal("stale edge B->T survived the split")
+	}
+}
+
+func TestFStabilizeSplit(t *testing.T) {
+	d, s := bibSynopsis(t)
+	A := nodeByTag(t, d, s, "author")
+	B := nodeByTag(t, d, s, "book")
+	// A -> B is not F-stable (only one author has a book). F-stabilizing
+	// splits A into book-authors (1) and the rest (2).
+	newID, ok := s.FStabilize(A.ID, B.ID)
+	if !ok {
+		t.Fatal("FStabilize did not split")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate after split: %v", err)
+	}
+	if A.Count() != 1 || s.Node(newID).Count() != 2 {
+		t.Fatalf("split sizes = %d, %d", A.Count(), s.Node(newID).Count())
+	}
+	e := s.Edge(A.ID, B.ID)
+	if e == nil || !e.FStable {
+		t.Fatalf("A->B after split = %+v, want F-stable", e)
+	}
+	if s.Edge(newID, B.ID) != nil {
+		t.Fatal("new author node still has a book edge")
+	}
+}
+
+func TestSplitNoop(t *testing.T) {
+	d, s := bibSynopsis(t)
+	A := nodeByTag(t, d, s, "author")
+	P := nodeByTag(t, d, s, "paper")
+	// A -> P is already B-stable: splitting is a no-op.
+	if _, ok := s.BStabilize(A.ID, P.ID); ok {
+		t.Fatal("BStabilize split a stable edge")
+	}
+	if _, ok := s.FStabilize(A.ID, P.ID); ok {
+		t.Fatal("FStabilize split a stable edge")
+	}
+	before := s.NumNodes()
+	if _, ok := s.Split(A.ID, func(xmltree.NodeID) bool { return true }); ok {
+		t.Fatal("degenerate split succeeded")
+	}
+	if s.NumNodes() != before {
+		t.Fatal("node count changed on no-op split")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d, s := bibSynopsis(t)
+	c := s.Clone()
+	P := nodeByTag(t, d, s, "paper")
+	T := nodeByTag(t, d, s, "title")
+	if _, ok := c.BStabilize(P.ID, T.ID); !ok {
+		t.Fatal("clone split failed")
+	}
+	// Original unchanged.
+	if s.NumNodes() != 8 {
+		t.Fatalf("original NumNodes = %d after clone split", s.NumNodes())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("original Validate: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone Validate: %v", err)
+	}
+	if e := s.Edge(P.ID, T.ID); e.BStable {
+		t.Fatal("original edge mutated by clone split")
+	}
+}
+
+func TestTSNBibliography(t *testing.T) {
+	d, s := bibSynopsis(t)
+	P := nodeByTag(t, d, s, "paper")
+	A := nodeByTag(t, d, s, "author")
+	R := nodeByTag(t, d, s, "bib")
+	N := nodeByTag(t, d, s, "name")
+	Y := nodeByTag(t, d, s, "year")
+	K := nodeByTag(t, d, s, "keyword")
+	B := nodeByTag(t, d, s, "book")
+	T := nodeByTag(t, d, s, "title")
+
+	anc, fstable := s.TSN(P.ID)
+	// B-stable chain from P: P -> A -> bib (A->P B-stable, bib->A B-stable).
+	wantChain := []NodeID{P.ID, A.ID, R.ID}
+	if !reflect.DeepEqual(anc, wantChain) {
+		t.Fatalf("anc = %v, want %v", anc, wantChain)
+	}
+	// F-stable length-1 from A: P and N (not B: not all authors have books).
+	fsA := fstable[A.ID]
+	if !containsID(fsA, P.ID) || !containsID(fsA, N.ID) || containsID(fsA, B.ID) {
+		t.Fatalf("fstable[A] = %v", fsA)
+	}
+	// F-stable from P: T, Y, K.
+	fsP := fstable[P.ID]
+	for _, want := range []NodeID{T.ID, Y.ID, K.ID} {
+		if !containsID(fsP, want) {
+			t.Fatalf("fstable[P] = %v missing %d", fsP, want)
+		}
+	}
+
+	// InTSN: the dimensions of the paper's Example 3.1 histogram
+	// f_P(C_Y, C_K, C_P, C_N) must all be within TSN(P).
+	for _, e := range [][2]NodeID{{P.ID, Y.ID}, {P.ID, K.ID}, {A.ID, P.ID}, {A.ID, N.ID}} {
+		if !s.InTSN(P.ID, e[0], e[1]) {
+			t.Errorf("InTSN(P, %d->%d) = false", e[0], e[1])
+		}
+	}
+	// A -> B is not F-stable, so C_B would not be provable: not in TSN.
+	if s.InTSN(P.ID, A.ID, B.ID) {
+		t.Error("InTSN(P, A->B) = true, want false")
+	}
+	// Nonexistent edge.
+	if s.InTSN(P.ID, N.ID, K.ID) {
+		t.Error("InTSN on nonexistent edge")
+	}
+}
+
+func TestTSNAfterUnstableSplit(t *testing.T) {
+	d, s := bibSynopsis(t)
+	T := nodeByTag(t, d, s, "title")
+	// T has two parent nodes; neither P->T nor B->T is B-stable, so the
+	// chain from T is just {T}.
+	anc, _ := s.TSN(T.ID)
+	if len(anc) != 1 || anc[0] != T.ID {
+		t.Fatalf("anc(T) = %v", anc)
+	}
+}
+
+func TestSizeModel(t *testing.T) {
+	_, s := bibSynopsis(t)
+	m := DefaultSizeModel()
+	got := m.StructureBytes(s)
+	want := 8*m.NodeBytes + s.NumEdges()*m.EdgeBytes
+	if got != want {
+		t.Fatalf("StructureBytes = %d, want %d", got, want)
+	}
+	if m.BucketBytes(3) != 3*m.BucketDimBytes+m.BucketFreqBytes {
+		t.Fatalf("BucketBytes = %d", m.BucketBytes(3))
+	}
+}
+
+func containsID(ids []NodeID, id NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// randomDoc builds a random tree for property tests.
+func randomDoc(rng *rand.Rand, n int) *xmltree.Document {
+	tags := []string{"a", "b", "c", "d"}
+	d := xmltree.NewDocument("r")
+	for d.Len() < n {
+		parent := xmltree.NodeID(rng.Intn(d.Len()))
+		d.AddChild(parent, tags[rng.Intn(len(tags))])
+	}
+	return d
+}
+
+func TestRandomSplitsPreserveInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 120)
+		s := LabelSplit(d)
+		for i := 0; i < 6; i++ {
+			edges := s.Edges()
+			if len(edges) == 0 {
+				break
+			}
+			e := edges[rng.Intn(len(edges))]
+			if rng.Intn(2) == 0 {
+				s.BStabilize(e.From, e.To)
+			} else {
+				s.FStabilize(e.From, e.To)
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Extent sizes sum to document size.
+		total := 0
+		for _, n := range s.Nodes() {
+			total += n.Count()
+		}
+		return total == d.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBStabilizeMakesEdgeStable(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 100)
+		s := LabelSplit(d)
+		for _, e := range s.Edges() {
+			if e.BStable {
+				continue
+			}
+			if _, ok := s.BStabilize(e.From, e.To); ok {
+				ne := s.Edge(e.From, e.To)
+				if ne == nil || !ne.BStable {
+					return false
+				}
+			}
+			break
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromAssignmentRoundTrip(t *testing.T) {
+	d := xmltree.Bibliography()
+	s := LabelSplit(d)
+	// Apply a split so the assignment is nontrivial.
+	paperID, _ := d.LookupTag("paper")
+	titleID, _ := d.LookupTag("title")
+	s.BStabilize(s.NodesByTag(paperID)[0], s.NodesByTag(titleID)[0])
+	assign := s.Assignment()
+	s2, err := FromAssignment(d, assign)
+	if err != nil {
+		t.Fatalf("FromAssignment: %v", err)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s2.NumNodes() != s.NumNodes() || s2.NumEdges() != s.NumEdges() {
+		t.Fatalf("shape %d/%d vs %d/%d", s2.NumNodes(), s2.NumEdges(), s.NumNodes(), s.NumEdges())
+	}
+	for _, e := range s.Edges() {
+		e2 := s2.Edge(e.From, e.To)
+		if e2 == nil || *e2 != *e {
+			t.Fatalf("edge %d->%d differs: %+v vs %+v", e.From, e.To, e, e2)
+		}
+	}
+}
+
+func TestFromAssignmentErrors(t *testing.T) {
+	d := xmltree.Bibliography()
+	// Wrong length.
+	if _, err := FromAssignment(d, make([]NodeID, 3)); err == nil {
+		t.Fatal("accepted short assignment")
+	}
+	// Negative id.
+	bad := make([]NodeID, d.Len())
+	bad[0] = -1
+	if _, err := FromAssignment(d, bad); err == nil {
+		t.Fatal("accepted negative id")
+	}
+	// Non-contiguous ids.
+	gap := make([]NodeID, d.Len())
+	gap[0] = 5
+	if _, err := FromAssignment(d, gap); err == nil {
+		t.Fatal("accepted non-contiguous ids")
+	}
+	// Mixed tags in one node.
+	mixed := make([]NodeID, d.Len())
+	if _, err := FromAssignment(d, mixed); err == nil {
+		t.Fatal("accepted mixed-tag node")
+	}
+}

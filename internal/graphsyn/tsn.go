@@ -1,0 +1,98 @@
+package graphsyn
+
+// This file implements the twig stable neighborhood (paper Section 3.2):
+// TSN(n) is the set of synopsis nodes that either (a) reach n through a
+// backward-stable path (including n itself), or (b) are reached from any
+// node in (a) through a forward-stable path of length 1. Every element of n
+// is contained in a document twig covering elements from all nodes of
+// TSN(n), which is why edge distributions are restricted to counts between
+// TSN members.
+
+// TSN returns the twig stable neighborhood of n as two sets:
+//
+//   - anc: the nodes reaching n through a B-stable path, including n
+//     itself, in ascending ID order. On tree data the B-stable ancestors of
+//     a node form a chain (each element has one parent), returned from n
+//     upward.
+//   - fstable: for each node a in anc, the IDs of nodes reached from a by a
+//     single F-stable edge, ascending.
+//
+// The full TSN node set is the union of anc and all fstable lists.
+func (s *Synopsis) TSN(n NodeID) (anc []NodeID, fstable map[NodeID][]NodeID) {
+	anc = s.BStableAncestors(n)
+	fstable = make(map[NodeID][]NodeID, len(anc))
+	for _, a := range anc {
+		var fs []NodeID
+		for _, c := range s.nodes[a].Children {
+			if e := s.Edge(a, c); e != nil && e.FStable {
+				fs = append(fs, c)
+			}
+		}
+		fstable[a] = fs
+	}
+	return anc, fstable
+}
+
+// BStableAncestors returns the chain n = a0, a1, a2, ... where each a(i+1)
+// is a parent node of a(i) connected by a B-stable edge. On tree-structured
+// data the chain is unique: a B-stable edge u -> v means every element of v
+// has its (single) parent in u, so at most one parent edge of v can be
+// B-stable. The walk stops when no B-stable parent edge exists or when a
+// cycle would form (possible in recursive schemas).
+func (s *Synopsis) BStableAncestors(n NodeID) []NodeID {
+	chain := []NodeID{n}
+	visited := map[NodeID]bool{n: true}
+	cur := n
+	for {
+		next := NodeID(-1)
+		for _, p := range s.nodes[cur].Parents {
+			if e := s.Edge(p, cur); e != nil && e.BStable {
+				next = p
+				break
+			}
+		}
+		if next < 0 || visited[next] {
+			break
+		}
+		chain = append(chain, next)
+		visited[next] = true
+		cur = next
+	}
+	return chain
+}
+
+// InTSN reports whether the edge u -> v lies entirely within TSN(n): u must
+// be n or a B-stable ancestor of n, and v a child of u (for forward counts
+// on n itself or F-stable reach from an ancestor) such that the edge exists.
+// Per Definition 3.1, histogram count dimensions must satisfy this.
+func (s *Synopsis) InTSN(n, u, v NodeID) bool {
+	if s.Edge(u, v) == nil {
+		return false
+	}
+	anc, fstable := s.TSN(n)
+	for _, a := range anc {
+		if a != u {
+			continue
+		}
+		if u == n {
+			// Forward counts from n itself may target any child of n.
+			return true
+		}
+		// Edges from a strict B-stable ancestor must be F-stable (or lead
+		// back down the B-stable chain toward n) to be provably present for
+		// every element of n.
+		for _, f := range fstable[a] {
+			if f == v {
+				return true
+			}
+		}
+		// The edge down the chain itself (a -> previous chain node) is
+		// B-stable and also in the neighborhood.
+		for i := 1; i < len(anc); i++ {
+			if anc[i] == a && anc[i-1] == v {
+				return true
+			}
+		}
+	}
+	return false
+}

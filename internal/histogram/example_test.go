@@ -1,0 +1,50 @@
+package histogram_test
+
+import (
+	"fmt"
+
+	"xsketch/internal/histogram"
+)
+
+// ExampleCompress reproduces the paper's Figure 4 computation: the joint
+// edge distribution f_A(b, c) = {(10,100): 0.5, (100,10): 0.5} yields
+// Σ f·b·c = 1000 expected (b, c) pairs per a element.
+func ExampleCompress() {
+	f := histogram.NewSparse(2)
+	f.Add([]int32{10, 100}, 1)
+	f.Add([]int32{100, 10}, 1)
+	f.Normalize()
+
+	exact := histogram.Compress(f, 4) // enough buckets: lossless
+	coarse := histogram.Compress(f, 1)
+
+	fmt.Printf("exact   Σ f·b·c = %.0f\n", exact.SumProduct([]int{0, 1}))
+	fmt.Printf("1-bucket Σ f·b·c = %.0f (correlation lost)\n", coarse.SumProduct([]int{0, 1}))
+	// Output:
+	// exact   Σ f·b·c = 1000
+	// 1-bucket Σ f·b·c = 3025 (correlation lost)
+}
+
+// ExampleHistogram_CondSumProduct evaluates the paper's Section 4
+// conditional term F_P(k, y | p) from the histogram H_P(k, y, p).
+func ExampleHistogram_CondSumProduct() {
+	hp := histogram.FromBuckets(3, []histogram.Bucket{
+		{Centroid: []float64{2, 1, 2}, Freq: 0.25},
+		{Centroid: []float64{1, 1, 2}, Freq: 0.25},
+		{Centroid: []float64{1, 1, 1}, Freq: 0.50},
+	})
+	fmt.Printf("F_P(k,y | p=2) = %.2f\n", hp.CondSumProduct([]int{0, 1}, []int{2}, []float64{2}))
+	fmt.Printf("F_P(k,y | p=1) = %.2f\n", hp.CondSumProduct([]int{0, 1}, []int{2}, []float64{1}))
+	// Output:
+	// F_P(k,y | p=2) = 1.50
+	// F_P(k,y | p=1) = 1.00
+}
+
+// ExampleNewValueHistogram estimates a range predicate's selectivity.
+func ExampleNewValueHistogram() {
+	years := []int64{1998, 1999, 2001, 2002}
+	h := histogram.NewValueHistogram(years, 4)
+	fmt.Printf("P(year > 2000) = %.2f\n", h.Selectivity(2001, 1<<62))
+	// Output:
+	// P(year > 2000) = 0.50
+}

@@ -1,0 +1,330 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bucket is one weighted centroid of a compressed multidimensional
+// distribution: it represents Freq probability mass located at Centroid in
+// count space. When a bucket summarizes a single exact point the centroid
+// coordinates are integral.
+type Bucket struct {
+	Centroid []float64
+	Freq     float64
+}
+
+// Histogram is the compressed form of an edge distribution: a small set of
+// weighted centroid buckets. The paper's estimation framework only ever
+// needs sums of freq * Π(counts) over (conditioned subsets of) the
+// distribution, which centroid buckets support directly.
+type Histogram struct {
+	dims    int
+	buckets []Bucket
+}
+
+// Dims returns the dimensionality.
+func (h *Histogram) Dims() int { return h.dims }
+
+// Buckets returns the buckets; the slice and its contents must not be
+// modified.
+func (h *Histogram) Buckets() []Bucket { return h.buckets }
+
+// NumBuckets returns the bucket count (the unit of the size model).
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// TotalFreq returns the summed bucket frequency (1 for a normalized
+// distribution).
+func (h *Histogram) TotalFreq() float64 {
+	t := 0.0
+	for _, b := range h.buckets {
+		t += b.Freq
+	}
+	return t
+}
+
+// Compress builds a Histogram from a Sparse distribution using at most
+// maxBuckets buckets. When the distribution has at most maxBuckets distinct
+// points the result is exact. Otherwise an MHIST-style greedy splitter
+// partitions the points: starting from one partition holding everything, it
+// repeatedly splits the partition with the largest weighted count variance
+// along its widest-spread dimension at the weighted median, until the
+// budget is reached; each final partition becomes a weighted centroid
+// bucket.
+func Compress(s *Sparse, maxBuckets int) *Histogram {
+	if maxBuckets < 1 {
+		maxBuckets = 1
+	}
+	pts := s.Points()
+	h := &Histogram{dims: s.Dims()}
+	if len(pts) == 0 {
+		return h
+	}
+	if len(pts) <= maxBuckets {
+		for _, p := range pts {
+			h.buckets = append(h.buckets, Bucket{Centroid: toFloat(p.Coords), Freq: p.Freq})
+		}
+		return h
+	}
+	parts := []part{{points: pts}}
+	for len(parts) < maxBuckets {
+		// Pick the partition with largest weighted variance.
+		best, bestScore := -1, 0.0
+		for i := range parts {
+			if len(parts[i].points) < 2 {
+				continue
+			}
+			sc := parts[i].variance(s.Dims())
+			if sc > bestScore {
+				best, bestScore = i, sc
+			}
+		}
+		if best < 0 || bestScore == 0 {
+			break
+		}
+		a, b, ok := parts[best].split(s.Dims())
+		if !ok {
+			// Mark as unsplittable by zeroing further consideration: all
+			// coordinates equal; cannot happen with positive variance, but
+			// guard anyway.
+			break
+		}
+		parts[best] = a
+		parts = append(parts, b)
+	}
+	for _, p := range parts {
+		h.buckets = append(h.buckets, p.bucket(s.Dims()))
+	}
+	sort.Slice(h.buckets, func(i, j int) bool {
+		return lessFloats(h.buckets[i].Centroid, h.buckets[j].Centroid)
+	})
+	return h
+}
+
+// Exact builds a Histogram with one bucket per distinct point (no
+// compression). Used for reference summaries and tests.
+func Exact(s *Sparse) *Histogram {
+	return Compress(s, s.Len())
+}
+
+// FromBuckets builds a Histogram directly from buckets; used by tests and
+// by the paper's worked examples where the histogram contents are given.
+func FromBuckets(dims int, buckets []Bucket) *Histogram {
+	h := &Histogram{dims: dims}
+	for _, b := range buckets {
+		if len(b.Centroid) != dims {
+			panic(fmt.Sprintf("histogram: bucket with %d coords in %d-dim histogram", len(b.Centroid), dims))
+		}
+		c := make([]float64, dims)
+		copy(c, b.Centroid)
+		h.buckets = append(h.buckets, Bucket{Centroid: c, Freq: b.Freq})
+	}
+	return h
+}
+
+type part struct {
+	points []Point
+}
+
+func (p *part) variance(dims int) float64 {
+	// Weighted variance summed over dimensions.
+	totalW := 0.0
+	mean := make([]float64, dims)
+	for _, pt := range p.points {
+		totalW += pt.Freq
+		for j, c := range pt.Coords {
+			mean[j] += pt.Freq * float64(c)
+		}
+	}
+	if totalW == 0 {
+		return 0
+	}
+	for j := range mean {
+		mean[j] /= totalW
+	}
+	v := 0.0
+	for _, pt := range p.points {
+		for j, c := range pt.Coords {
+			d := float64(c) - mean[j]
+			v += pt.Freq * d * d
+		}
+	}
+	return v
+}
+
+// split divides the partition along the dimension with the widest spread at
+// the weighted median coordinate.
+func (p *part) split(dims int) (part, part, bool) {
+	bestDim, bestSpread := -1, int32(0)
+	for j := 0; j < dims; j++ {
+		lo, hi := p.points[0].Coords[j], p.points[0].Coords[j]
+		for _, pt := range p.points {
+			if pt.Coords[j] < lo {
+				lo = pt.Coords[j]
+			}
+			if pt.Coords[j] > hi {
+				hi = pt.Coords[j]
+			}
+		}
+		if hi-lo > bestSpread {
+			bestDim, bestSpread = j, hi-lo
+		}
+	}
+	if bestDim < 0 {
+		return part{}, part{}, false
+	}
+	pts := make([]Point, len(p.points))
+	copy(pts, p.points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Coords[bestDim] < pts[j].Coords[bestDim] })
+	totalW := 0.0
+	for _, pt := range pts {
+		totalW += pt.Freq
+	}
+	// Weighted median split point, ensuring both sides are non-empty and
+	// the cut falls between distinct coordinates.
+	acc := 0.0
+	cut := -1
+	for i := 0; i < len(pts)-1; i++ {
+		acc += pts[i].Freq
+		if pts[i].Coords[bestDim] != pts[i+1].Coords[bestDim] && acc >= totalW/2 {
+			cut = i + 1
+			break
+		}
+	}
+	if cut < 0 {
+		// Fall back to the first coordinate change.
+		for i := 0; i < len(pts)-1; i++ {
+			if pts[i].Coords[bestDim] != pts[i+1].Coords[bestDim] {
+				cut = i + 1
+				break
+			}
+		}
+	}
+	if cut < 0 {
+		return part{}, part{}, false
+	}
+	return part{points: pts[:cut]}, part{points: pts[cut:]}, true
+}
+
+func (p *part) bucket(dims int) Bucket {
+	b := Bucket{Centroid: make([]float64, dims)}
+	for _, pt := range p.points {
+		b.Freq += pt.Freq
+		for j, c := range pt.Coords {
+			b.Centroid[j] += pt.Freq * float64(c)
+		}
+	}
+	if b.Freq > 0 {
+		for j := range b.Centroid {
+			b.Centroid[j] /= b.Freq
+		}
+	}
+	return b
+}
+
+func toFloat(coords []int32) []float64 {
+	out := make([]float64, len(coords))
+	for i, c := range coords {
+		out[i] = float64(c)
+	}
+	return out
+}
+
+func lessFloats(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// SumProduct returns Σ_b freq(b) * Π_{j∈dims} centroid(b)[j], the paper's
+// ΣF(C) term restricted to the given dimensions. With dims empty it returns
+// the total frequency.
+func (h *Histogram) SumProduct(dims []int) float64 {
+	total := 0.0
+	for _, b := range h.buckets {
+		w := b.Freq
+		for _, j := range dims {
+			w *= b.Centroid[j]
+		}
+		total += w
+	}
+	return total
+}
+
+// Mean returns the expected count along dimension j.
+func (h *Histogram) Mean(j int) float64 { return h.SumProduct([]int{j}) }
+
+// Match returns the buckets whose coordinates on condDims are (nearly)
+// equal to condVals, together with their summed frequency. When no bucket
+// matches exactly (possible after lossy compression), the buckets nearest
+// in Euclidean distance on condDims are returned instead — the closest
+// available approximation of the conditional slice. An empty condDims
+// matches every bucket.
+func (h *Histogram) Match(condDims []int, condVals []float64) ([]Bucket, float64) {
+	if len(condDims) == 0 {
+		return h.buckets, h.TotalFreq()
+	}
+	const eps = 1e-9
+	var out []Bucket
+	freq := 0.0
+	for _, b := range h.buckets {
+		ok := true
+		for i, j := range condDims {
+			if math.Abs(b.Centroid[j]-condVals[i]) > eps {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+			freq += b.Freq
+		}
+	}
+	if len(out) > 0 {
+		return out, freq
+	}
+	// Nearest-match fallback.
+	bestDist := math.Inf(1)
+	for _, b := range h.buckets {
+		d := 0.0
+		for i, j := range condDims {
+			diff := b.Centroid[j] - condVals[i]
+			d += diff * diff
+		}
+		switch {
+		case d < bestDist-eps:
+			bestDist = d
+			out = out[:0]
+			out = append(out, b)
+			freq = b.Freq
+		case d <= bestDist+eps:
+			out = append(out, b)
+			freq += b.Freq
+		}
+	}
+	return out, freq
+}
+
+// CondSumProduct returns Σ F(E | D=d) = Σ_{b matching D=d} freq(b)/denom *
+// Π_{j∈eDims} centroid(b)[j], i.e. the conditional expected tuple
+// multiplier of the paper's Correlation Scope Independence assumption,
+// computed directly from the histogram's joint buckets.
+func (h *Histogram) CondSumProduct(eDims, condDims []int, condVals []float64) float64 {
+	matched, denom := h.Match(condDims, condVals)
+	if denom == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, b := range matched {
+		w := b.Freq
+		for _, j := range eDims {
+			w *= b.Centroid[j]
+		}
+		total += w
+	}
+	return total / denom
+}

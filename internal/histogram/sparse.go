@@ -1,0 +1,115 @@
+// Package histogram implements the distribution summaries used by Twig
+// XSKETCH synopses:
+//
+//   - Sparse: an exact multidimensional distribution of integer count
+//     vectors with fractional frequencies (the paper's edge distribution
+//     f_i(C1, ..., Ck)).
+//   - Histogram: a compressed approximation consisting of weighted centroid
+//     buckets, built by an MHIST-style greedy splitter (the paper's
+//     edge-histogram H_i(C1, ..., Ck)).
+//   - ValueHistogram: a one-dimensional equi-depth histogram over element
+//     values supporting range-selectivity estimates (the paper's H(v)).
+//
+// Edge distributions are "essentially defined over a space of integer edge
+// counts" (Section 3.2) and therefore compress very well with standard
+// multidimensional methods; the centroid-bucket representation keeps the
+// estimation framework's marginals and conditionals cheap.
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse is an exact distribution over integer count vectors. Frequencies
+// are fractions of a population (they sum to 1 after Normalize) so that a
+// point f(c1..ck) is "the fraction of elements with these counts".
+type Sparse struct {
+	dims   int
+	points map[string]*point
+	total  float64
+}
+
+type point struct {
+	coords []int32
+	freq   float64
+}
+
+// NewSparse creates an empty distribution with the given dimensionality.
+// dims may be 0 (a distribution with a single empty-vector point).
+func NewSparse(dims int) *Sparse {
+	return &Sparse{dims: dims, points: make(map[string]*point)}
+}
+
+// Dims returns the dimensionality.
+func (s *Sparse) Dims() int { return s.dims }
+
+// Add accumulates weight onto the point with the given coordinates.
+func (s *Sparse) Add(coords []int32, weight float64) {
+	if len(coords) != s.dims {
+		panic(fmt.Sprintf("histogram: Add with %d coords on %d-dim distribution", len(coords), s.dims))
+	}
+	k := key(coords)
+	p := s.points[k]
+	if p == nil {
+		c := make([]int32, len(coords))
+		copy(c, coords)
+		p = &point{coords: c}
+		s.points[k] = p
+	}
+	p.freq += weight
+	s.total += weight
+}
+
+// Len returns the number of distinct points.
+func (s *Sparse) Len() int { return len(s.points) }
+
+// Total returns the accumulated weight.
+func (s *Sparse) Total() float64 { return s.total }
+
+// Normalize scales frequencies to sum to 1. A zero-total distribution is
+// left unchanged.
+func (s *Sparse) Normalize() {
+	if s.total == 0 {
+		return
+	}
+	for _, p := range s.points {
+		p.freq /= s.total
+	}
+	s.total = 1
+}
+
+// Points returns the points in deterministic (lexicographic coordinate)
+// order as (coords, freq) pairs. The coordinate slices must not be
+// modified.
+func (s *Sparse) Points() []Point {
+	out := make([]Point, 0, len(s.points))
+	for _, p := range s.points {
+		out = append(out, Point{Coords: p.coords, Freq: p.freq})
+	}
+	sort.Slice(out, func(i, j int) bool { return lessCoords(out[i].Coords, out[j].Coords) })
+	return out
+}
+
+// Point is an exported (coords, frequency) pair.
+type Point struct {
+	Coords []int32
+	Freq   float64
+}
+
+func key(coords []int32) string {
+	b := make([]byte, 0, len(coords)*4)
+	for _, c := range coords {
+		b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return string(b)
+}
+
+func lessCoords(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

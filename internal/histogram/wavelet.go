@@ -1,0 +1,229 @@
+package histogram
+
+import (
+	"math"
+	"sort"
+)
+
+// ValueSummary is the interface shared by the per-node value summaries: the
+// equi-depth ValueHistogram and the Haar Wavelet synopsis. The paper notes
+// that its distributions "can be summarized very efficiently using
+// multidimensional methods such as histograms or wavelets"; both options
+// are provided for the one-dimensional value case and selected through
+// xsketch.Config.
+type ValueSummary interface {
+	// Selectivity estimates the fraction of summarized values in [lo, hi].
+	Selectivity(lo, hi int64) float64
+	// Total returns the number of summarized values.
+	Total() int
+	// SizeUnits returns the number of stored units (buckets or retained
+	// coefficients) for the size model.
+	SizeUnits() int
+}
+
+// SizeUnits implements ValueSummary for the equi-depth histogram.
+func (h *ValueHistogram) SizeUnits() int { return h.NumBuckets() }
+
+// Wavelet is a one-dimensional Haar wavelet synopsis over an integer value
+// distribution: the value domain is mapped onto an equi-width power-of-two
+// grid, the bin frequencies are Haar-decomposed, and only the largest
+// (normalized) coefficients are retained. Range selectivities reconstruct
+// bin sums from the retained coefficients.
+type Wavelet struct {
+	lo, hi int64
+	grid   int // power of two
+	total  int
+	// coeffs maps coefficient index (0 = overall average) to its value in
+	// the normalized Haar basis.
+	coeffs map[int]float64
+	// recon caches the reconstructed bin vector (lazily built).
+	recon []float64
+}
+
+// NewWavelet builds a Haar synopsis retaining at most maxCoeffs
+// coefficients. A nil/empty input yields a summary whose selectivities are
+// zero.
+func NewWavelet(values []int64, maxCoeffs int) *Wavelet {
+	w := &Wavelet{coeffs: map[int]float64{}, total: len(values)}
+	if len(values) == 0 {
+		w.grid = 1
+		return w
+	}
+	if maxCoeffs < 1 {
+		maxCoeffs = 1
+	}
+	w.lo, w.hi = values[0], values[0]
+	for _, v := range values {
+		if v < w.lo {
+			w.lo = v
+		}
+		if v > w.hi {
+			w.hi = v
+		}
+	}
+	// Grid resolution: enough bins to separate values, capped at 256.
+	w.grid = 1
+	span := w.hi - w.lo + 1
+	for w.grid < 256 && int64(w.grid) < span {
+		w.grid *= 2
+	}
+	bins := make([]float64, w.grid)
+	for _, v := range values {
+		bins[w.binOf(v)]++
+	}
+	// Normalized Haar decomposition (pyramid algorithm). Coefficients are
+	// scaled by 1/sqrt(2) per level so thresholding by absolute value
+	// minimizes the L2 reconstruction error.
+	coeffs := haarDecompose(bins)
+	type kv struct {
+		idx int
+		val float64
+	}
+	ranked := make([]kv, 0, len(coeffs))
+	for i, c := range coeffs {
+		if c != 0 {
+			ranked = append(ranked, kv{i, c})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		ai, aj := math.Abs(ranked[i].val), math.Abs(ranked[j].val)
+		if ai != aj {
+			return ai > aj
+		}
+		return ranked[i].idx < ranked[j].idx
+	})
+	if len(ranked) > maxCoeffs {
+		ranked = ranked[:maxCoeffs]
+	}
+	for _, r := range ranked {
+		w.coeffs[r.idx] = r.val
+	}
+	return w
+}
+
+func (w *Wavelet) binOf(v int64) int {
+	span := w.hi - w.lo + 1
+	idx := int(int64(w.grid) * (v - w.lo) / span)
+	if idx >= w.grid {
+		idx = w.grid - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// binSpan returns the inclusive value range covered by a grid bin: the
+// exact preimage of binOf, i.e. the values v with
+// floor(grid*(v-lo)/span) == i.
+func (w *Wavelet) binSpan(i int) (int64, int64) {
+	span := w.hi - w.lo + 1
+	g := int64(w.grid)
+	lo := w.lo + ceilDiv(int64(i)*span, g)
+	hi := w.lo + ceilDiv(int64(i+1)*span, g) - 1
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// Total returns the number of summarized values.
+func (w *Wavelet) Total() int { return w.total }
+
+// SizeUnits returns the number of retained coefficients (each stored as an
+// index + value pair; the size model charges it like a 1-D bucket).
+func (w *Wavelet) SizeUnits() int {
+	n := len(w.coeffs)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// NumCoeffs returns the retained coefficient count.
+func (w *Wavelet) NumCoeffs() int { return len(w.coeffs) }
+
+// Selectivity estimates the fraction of values within [lo, hi].
+func (w *Wavelet) Selectivity(lo, hi int64) float64 {
+	if w.total == 0 || hi < lo || hi < w.lo || lo > w.hi {
+		return 0
+	}
+	w.reconstruct()
+	sum := 0.0
+	for i := 0; i < w.grid; i++ {
+		blo, bhi := w.binSpan(i)
+		if bhi < lo || blo > hi {
+			continue
+		}
+		mass := w.recon[i]
+		if mass <= 0 {
+			continue
+		}
+		if lo <= blo && bhi <= hi {
+			sum += mass
+			continue
+		}
+		olo, ohi := maxI64(lo, blo), minI64(hi, bhi)
+		sum += mass * float64(ohi-olo+1) / float64(bhi-blo+1)
+	}
+	frac := sum / float64(w.total)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+func (w *Wavelet) reconstruct() {
+	if w.recon != nil {
+		return
+	}
+	coeffs := make([]float64, w.grid)
+	for i, c := range w.coeffs {
+		coeffs[i] = c
+	}
+	w.recon = haarReconstruct(coeffs)
+}
+
+// haarDecompose performs the normalized Haar pyramid transform. The input
+// length must be a power of two; the result uses the standard layout:
+// index 0 holds the overall (scaled) average, indexes [2^l, 2^(l+1)) hold
+// level-l detail coefficients.
+func haarDecompose(data []float64) []float64 {
+	n := len(data)
+	out := make([]float64, n)
+	cur := make([]float64, n)
+	copy(cur, data)
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		next := make([]float64, half)
+		for i := 0; i < half; i++ {
+			a, b := cur[2*i], cur[2*i+1]
+			next[i] = (a + b) / math.Sqrt2
+			out[half+i] = (a - b) / math.Sqrt2
+		}
+		copy(cur, next)
+	}
+	out[0] = cur[0]
+	return out
+}
+
+// haarReconstruct inverts haarDecompose.
+func haarReconstruct(coeffs []float64) []float64 {
+	n := len(coeffs)
+	cur := []float64{coeffs[0]}
+	for length := 1; length < n; length *= 2 {
+		next := make([]float64, 2*length)
+		for i := 0; i < length; i++ {
+			d := coeffs[length+i]
+			next[2*i] = (cur[i] + d) / math.Sqrt2
+			next[2*i+1] = (cur[i] - d) / math.Sqrt2
+		}
+		cur = next
+	}
+	return cur
+}

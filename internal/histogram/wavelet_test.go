@@ -1,0 +1,185 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaarRoundTrip(t *testing.T) {
+	data := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	coeffs := haarDecompose(data)
+	back := haarReconstruct(coeffs)
+	for i := range data {
+		if math.Abs(back[i]-data[i]) > 1e-9 {
+			t.Fatalf("round trip[%d] = %v, want %v", i, back[i], data[i])
+		}
+	}
+}
+
+func TestHaarRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (rng.Intn(6) + 1)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(rng.Intn(100))
+		}
+		back := haarReconstruct(haarDecompose(data))
+		for i := range data {
+			if math.Abs(back[i]-data[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaarEnergyPreserved(t *testing.T) {
+	// The normalized transform is orthonormal: Σ data^2 == Σ coeff^2.
+	data := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	coeffs := haarDecompose(data)
+	var e1, e2 float64
+	for i := range data {
+		e1 += data[i] * data[i]
+		e2 += coeffs[i] * coeffs[i]
+	}
+	if math.Abs(e1-e2) > 1e-9 {
+		t.Fatalf("energy %v vs %v", e1, e2)
+	}
+}
+
+func TestWaveletExactWithAllCoeffs(t *testing.T) {
+	vals := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	w := NewWavelet(vals, 1024)
+	if got := w.Selectivity(0, 3); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Selectivity(0,3) = %v", got)
+	}
+	if got := w.Selectivity(0, 7); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("full range = %v", got)
+	}
+	if got := w.Selectivity(100, 200); got != 0 {
+		t.Fatalf("out of range = %v", got)
+	}
+	if got := w.Selectivity(5, 2); got != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+}
+
+func TestWaveletEmpty(t *testing.T) {
+	w := NewWavelet(nil, 8)
+	if w.Selectivity(0, 10) != 0 || w.Total() != 0 {
+		t.Fatal("empty wavelet misbehaves")
+	}
+	if w.SizeUnits() < 1 {
+		t.Fatal("SizeUnits must be at least 1")
+	}
+}
+
+func TestWaveletTruncationApproximates(t *testing.T) {
+	// A smooth distribution summarized with few coefficients still gives
+	// usable range estimates.
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 2000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000))
+	}
+	w := NewWavelet(vals, 16)
+	if w.NumCoeffs() > 16 {
+		t.Fatalf("NumCoeffs = %d", w.NumCoeffs())
+	}
+	truth := func(lo, hi int64) float64 {
+		n := 0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				n++
+			}
+		}
+		return float64(n) / float64(len(vals))
+	}
+	for _, r := range [][2]int64{{0, 499}, {100, 399}, {500, 999}, {900, 999}} {
+		got := w.Selectivity(r[0], r[1])
+		want := truth(r[0], r[1])
+		if math.Abs(got-want) > 0.12 {
+			t.Errorf("Selectivity(%d,%d) = %v, truth %v", r[0], r[1], got, want)
+		}
+	}
+}
+
+func TestWaveletSkewedSpike(t *testing.T) {
+	// A spiked distribution: most mass at one value. Few coefficients
+	// should capture the spike well (wavelets excel at this).
+	var vals []int64
+	for i := 0; i < 900; i++ {
+		vals = append(vals, 500)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, int64(i*10))
+	}
+	w := NewWavelet(vals, 12)
+	// Query a range fully covering the spike's grid bin (the 256-bin grid
+	// spreads the spike's mass over a ~4-value span).
+	got := w.Selectivity(496, 503)
+	if got < 0.85 {
+		t.Fatalf("spike mass = %v, want >= 0.85", got)
+	}
+}
+
+func TestWaveletMoreCoeffsMoreAccurate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 3000)
+	for i := range vals {
+		// Bimodal distribution.
+		if rng.Intn(2) == 0 {
+			vals[i] = int64(rng.Intn(100))
+		} else {
+			vals[i] = int64(800 + rng.Intn(100))
+		}
+	}
+	truth := func(lo, hi int64) float64 {
+		n := 0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				n++
+			}
+		}
+		return float64(n) / float64(len(vals))
+	}
+	errAt := func(coeffs int) float64 {
+		w := NewWavelet(vals, coeffs)
+		total := 0.0
+		for lo := int64(0); lo < 900; lo += 100 {
+			total += math.Abs(w.Selectivity(lo, lo+99) - truth(lo, lo+99))
+		}
+		return total
+	}
+	e4, e64 := errAt(4), errAt(64)
+	if e64 > e4+1e-9 {
+		t.Fatalf("more coefficients increased error: %v -> %v", e4, e64)
+	}
+}
+
+func TestValueSummaryInterface(t *testing.T) {
+	var s ValueSummary = NewValueHistogram([]int64{1, 2, 3}, 2)
+	if s.Total() != 3 || s.SizeUnits() < 1 {
+		t.Fatal("histogram as ValueSummary misbehaves")
+	}
+	s = NewWavelet([]int64{1, 2, 3}, 4)
+	if s.Total() != 3 || s.SizeUnits() < 1 {
+		t.Fatal("wavelet as ValueSummary misbehaves")
+	}
+}
+
+func TestWaveletSingleValue(t *testing.T) {
+	w := NewWavelet([]int64{42, 42, 42}, 4)
+	if got := w.Selectivity(42, 42); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("single value selectivity = %v", got)
+	}
+	if got := w.Selectivity(0, 41); got != 0 {
+		t.Fatalf("below single value = %v", got)
+	}
+}

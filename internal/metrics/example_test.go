@@ -1,0 +1,21 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"xsketch/internal/metrics"
+)
+
+// ExampleEvaluate scores a batch of estimates with the paper's
+// sanity-bounded average absolute relative error.
+func ExampleEvaluate() {
+	results := []metrics.Result{
+		{Truth: 100, Estimate: 90},  // 10% error
+		{Truth: 200, Estimate: 260}, // 30% error
+		{Truth: 0, Estimate: 5},     // negative query, scored against the sanity bound
+	}
+	s := metrics.Evaluate(results, 0)
+	fmt.Printf("avg error %.1f%% over %d queries\n", s.AvgError*100, s.Count)
+	// Output:
+	// avg error 180.0% over 3 queries
+}

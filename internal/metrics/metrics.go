@@ -1,0 +1,100 @@
+// Package metrics implements the paper's evaluation metric (Section 6.1):
+// the average absolute relative error with a sanity bound. For a query with
+// true count c and estimate r the error is |r - c| / max(s, c), where the
+// sanity bound s is the 10th percentile of the true counts of the workload
+// — avoiding artificially high percentages on low-count twigs and defining
+// the metric for negative queries (c = 0).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SanityBound returns the q-quantile (0 < q <= 1) of the true counts; the
+// paper uses q = 0.1 ("90% of the queries have a true count greater than
+// s"). The bound is at least 1 so the error is always defined.
+func SanityBound(truths []int64, q float64) float64 {
+	if len(truths) == 0 {
+		return 1
+	}
+	sorted := make([]int64, len(truths))
+	copy(sorted, truths)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	s := float64(sorted[idx])
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// AbsRelError returns |est - truth| / max(sanity, truth).
+func AbsRelError(est float64, truth int64, sanity float64) float64 {
+	denom := math.Max(sanity, float64(truth))
+	if denom <= 0 {
+		denom = 1
+	}
+	return math.Abs(est-float64(truth)) / denom
+}
+
+// Result couples a query's true count with an estimate.
+type Result struct {
+	Truth    int64
+	Estimate float64
+}
+
+// Summary aggregates workload error statistics.
+type Summary struct {
+	// Count is the number of scored queries.
+	Count int
+	// Sanity is the sanity bound used.
+	Sanity float64
+	// AvgError is the average absolute relative error (the paper's metric).
+	AvgError float64
+	// MaxError is the largest individual error.
+	MaxError float64
+	// Excluded is the number of results dropped by an outlier threshold
+	// (the paper excludes CST outliers above 1000%).
+	Excluded int
+}
+
+// Evaluate scores a batch of results with the paper's metric. The sanity
+// bound is the 10th percentile of the true counts. outlierCap, when
+// positive, excludes individual errors above the cap from the average (the
+// treatment the paper applies to CST outliers); excluded results are
+// counted in Summary.Excluded.
+func Evaluate(results []Result, outlierCap float64) Summary {
+	truths := make([]int64, len(results))
+	for i, r := range results {
+		truths[i] = r.Truth
+	}
+	s := Summary{Sanity: SanityBound(truths, 0.1)}
+	total := 0.0
+	for _, r := range results {
+		e := AbsRelError(r.Estimate, r.Truth, s.Sanity)
+		if outlierCap > 0 && e > outlierCap {
+			s.Excluded++
+			continue
+		}
+		total += e
+		if e > s.MaxError {
+			s.MaxError = e
+		}
+		s.Count++
+	}
+	if s.Count > 0 {
+		s.AvgError = total / float64(s.Count)
+	}
+	return s
+}
+
+// String renders the summary for diagnostics.
+func (s Summary) String() string {
+	return fmt.Sprintf("avg %.1f%% over %d queries (sanity %.0f, max %.0f%%, %d excluded)",
+		s.AvgError*100, s.Count, s.Sanity, s.MaxError*100, s.Excluded)
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSanityBound(t *testing.T) {
+	truths := make([]int64, 100)
+	for i := range truths {
+		truths[i] = int64(i + 1) // 1..100
+	}
+	s := SanityBound(truths, 0.1)
+	if s != 11 {
+		t.Fatalf("SanityBound = %v, want 11", s)
+	}
+	if got := SanityBound(nil, 0.1); got != 1 {
+		t.Fatalf("empty SanityBound = %v", got)
+	}
+	if got := SanityBound([]int64{0, 0, 0}, 0.1); got != 1 {
+		t.Fatalf("zero-count SanityBound = %v, want clamp to 1", got)
+	}
+	if got := SanityBound([]int64{5}, 1); got != 5 {
+		t.Fatalf("q=1 SanityBound = %v", got)
+	}
+}
+
+func TestAbsRelError(t *testing.T) {
+	cases := []struct {
+		est    float64
+		truth  int64
+		sanity float64
+		want   float64
+	}{
+		{100, 100, 10, 0},
+		{150, 100, 10, 0.5},
+		{50, 100, 10, 0.5},
+		{5, 0, 10, 0.5},      // negative query: sanity bound in denominator
+		{0, 2, 10, 0.2},      // low-count query damped by sanity bound
+		{200, 100, 200, 0.5}, // sanity bound larger than truth
+	}
+	for _, c := range cases {
+		got := AbsRelError(c.est, c.truth, c.sanity)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("AbsRelError(%v, %d, %v) = %v, want %v", c.est, c.truth, c.sanity, got, c.want)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	results := []Result{
+		{Truth: 100, Estimate: 100},
+		{Truth: 100, Estimate: 150},
+		{Truth: 100, Estimate: 50},
+		{Truth: 100, Estimate: 200},
+	}
+	s := Evaluate(results, 0)
+	if s.Count != 4 || s.Excluded != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.AvgError-0.5) > 1e-9 {
+		t.Fatalf("AvgError = %v, want 0.5", s.AvgError)
+	}
+	if math.Abs(s.MaxError-1.0) > 1e-9 {
+		t.Fatalf("MaxError = %v, want 1.0", s.MaxError)
+	}
+}
+
+func TestEvaluateOutlierCap(t *testing.T) {
+	results := []Result{
+		{Truth: 100, Estimate: 100},
+		{Truth: 100, Estimate: 100_000}, // 99900% error, excluded at cap 10
+	}
+	s := Evaluate(results, 10)
+	if s.Excluded != 1 || s.Count != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.AvgError != 0 {
+		t.Fatalf("AvgError = %v", s.AvgError)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	s := Evaluate(nil, 0)
+	if s.Count != 0 || s.AvgError != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestErrorNonNegativeProperty(t *testing.T) {
+	prop := func(est float64, truth int64, sanity float64) bool {
+		if math.IsNaN(est) || math.IsInf(est, 0) {
+			return true
+		}
+		e := AbsRelError(est, truth, math.Abs(sanity))
+		return e >= 0 && !math.IsNaN(e)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactEstimateZeroErrorProperty(t *testing.T) {
+	prop := func(truth int64, sanity float64) bool {
+		e := AbsRelError(float64(truth), truth, math.Abs(sanity))
+		return e == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

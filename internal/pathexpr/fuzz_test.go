@@ -1,0 +1,41 @@
+package pathexpr
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that every accepted
+// path round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a/b/c",
+		"//movie[/type=5]/actor",
+		"paper[>1990][keyword]/title",
+		"a[b[c=4]/d]/e",
+		"year[=1990:1999]",
+		"a//b[c>=0]",
+		"",
+		"[",
+		"a[",
+		"a[>",
+		"a[=5:",
+		"a/b[",
+		"////",
+		"a[b][c][d][e]",
+		"x[=-9223372036854775808]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, s, err)
+		}
+		if p2.String() != s {
+			t.Fatalf("rendering not a fixed point: %q -> %q", s, p2.String())
+		}
+	})
+}

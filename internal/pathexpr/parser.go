@@ -1,0 +1,231 @@
+package pathexpr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unicode"
+)
+
+// Parse parses the concrete path syntax described in the package comment.
+func Parse(src string) (*Path, error) {
+	p := &parser{src: src}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errorf("unexpected %q", p.rest())
+	}
+	return path, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and constants.
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) rest() string { return p.src[p.pos:] }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("pathexpr: at offset %d of %q: %s", p.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) accept(c byte) bool {
+	if !p.eof() && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parsePath parses a (possibly relative) path: [/ | //] step (/ | // step)*
+func (p *parser) parsePath() (*Path, error) {
+	path := &Path{}
+	axis := Child
+	if p.accept('/') {
+		if p.accept('/') {
+			axis = Descendant
+		}
+	}
+	for {
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		if !p.accept('/') {
+			break
+		}
+		axis = Child
+		if p.accept('/') {
+			axis = Descendant
+		}
+	}
+	return path, nil
+}
+
+func (p *parser) parseStep(axis Axis) (*Step, error) {
+	label := p.parseLabel()
+	if label == "" {
+		return nil, p.errorf("expected element label")
+	}
+	step := &Step{Axis: axis, Label: label}
+	for p.accept('[') {
+		if err := p.parseBracket(step); err != nil {
+			return nil, err
+		}
+		if !p.accept(']') {
+			return nil, p.errorf("expected ']'")
+		}
+	}
+	return step, nil
+}
+
+func (p *parser) parseLabel() string {
+	start := p.pos
+	for !p.eof() {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '@' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+// parseBracket parses the content of one [...] predicate onto step.
+func (p *parser) parseBracket(step *Step) error {
+	c := p.peek()
+	if c == '>' || c == '<' || c == '=' {
+		// Value predicate on the step's own element.
+		v, err := p.parseComparison()
+		if err != nil {
+			return err
+		}
+		if step.Value != nil {
+			merged := intersect(*step.Value, v)
+			step.Value = &merged
+		} else {
+			step.Value = &v
+		}
+		return nil
+	}
+	// Branching predicate: a relative path, possibly with a trailing
+	// comparison applied to the final step.
+	branch, err := p.parsePath()
+	if err != nil {
+		return err
+	}
+	if c := p.peek(); c == '>' || c == '<' || c == '=' {
+		v, err := p.parseComparison()
+		if err != nil {
+			return err
+		}
+		last := branch.Steps[len(branch.Steps)-1]
+		if last.Value != nil {
+			merged := intersect(*last.Value, v)
+			last.Value = &merged
+		} else {
+			last.Value = &v
+		}
+	}
+	step.Branches = append(step.Branches, branch)
+	return nil
+}
+
+// parseComparison parses >N, >=N, <N, <=N, =N or =N:M (inclusive range).
+func (p *parser) parseComparison() (ValuePred, error) {
+	switch {
+	case p.accept('>'):
+		eq := p.accept('=')
+		n, err := p.parseInt()
+		if err != nil {
+			return ValuePred{}, err
+		}
+		if !eq {
+			if n == math.MaxInt64 {
+				return ValuePred{}, p.errorf("range overflow")
+			}
+			n++
+		}
+		return ValuePred{Lo: n, Hi: math.MaxInt64}, nil
+	case p.accept('<'):
+		eq := p.accept('=')
+		n, err := p.parseInt()
+		if err != nil {
+			return ValuePred{}, err
+		}
+		if !eq {
+			if n == math.MinInt64 {
+				return ValuePred{}, p.errorf("range overflow")
+			}
+			n--
+		}
+		return ValuePred{Lo: math.MinInt64, Hi: n}, nil
+	case p.accept('='):
+		lo, err := p.parseInt()
+		if err != nil {
+			return ValuePred{}, err
+		}
+		if p.accept(':') {
+			hi, err := p.parseInt()
+			if err != nil {
+				return ValuePred{}, err
+			}
+			if hi < lo {
+				return ValuePred{}, p.errorf("empty range %d:%d", lo, hi)
+			}
+			return ValuePred{Lo: lo, Hi: hi}, nil
+		}
+		return ValuePred{Lo: lo, Hi: lo}, nil
+	}
+	return ValuePred{}, p.errorf("expected comparison operator")
+}
+
+func (p *parser) parseInt() (int64, error) {
+	start := p.pos
+	if p.accept('-') {
+	}
+	for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || (p.src[start] == '-' && p.pos == start+1) {
+		return 0, p.errorf("expected integer")
+	}
+	n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+	if err != nil {
+		return 0, p.errorf("bad integer %q: %v", p.src[start:p.pos], err)
+	}
+	return n, nil
+}
+
+func intersect(a, b ValuePred) ValuePred {
+	out := a
+	if b.Lo > out.Lo {
+		out.Lo = b.Lo
+	}
+	if b.Hi < out.Hi {
+		out.Hi = b.Hi
+	}
+	return out
+}

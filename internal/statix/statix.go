@@ -1,0 +1,323 @@
+// Package statix implements a simplified version of StatiX (Freire,
+// Haritsa, Ramanath, Roy, Siméon: "StatiX: Making XML Count", SIGMOD
+// 2002), the other twig-selectivity proposal the paper's related work
+// discusses ("StatiX captures the underlying path distribution with
+// one-dimensional histograms on element ids"). The paper compares only
+// against CSTs; this baseline is provided as an extension experiment.
+//
+// Model (following the published description, without XML-Schema types —
+// tags play the role of types, as in the paper's own summary of StatiX):
+//
+//   - Every element receives a type-local ID: its index among the elements
+//     of its tag, in document order. Document order makes the children of
+//     one parent contiguous in the child type's ID space.
+//   - For every synopsis edge (parentTag -> childTag), a one-dimensional
+//     equi-width histogram over the PARENT type's ID space records how
+//     many childTag children the parents in each ID bucket have, plus how
+//     many of those parents have at least one such child.
+//   - Twig estimation walks the query top-down. At a branching node, the
+//     per-bucket child averages of the sibling edges are multiplied inside
+//     each bucket before summing — bucket-level correlation, the mechanism
+//     StatiX uses to beat pure independence. Deeper levels compose through
+//     per-edge averages (cross-level correlation is lost, as in the
+//     original unless the schema is refined).
+//
+// Value predicates are ignored (the comparison workload contains none) and
+// a descendant step at the query root falls back to the global tag count.
+package statix
+
+import (
+	"fmt"
+
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+// Config controls summary construction.
+type Config struct {
+	// BucketsPerEdge is the number of ID-space buckets per edge histogram.
+	BucketsPerEdge int
+	// BucketBytes prices one bucket (two counts), NodeBytes one tag entry,
+	// for budget comparisons.
+	BucketBytes, NodeBytes int
+}
+
+// DefaultConfig uses 8 buckets per edge.
+func DefaultConfig() Config { return Config{BucketsPerEdge: 8, BucketBytes: 8, NodeBytes: 6} }
+
+// Summary is a StatiX-lite synopsis.
+type Summary struct {
+	cfg Config
+	// counts[tag] is the number of elements with the tag.
+	counts map[string]int
+	// rootChildren[tag] is the number of tag children of the document root.
+	rootChildren map[string]int
+	rootTag      string
+	// edges maps (parentTag, childTag) to the edge histogram.
+	edges map[[2]string]*edgeHist
+}
+
+// edgeHist is the 1-D histogram over the parent type's ID space.
+type edgeHist struct {
+	parentTotal int // |parentTag|
+	// children[b] is the number of childTag children whose parent ID falls
+	// in bucket b; parents[b] the number of distinct such parents.
+	children []int
+	parents  []int
+}
+
+func (h *edgeHist) buckets() int { return len(h.children) }
+
+// bucketOf maps a parent ID to its bucket.
+func (h *edgeHist) bucketOf(parentID int) int {
+	b := parentID * h.buckets() / h.parentTotal
+	if b >= h.buckets() {
+		b = h.buckets() - 1
+	}
+	return b
+}
+
+// bucketWidth returns the number of parent IDs covered by bucket b.
+func (h *edgeHist) bucketWidth(b int) float64 {
+	n, k := h.parentTotal, h.buckets()
+	lo := b * n / k
+	hi := (b + 1) * n / k
+	if b == k-1 {
+		hi = n
+	}
+	return float64(hi - lo)
+}
+
+// Build constructs the summary for a document.
+func Build(d *xmltree.Document, cfg Config) *Summary {
+	if cfg.BucketsPerEdge < 1 {
+		cfg.BucketsPerEdge = 1
+	}
+	s := &Summary{
+		cfg:          cfg,
+		counts:       map[string]int{},
+		rootChildren: map[string]int{},
+		rootTag:      d.Tag(d.Node(d.Root()).Tag),
+		edges:        map[[2]string]*edgeHist{},
+	}
+	// Type-local IDs in document order.
+	ids := make([]int, d.Len())
+	d.Walk(func(id xmltree.NodeID, _ int) bool {
+		tag := d.Tag(d.Node(id).Tag)
+		ids[id] = s.counts[tag]
+		s.counts[tag]++
+		return true
+	})
+	for _, c := range d.Node(d.Root()).Children {
+		s.rootChildren[d.Tag(d.Node(c).Tag)]++
+	}
+	// Edge histograms.
+	type seenKey struct {
+		key      [2]string
+		parentID int
+	}
+	seen := map[seenKey]bool{}
+	for i := 0; i < d.Len(); i++ {
+		id := xmltree.NodeID(i)
+		p := d.Node(id).Parent
+		if p == xmltree.NilNode {
+			continue
+		}
+		key := [2]string{d.Tag(d.Node(p).Tag), d.Tag(d.Node(id).Tag)}
+		h := s.edges[key]
+		if h == nil {
+			h = &edgeHist{
+				parentTotal: s.counts[key[0]],
+				children:    make([]int, cfg.BucketsPerEdge),
+				parents:     make([]int, cfg.BucketsPerEdge),
+			}
+			s.edges[key] = h
+		}
+		b := h.bucketOf(ids[p])
+		h.children[b]++
+		sk := seenKey{key, ids[p]}
+		if !seen[sk] {
+			seen[sk] = true
+			h.parents[b]++
+		}
+	}
+	return s
+}
+
+// SizeBytes prices the stored summary.
+func (s *Summary) SizeBytes() int {
+	total := len(s.counts) * s.cfg.NodeBytes
+	for _, h := range s.edges {
+		total += h.buckets() * s.cfg.BucketBytes
+	}
+	return total
+}
+
+// Coarsen rebuilds every edge histogram with fewer buckets so the summary
+// fits the byte budget (StatiX's uniform space allocation, which the paper
+// contrasts with XBUILD's skew-directed allocation).
+func (s *Summary) Coarsen(budgetBytes int) {
+	for s.SizeBytes() > budgetBytes {
+		maxB := 0
+		for _, h := range s.edges {
+			if h.buckets() > maxB {
+				maxB = h.buckets()
+			}
+		}
+		if maxB <= 1 {
+			return
+		}
+		for key, h := range s.edges {
+			if h.buckets() < 2 {
+				continue
+			}
+			s.edges[key] = h.halve()
+		}
+	}
+}
+
+// halve merges adjacent bucket pairs.
+func (h *edgeHist) halve() *edgeHist {
+	k := (h.buckets() + 1) / 2
+	out := &edgeHist{parentTotal: h.parentTotal, children: make([]int, k), parents: make([]int, k)}
+	for b := 0; b < h.buckets(); b++ {
+		out.children[b/2] += h.children[b]
+		out.parents[b/2] += h.parents[b]
+	}
+	return out
+}
+
+// Count returns the stored element count of a tag.
+func (s *Summary) Count(tag string) int { return s.counts[tag] }
+
+// EstimateQuery estimates the binding-tuple count of a twig query with
+// simple (child-axis) path expressions. Value and branching predicates are
+// ignored; a descendant-axis root step resolves to the global tag count.
+func (s *Summary) EstimateQuery(q *twig.Query) float64 {
+	if q.Root == nil {
+		return 0
+	}
+	steps := q.Root.Path.Steps
+	if len(steps) == 0 {
+		return 0
+	}
+	var base float64
+	var parentTag string
+	switch {
+	case steps[0].Axis == pathexpr.Descendant:
+		base = float64(s.counts[steps[0].Label])
+	case steps[0].Label == s.rootTag:
+		// Absolute-style path naming the root element itself.
+		base = 1
+	default:
+		base = float64(s.rootChildren[steps[0].Label])
+	}
+	parentTag = steps[0].Label
+	// Continue along the remaining root-path steps with per-edge averages.
+	for _, st := range steps[1:] {
+		base *= s.avgChildren(parentTag, st.Label)
+		parentTag = st.Label
+	}
+	if base == 0 {
+		return 0
+	}
+	return base * s.contrib(q.Root, parentTag)
+}
+
+// contrib returns the expected subtree binding tuples per element of the
+// twig node's final tag. Sibling branches are combined with bucket-level
+// correlation over the shared parent's ID space.
+func (s *Summary) contrib(t *twig.Node, parentTag string) float64 {
+	if len(t.Children) == 0 {
+		return 1
+	}
+	// Per-branch: the edge histogram for the first step, plus the
+	// continuation multiplier for deeper steps and the child's own subtree.
+	type branch struct {
+		h    *edgeHist
+		cont float64
+	}
+	branches := make([]branch, 0, len(t.Children))
+	for _, ct := range t.Children {
+		steps := ct.Path.Steps
+		if len(steps) == 0 {
+			return 0
+		}
+		h := s.edges[[2]string{parentTag, steps[0].Label}]
+		if h == nil {
+			return 0
+		}
+		cont := 1.0
+		prev := steps[0].Label
+		for _, st := range steps[1:] {
+			cont *= s.avgChildren(prev, st.Label)
+			prev = st.Label
+		}
+		cont *= s.contrib(ct, prev)
+		if cont == 0 {
+			return 0
+		}
+		branches = append(branches, branch{h, cont})
+	}
+	// Bucket-level correlation: Σ_b width_b/|parent| * Π_i avg_i,b.
+	// All histograms share the parent ID space and bucket boundaries (same
+	// bucket count unless coarsening diverged; fall back to independence
+	// then).
+	k := branches[0].h.buckets()
+	uniform := false
+	for _, br := range branches[1:] {
+		if br.h.buckets() != k {
+			uniform = true
+			break
+		}
+	}
+	parentTotal := float64(branches[0].h.parentTotal)
+	if parentTotal == 0 {
+		return 0
+	}
+	if uniform || len(branches) == 1 {
+		// Independence across branches on global averages.
+		result := 1.0
+		for _, br := range branches {
+			total := 0
+			for _, c := range br.h.children {
+				total += c
+			}
+			result *= float64(total) / parentTotal * br.cont
+		}
+		return result
+	}
+	total := 0.0
+	for b := 0; b < k; b++ {
+		width := branches[0].h.bucketWidth(b)
+		if width == 0 {
+			continue
+		}
+		term := width / parentTotal
+		for _, br := range branches {
+			term *= float64(br.h.children[b]) / width * br.cont
+		}
+		total += term
+	}
+	return total
+}
+
+// avgChildren returns the average number of childTag children per
+// parentTag element.
+func (s *Summary) avgChildren(parentTag, childTag string) float64 {
+	h := s.edges[[2]string{parentTag, childTag}]
+	if h == nil || h.parentTotal == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range h.children {
+		total += c
+	}
+	return float64(total) / float64(h.parentTotal)
+}
+
+// String summarizes the synopsis.
+func (s *Summary) String() string {
+	return fmt.Sprintf("statix{%d tags, %d edges, %d bytes}", len(s.counts), len(s.edges), s.SizeBytes())
+}

@@ -1,0 +1,123 @@
+package statix
+
+import (
+	"math"
+	"testing"
+
+	"xsketch/internal/eval"
+	"xsketch/internal/metrics"
+	"xsketch/internal/twig"
+	"xsketch/internal/workload"
+	"xsketch/internal/xmlgen"
+	"xsketch/internal/xmltree"
+)
+
+func TestBuildCounts(t *testing.T) {
+	d := xmltree.Bibliography()
+	s := Build(d, DefaultConfig())
+	if s.Count("author") != 3 || s.Count("paper") != 4 || s.Count("keyword") != 5 {
+		t.Fatalf("counts = %v %v %v", s.Count("author"), s.Count("paper"), s.Count("keyword"))
+	}
+	if s.SizeBytes() <= 0 {
+		t.Fatal("zero size")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestEstimateChains(t *testing.T) {
+	d := xmltree.Bibliography()
+	s := Build(d, DefaultConfig())
+	ev := eval.New(d)
+	for _, src := range []string{
+		"t0 in author",
+		"t0 in author/paper",
+		"t0 in author/paper/keyword",
+		"t0 in //title",
+	} {
+		q := twig.MustParse(src)
+		got := s.EstimateQuery(q)
+		want := float64(ev.Selectivity(q))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("EstimateQuery(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEstimateZeroForMissing(t *testing.T) {
+	d := xmltree.Bibliography()
+	s := Build(d, DefaultConfig())
+	for _, src := range []string{
+		"t0 in magazine",
+		"t0 in author, t1 in t0/magazine",
+	} {
+		if got := s.EstimateQuery(twig.MustParse(src)); got != 0 {
+			t.Errorf("EstimateQuery(%q) = %v, want 0", src, got)
+		}
+	}
+}
+
+func TestBucketCorrelation(t *testing.T) {
+	// The Figure-4 motivating documents: b and c counts anti-correlated
+	// (uniform doc) vs positively correlated (skewed doc). With enough ID
+	// buckets, StatiX's bucket-level correlation separates the two, unlike
+	// global independence.
+	q := twig.MustParse("t0 in a, t1 in t0/b, t2 in t0/c")
+	cfg := DefaultConfig()
+	cfg.BucketsPerEdge = 2 // one bucket per a element
+	u := Build(xmltree.MotivatingUniform(), cfg)
+	sk := Build(xmltree.MotivatingSkewed(), cfg)
+	eu := u.EstimateQuery(q)
+	es := sk.EstimateQuery(q)
+	if math.Abs(eu-2000) > 1e-6 {
+		t.Fatalf("uniform doc = %v, want 2000", eu)
+	}
+	if math.Abs(es-10100) > 1e-6 {
+		t.Fatalf("skewed doc = %v, want 10100", es)
+	}
+	// A single bucket collapses to independence: 2 * 55 * 55.
+	cfg1 := DefaultConfig()
+	cfg1.BucketsPerEdge = 1
+	u1 := Build(xmltree.MotivatingUniform(), cfg1)
+	if got := u1.EstimateQuery(q); math.Abs(got-6050) > 1e-6 {
+		t.Fatalf("1-bucket estimate = %v, want 6050", got)
+	}
+}
+
+func TestCoarsenReducesSize(t *testing.T) {
+	d := xmlgen.SwissProt(xmlgen.Config{Seed: 2, Scale: 0.03})
+	s := Build(d, Config{BucketsPerEdge: 32, BucketBytes: 8, NodeBytes: 6})
+	full := s.SizeBytes()
+	s.Coarsen(full / 4)
+	if s.SizeBytes() > full/4 {
+		t.Fatalf("Coarsen left %d > %d", s.SizeBytes(), full/4)
+	}
+	// Still estimates.
+	q := twig.MustParse("t0 in entry, t1 in t0/reference, t2 in t1/author")
+	if got := s.EstimateQuery(q); got <= 0 {
+		t.Fatalf("post-coarsen estimate = %v", got)
+	}
+	// Coarsening to an impossible budget stops at 1 bucket per edge.
+	s.Coarsen(1)
+	if s.SizeBytes() <= 0 {
+		t.Fatal("degenerate size")
+	}
+}
+
+func TestAccuracyOnSimpleWorkload(t *testing.T) {
+	d := xmlgen.IMDB(xmlgen.Config{Seed: 4, Scale: 0.03})
+	s := Build(d, DefaultConfig())
+	wcfg := workload.DefaultConfig(workload.KindSimple)
+	wcfg.NumQueries = 50
+	w := workload.Generate(d, wcfg)
+	results := make([]metrics.Result, len(w.Queries))
+	for i, q := range w.Queries {
+		results[i] = metrics.Result{Truth: q.Truth, Estimate: s.EstimateQuery(q.Twig)}
+	}
+	sum := metrics.Evaluate(results, 10)
+	t.Logf("statix on imdb: %s", sum)
+	if sum.AvgError > 2 {
+		t.Fatalf("statix error %.0f%% implausible", sum.AvgError*100)
+	}
+}

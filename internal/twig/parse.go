@@ -1,0 +1,154 @@
+package twig
+
+import (
+	"fmt"
+	"strings"
+
+	"xsketch/internal/pathexpr"
+)
+
+// Parse parses a twig query in the XQuery-style for-clause notation:
+//
+//	for t0 in //movie[type=5], t1 in t0/actor, t2 in t0/producer
+//
+// The leading "for" keyword is optional. Each binding is "<var> in <path>";
+// the first binding's path is absolute, subsequent bindings must be rooted
+// at a previously defined variable ("tK/<path>"). A binding rooted at a
+// variable becomes a child twig node of that variable's node, mirroring the
+// paper's equivalence between for-clauses and twig trees.
+func Parse(src string) (*Query, error) {
+	s := strings.TrimSpace(src)
+	if rest, ok := cutPrefixFold(s, "for "); ok {
+		s = rest
+	}
+	if s == "" {
+		return nil, fmt.Errorf("twig: empty query")
+	}
+	bindings, err := splitBindings(s)
+	if err != nil {
+		return nil, err
+	}
+	vars := make(map[string]*Node)
+	var q *Query
+	for i, b := range bindings {
+		name, expr, err := splitBinding(b)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := vars[name]; dup {
+			return nil, fmt.Errorf("twig: duplicate variable %q", name)
+		}
+		// Does the expression start with a known variable?
+		head, rest := splitHead(expr)
+		if parent, ok := vars[head]; ok {
+			if rest == "" {
+				return nil, fmt.Errorf("twig: binding %q: missing path after variable %q", b, head)
+			}
+			p, err := pathexpr.Parse(rest)
+			if err != nil {
+				return nil, fmt.Errorf("twig: binding %q: %w", b, err)
+			}
+			n := &Node{Var: name, Path: p}
+			parent.Children = append(parent.Children, n)
+			vars[name] = n
+			continue
+		}
+		if i != 0 {
+			return nil, fmt.Errorf("twig: binding %q does not reference a previous variable", b)
+		}
+		p, err := pathexpr.Parse(expr)
+		if err != nil {
+			return nil, fmt.Errorf("twig: binding %q: %w", b, err)
+		}
+		root := &Node{Var: name, Path: p}
+		q = &Query{Root: root}
+		vars[name] = root
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and constants.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// splitBindings splits on commas that are not nested inside brackets.
+func splitBindings(s string) ([]string, error) {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("twig: unbalanced ']' in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("twig: unbalanced '[' in %q", s)
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	for _, b := range out {
+		if b == "" {
+			return nil, fmt.Errorf("twig: empty binding in %q", s)
+		}
+	}
+	return out, nil
+}
+
+func splitBinding(b string) (name, expr string, err error) {
+	idx := strings.Index(b, " in ")
+	if idx < 0 {
+		return "", "", fmt.Errorf("twig: binding %q lacks ' in '", b)
+	}
+	name = strings.TrimSpace(b[:idx])
+	expr = strings.TrimSpace(b[idx+len(" in "):])
+	if name == "" || strings.ContainsAny(name, "/[] ") {
+		return "", "", fmt.Errorf("twig: bad variable name %q", name)
+	}
+	if expr == "" {
+		return "", "", fmt.Errorf("twig: binding %q lacks a path", b)
+	}
+	return name, expr, nil
+}
+
+// splitHead splits "t0/actor" into ("t0", "/actor") and "t0//b" into
+// ("t0", "//b"), preserving the axis slashes so pathexpr.Parse sees them.
+// For absolute paths it returns ("", expr) when the head cannot be a
+// variable reference (leading slash or predicates) or (head, "") when there
+// is no slash at all.
+func splitHead(expr string) (head, rest string) {
+	if strings.HasPrefix(expr, "/") {
+		return "", expr
+	}
+	idx := strings.IndexByte(expr, '/')
+	if idx < 0 {
+		return expr, ""
+	}
+	// Only treat as a variable head if the segment has no predicates.
+	seg := expr[:idx]
+	if strings.ContainsAny(seg, "[]") {
+		return "", expr
+	}
+	return seg, expr[idx:]
+}

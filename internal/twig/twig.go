@@ -1,0 +1,176 @@
+// Package twig implements the paper's twig query model (Section 2): a
+// node-labeled tree T_Q(V_Q, E_Q) where each node t_i carries a path
+// expression P_i describing the structural relationship between its elements
+// and those of its parent node. The result of a twig query is the set of
+// binding tuples assigning one document element to every twig node; the
+// query's selectivity is the number of such tuples.
+//
+// Queries can be built programmatically or parsed from the XQuery-style
+// for-clause notation the paper uses:
+//
+//	for t0 in //movie[type=5], t1 in t0/actor, t2 in t0/producer
+package twig
+
+import (
+	"fmt"
+	"strings"
+
+	"xsketch/internal/pathexpr"
+)
+
+// Node is one node of a twig query. Its Path is evaluated relative to the
+// parent node's elements (or to the document root for the query root).
+type Node struct {
+	// Var is an optional variable name (kept for display; semantics are
+	// positional).
+	Var      string
+	Path     *pathexpr.Path
+	Children []*Node
+}
+
+// Query is a twig query: a rooted tree of path-labeled nodes.
+type Query struct {
+	Root *Node
+}
+
+// New builds a query from a root path expression.
+func New(rootPath *pathexpr.Path) *Query {
+	return &Query{Root: &Node{Var: "t0", Path: rootPath}}
+}
+
+// AddChild attaches a new twig node with the given path under parent and
+// returns it.
+func (q *Query) AddChild(parent *Node, path *pathexpr.Path) *Node {
+	n := &Node{Var: fmt.Sprintf("t%d", q.NodeCount()), Path: path}
+	parent.Children = append(parent.Children, n)
+	return n
+}
+
+// NodeCount returns the number of twig nodes in the query.
+func (q *Query) NodeCount() int {
+	count := 0
+	q.Walk(func(*Node, *Node, int) { count++ })
+	return count
+}
+
+// Walk visits every node in depth-first (pre-)order, passing the node, its
+// parent (nil for the root) and its depth.
+func (q *Query) Walk(fn func(n, parent *Node, depth int)) {
+	var rec func(n, parent *Node, depth int)
+	rec = func(n, parent *Node, depth int) {
+		fn(n, parent, depth)
+		for _, c := range n.Children {
+			rec(c, n, depth+1)
+		}
+	}
+	if q.Root != nil {
+		rec(q.Root, nil, 0)
+	}
+}
+
+// Nodes returns all twig nodes in depth-first order.
+func (q *Query) Nodes() []*Node {
+	var out []*Node
+	q.Walk(func(n, _ *Node, _ int) { out = append(out, n) })
+	return out
+}
+
+// Leaves returns the number of leaf twig nodes.
+func (q *Query) Leaves() int {
+	n := 0
+	q.Walk(func(node, _ *Node, _ int) {
+		if len(node.Children) == 0 {
+			n++
+		}
+	})
+	return n
+}
+
+// AvgFanout returns the average number of children over internal twig nodes
+// (the paper's Table 2 "Avg. Fanout"); 0 for a single-node query.
+func (q *Query) AvgFanout() float64 {
+	internal, children := 0, 0
+	q.Walk(func(n, _ *Node, _ int) {
+		if len(n.Children) > 0 {
+			internal++
+			children += len(n.Children)
+		}
+	})
+	if internal == 0 {
+		return 0
+	}
+	return float64(children) / float64(internal)
+}
+
+// IsPathQuery reports whether the twig degenerates to a single path (every
+// node has at most one child).
+func (q *Query) IsPathQuery() bool {
+	ok := true
+	q.Walk(func(n, _ *Node, _ int) {
+		if len(n.Children) > 1 {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// IsSimple reports whether every node's path is simple (child axis only, no
+// predicates); with IsPathQuery this characterises the paper's "simple path"
+// CST-comparison workload.
+func (q *Query) IsSimple() bool {
+	ok := true
+	q.Walk(func(n, _ *Node, _ int) {
+		if !n.Path.IsSimple() {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// CountValuePreds returns the number of value predicates anywhere in the
+// query (step predicates and branch predicates included).
+func (q *Query) CountValuePreds() int {
+	total := 0
+	q.Walk(func(n, _ *Node, _ int) { total += n.Path.CountValuePreds() })
+	return total
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	var rec func(n *Node) *Node
+	rec = func(n *Node) *Node {
+		out := &Node{Var: n.Var, Path: n.Path.Clone()}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, rec(c))
+		}
+		return out
+	}
+	if q.Root == nil {
+		return &Query{}
+	}
+	return &Query{Root: rec(q.Root)}
+}
+
+// String renders the query as a for-clause. Variables are renumbered in
+// depth-first order, matching the paper's convention.
+func (q *Query) String() string {
+	var parts []string
+	names := make(map[*Node]string)
+	i := 0
+	q.Walk(func(n, parent *Node, _ int) {
+		name := fmt.Sprintf("t%d", i)
+		names[n] = name
+		i++
+		if parent == nil {
+			parts = append(parts, fmt.Sprintf("%s in %s", name, n.Path))
+		} else {
+			ps := n.Path.String()
+			sep := "/"
+			if strings.HasPrefix(ps, "//") {
+				sep = ""
+			}
+			parts = append(parts, fmt.Sprintf("%s in %s%s%s", name, names[parent], sep, ps))
+		}
+	})
+	return "for " + strings.Join(parts, ", ")
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"xsketch/internal/twig"
+)
+
+// Save writes the workload as tab-separated lines "truth<TAB>query", with a
+// one-line header recording the kind. Queries render in the for-clause
+// notation and re-parse losslessly, so saved workloads replay across runs
+// and tools.
+func Save(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# xsketch workload kind=%s queries=%d\n", wl.Kind, len(wl.Queries)); err != nil {
+		return err
+	}
+	for _, q := range wl.Queries {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", q.Truth, q.Twig); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a workload written by Save.
+func Load(r io.Reader) (*Workload, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	wl := &Workload{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if k, ok := parseKindHeader(line); ok {
+				wl.Kind = k
+			}
+			continue
+		}
+		truthStr, querySrc, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("workload: line %d: expected 'truth<TAB>query'", lineNo)
+		}
+		truth, err := strconv.ParseInt(strings.TrimSpace(truthStr), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad truth %q: %v", lineNo, truthStr, err)
+		}
+		q, err := twig.Parse(querySrc)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %v", lineNo, err)
+		}
+		wl.Queries = append(wl.Queries, Query{Twig: q, Truth: truth})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %v", err)
+	}
+	return wl, nil
+}
+
+func parseKindHeader(line string) (Kind, bool) {
+	idx := strings.Index(line, "kind=")
+	if idx < 0 {
+		return 0, false
+	}
+	rest := line[idx+len("kind="):]
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	for _, k := range []Kind{KindP, KindPV, KindSimple, KindNegative} {
+		if k.String() == rest {
+			return k, true
+		}
+	}
+	return 0, false
+}

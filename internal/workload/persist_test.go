@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xsketch/internal/eval"
+	"xsketch/internal/xmlgen"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := xmlgen.IMDB(xmlgen.Config{Seed: 11, Scale: 0.03})
+	cfg := DefaultConfig(KindPV)
+	cfg.NumQueries = 25
+	w := Generate(d, cfg)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, w); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	w2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if w2.Kind != w.Kind {
+		t.Fatalf("kind %v -> %v", w.Kind, w2.Kind)
+	}
+	if len(w2.Queries) != len(w.Queries) {
+		t.Fatalf("queries %d -> %d", len(w.Queries), len(w2.Queries))
+	}
+	ev := eval.New(d)
+	for i := range w2.Queries {
+		if w2.Queries[i].Truth != w.Queries[i].Truth {
+			t.Fatalf("query %d truth %d -> %d", i, w.Queries[i].Truth, w2.Queries[i].Truth)
+		}
+		if w2.Queries[i].Twig.String() != w.Queries[i].Twig.String() {
+			t.Fatalf("query %d rendering changed:\n%s\n%s", i, w.Queries[i].Twig, w2.Queries[i].Twig)
+		}
+		// The reloaded query evaluates to the recorded truth.
+		if got := ev.Selectivity(w2.Queries[i].Twig); got != w2.Queries[i].Truth {
+			t.Fatalf("query %d reloaded truth %d != recorded %d", i, got, w2.Queries[i].Truth)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"5 no-tab-here",
+		"notanumber\tt0 in a",
+		"7\tt0 in a[",
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", src)
+		}
+	}
+	// Blank lines and comments are tolerated.
+	w, err := Load(strings.NewReader("# xsketch workload kind=P queries=1\n\n3\tt0 in a\n"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if w.Kind != KindP || len(w.Queries) != 1 || w.Queries[0].Truth != 3 {
+		t.Fatalf("loaded = %+v", w)
+	}
+}

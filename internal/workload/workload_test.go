@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"xsketch/internal/eval"
+	"xsketch/internal/xmlgen"
+	"xsketch/internal/xmltree"
+)
+
+func testDoc() *xmltree.Document {
+	return xmlgen.IMDB(xmlgen.Config{Seed: 11, Scale: 0.05})
+}
+
+func smallCfg(kind Kind) Config {
+	cfg := DefaultConfig(kind)
+	cfg.NumQueries = 40
+	return cfg
+}
+
+func TestGeneratePPositive(t *testing.T) {
+	d := testDoc()
+	w := Generate(d, smallCfg(KindP))
+	if len(w.Queries) != 40 {
+		t.Fatalf("generated %d queries, want 40", len(w.Queries))
+	}
+	for i, q := range w.Queries {
+		if q.Truth <= 0 {
+			t.Fatalf("query %d (%s) has truth %d", i, q.Twig, q.Truth)
+		}
+		n := q.Twig.NodeCount()
+		if n < 4 || n > 8 {
+			t.Fatalf("query %d has %d nodes", i, n)
+		}
+		if q.Twig.CountValuePreds() != 0 {
+			t.Fatalf("P workload query %d has value predicates: %s", i, q.Twig)
+		}
+	}
+}
+
+func TestGenerateTruthMatchesEvaluator(t *testing.T) {
+	d := testDoc()
+	w := Generate(d, smallCfg(KindP))
+	ev := eval.New(d)
+	for i, q := range w.Queries[:10] {
+		if got := ev.Selectivity(q.Twig); got != q.Truth {
+			t.Fatalf("query %d truth mismatch: %d vs %d", i, got, q.Truth)
+		}
+	}
+}
+
+func TestGeneratePVHasValuePreds(t *testing.T) {
+	d := testDoc()
+	w := Generate(d, smallCfg(KindPV))
+	if len(w.Queries) != 40 {
+		t.Fatalf("generated %d queries", len(w.Queries))
+	}
+	st := w.Stats()
+	// Roughly half the queries carry value predicates (paper: 500 of
+	// 1000). Bounds are loose: predicates occasionally fail to attach.
+	if st.WithValuePreds < 8 || st.WithValuePreds > 32 {
+		t.Fatalf("WithValuePreds = %d of 40", st.WithValuePreds)
+	}
+	for i, q := range w.Queries {
+		if q.Truth <= 0 {
+			t.Fatalf("P+V query %d has truth %d: %s", i, q.Truth, q.Twig)
+		}
+	}
+}
+
+func TestGenerateSimple(t *testing.T) {
+	d := testDoc()
+	w := Generate(d, smallCfg(KindSimple))
+	for i, q := range w.Queries {
+		if !q.Twig.IsSimple() {
+			t.Fatalf("simple workload query %d is not simple: %s", i, q.Twig)
+		}
+		if q.Truth <= 0 {
+			t.Fatalf("simple query %d truth = %d", i, q.Truth)
+		}
+	}
+}
+
+func TestGenerateNegative(t *testing.T) {
+	d := testDoc()
+	w := Generate(d, smallCfg(KindNegative))
+	if len(w.Queries) == 0 {
+		t.Fatal("no negative queries generated")
+	}
+	for i, q := range w.Queries {
+		if q.Truth != 0 {
+			t.Fatalf("negative query %d has truth %d: %s", i, q.Truth, q.Twig)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := testDoc()
+	w := Generate(d, smallCfg(KindP))
+	st := w.Stats()
+	if st.Count != 40 {
+		t.Fatalf("Count = %d", st.Count)
+	}
+	if st.AvgResult <= 0 {
+		t.Fatalf("AvgResult = %v", st.AvgResult)
+	}
+	if st.AvgFanout < 1 || st.AvgFanout > 4 {
+		t.Fatalf("AvgFanout = %v", st.AvgFanout)
+	}
+	if st.AvgNodes < 4 || st.AvgNodes > 8 {
+		t.Fatalf("AvgNodes = %v", st.AvgNodes)
+	}
+	truths := w.Truths()
+	if len(truths) != 40 || truths[0] != w.Queries[0].Truth {
+		t.Fatalf("Truths mismatch")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := testDoc()
+	w1 := Generate(d, smallCfg(KindP))
+	w2 := Generate(d, smallCfg(KindP))
+	if len(w1.Queries) != len(w2.Queries) {
+		t.Fatal("nondeterministic workload size")
+	}
+	for i := range w1.Queries {
+		if w1.Queries[i].Twig.String() != w2.Queries[i].Twig.String() {
+			t.Fatalf("query %d differs:\n%s\n%s", i, w1.Queries[i].Twig, w2.Queries[i].Twig)
+		}
+	}
+	cfg := smallCfg(KindP)
+	cfg.Seed = 99
+	w3 := Generate(d, cfg)
+	same := true
+	for i := range w1.Queries {
+		if i >= len(w3.Queries) || w1.Queries[i].Twig.String() != w3.Queries[i].Twig.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestBranchPredicatesAppear(t *testing.T) {
+	d := testDoc()
+	cfg := smallCfg(KindP)
+	cfg.BranchProb = 0.6
+	w := Generate(d, cfg)
+	branches := 0
+	for _, q := range w.Queries {
+		for _, n := range q.Twig.Nodes() {
+			for _, s := range n.Path.Steps {
+				branches += len(s.Branches)
+			}
+		}
+	}
+	if branches == 0 {
+		t.Fatal("no branching predicates generated in P workload")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindP: "P", KindPV: "P+V", KindSimple: "simple", KindNegative: "negative", Kind(99): "?"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k, want)
+		}
+	}
+}
+
+func TestSmallDocumentWorkload(t *testing.T) {
+	// The tiny bibliography fixture: the generator must still produce
+	// positive queries (possibly fewer than requested).
+	d := xmltree.Bibliography()
+	cfg := smallCfg(KindP)
+	cfg.NumQueries = 10
+	cfg.MinNodes = 2
+	cfg.MaxNodes = 4
+	w := Generate(d, cfg)
+	if len(w.Queries) == 0 {
+		t.Fatal("no queries on bibliography fixture")
+	}
+	for _, q := range w.Queries {
+		if q.Truth <= 0 {
+			t.Fatalf("non-positive query: %s", q.Twig)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package xmlgen
+
+import "xsketch/internal/xmltree"
+
+// Genre codes used by the IMDB generator's type element. Earlier genres are
+// "bigger" productions: more actors, more producers, more awards — the
+// cross-edge correlation the paper's introduction motivates ("we expect to
+// retrieve more actors and producers per movie if the type X is 'Action'
+// than if it is 'Documentary'").
+const (
+	GenreAction = iota
+	GenreAdventure
+	GenreThriller
+	GenreComedy
+	GenreDrama
+	GenreRomance
+	GenreHorror
+	GenreAnimation
+	GenreShort
+	GenreDocumentary
+	numGenres
+)
+
+// IMDB generates the movie-data stand-in: a skewed, correlated document.
+// At Scale 1 it holds roughly 100k elements. Its key statistical properties:
+//
+//   - Genre frequencies are Zipf-distributed (dramas and comedies dominate,
+//     shorts and documentaries are rare but structurally tiny).
+//   - Cast and producer counts are driven by genre and by a Zipf "budget"
+//     factor, so actor and producer counts are strongly correlated with
+//     each other and with the type value.
+//   - Awards exist mostly for big productions; box-office gross elements
+//     only exist for wide releases, adding structure/value correlation.
+func IMDB(cfg Config) *xmltree.Document {
+	g := newGen(cfg.Seed)
+	d := xmltree.NewDocument("imdb")
+	root := d.Root()
+	movies := cfg.scaledCount(3400)
+	for i := 0; i < movies; i++ {
+		imdbMovie(g, d, root)
+	}
+	return d
+}
+
+// genreCast maps genre to the base number of cast members.
+var genreCast = [numGenres]int{18, 15, 12, 10, 9, 8, 7, 6, 3, 2}
+
+func imdbMovie(g *gen, d *xmltree.Document, root xmltree.NodeID) {
+	m := d.AddChild(root, "movie")
+	d.AddChild(m, "title")
+	d.AddValueChild(m, "year", int64(g.uniform(1950, 2003)))
+	// Genre: Zipf over the 10 codes, so early genres are overrepresented.
+	genre := g.zipf(1.4, numGenres) - 1
+	d.AddValueChild(m, "type", int64(genre))
+	d.AddValueChild(m, "rating", int64(g.uniform(10, 100)))
+
+	// Budget factor: Zipf in [1, 8]; most movies are small productions,
+	// a few are blockbusters. Cast size = base(genre) scaled by budget.
+	budget := g.zipf(1.6, 8)
+	actors := genreCast[genre] * budget / 4
+	if actors < 1 {
+		actors = 1
+	}
+	actors = g.uniform(actors/2+1, actors+1)
+	for i := 0; i < actors; i++ {
+		a := d.AddChild(m, "actor")
+		d.AddChild(a, "name")
+	}
+	// Producers track actors (the correlation the twig query of the
+	// paper's introduction joins over).
+	producers := actors/6 + 1
+	for i := 0; i < producers; i++ {
+		p := d.AddChild(m, "producer")
+		d.AddChild(p, "name")
+	}
+	for i, n := 0, g.uniform(1, 2); i < n; i++ {
+		d.AddChild(m, "director")
+	}
+	for i, n := 0, g.zipf(1.8, 6); i < n; i++ {
+		d.AddValueChild(m, "keyword", int64(g.uniform(0, 499)))
+	}
+	// Awards: big productions of "prestige" genres.
+	if genre <= GenreDrama && budget >= 4 && g.bernoulli(0.6) {
+		for i, n := 0, g.uniform(1, 3); i < n; i++ {
+			aw := d.AddChild(m, "award")
+			d.AddValueChild(aw, "awardyear", int64(g.uniform(1950, 2003)))
+		}
+	}
+	// Box office: only wide releases carry a gross figure.
+	if budget >= 3 {
+		box := d.AddChild(m, "boxoffice")
+		d.AddValueChild(box, "gross", int64(budget*g.uniform(1_000, 50_000)))
+	}
+	// Episodes: shorts and animations sometimes come as series.
+	if (genre == GenreShort || genre == GenreAnimation) && g.bernoulli(0.4) {
+		for i, n := 0, g.uniform(2, 6); i < n; i++ {
+			ep := d.AddChild(m, "episode")
+			d.AddChild(ep, "title")
+			d.AddValueChild(ep, "number", int64(i+1))
+		}
+	}
+}

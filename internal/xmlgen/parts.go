@@ -1,0 +1,49 @@
+package xmlgen
+
+import "xsketch/internal/xmltree"
+
+// Parts generates a recursive assembly hierarchy (part elements nesting
+// under part elements), the classic recursive-DTD stress case for graph
+// synopses: the label-split synopsis contains a part -> part self-loop, so
+// descendant-axis expansion, TSN computation and XBUILD splits must all
+// handle cycles. It is not one of the paper's three evaluation datasets
+// but is shipped (as dataset "parts") for robustness testing and as a
+// workload source for the recursive-schema unit tests.
+//
+// Structure: a catalog of assemblies; each assembly is a part tree of
+// random depth (up to 6) where every part has a name, a cost value, and
+// 0-3 sub-parts; leaves carry a supplier reference.
+func Parts(cfg Config) *xmltree.Document {
+	g := newGen(cfg.Seed)
+	d := xmltree.NewDocument("catalog")
+	assemblies := cfg.scaledCount(900)
+	for i := 0; i < assemblies; i++ {
+		a := d.AddChild(d.Root(), "assembly")
+		d.AddChild(a, "name")
+		partsSubtree(g, d, a, 0)
+	}
+	return d
+}
+
+func partsSubtree(g *gen, d *xmltree.Document, parent xmltree.NodeID, depth int) {
+	p := d.AddChild(parent, "part")
+	d.AddChild(p, "name")
+	d.AddValueChild(p, "cost", int64(g.uniform(1, 1000)))
+	if depth >= 5 {
+		d.AddValueChild(p, "supplier", int64(g.uniform(0, 49)))
+		return
+	}
+	// Deeper levels fan out less, keeping the expected size finite.
+	max := 3 - depth/2
+	if max < 0 {
+		max = 0
+	}
+	n := g.uniform(0, max)
+	if n == 0 {
+		d.AddValueChild(p, "supplier", int64(g.uniform(0, 49)))
+		return
+	}
+	for i := 0; i < n; i++ {
+		partsSubtree(g, d, p, depth+1)
+	}
+}

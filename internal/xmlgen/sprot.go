@@ -1,0 +1,52 @@
+package xmlgen
+
+import "xsketch/internal/xmltree"
+
+// SwissProt generates the protein-annotation stand-in: entries with
+// references, features and keywords. It is "more regular" than IMDB (the
+// paper finds CSTs competitive on it at 50KB) but keeps a long-tailed
+// reference count. At Scale 1 it holds roughly 70k elements.
+func SwissProt(cfg Config) *xmltree.Document {
+	g := newGen(cfg.Seed)
+	d := xmltree.NewDocument("sprot")
+	root := d.Root()
+	entries := cfg.scaledCount(2300)
+	for i := 0; i < entries; i++ {
+		sprotEntry(g, d, root)
+	}
+	return d
+}
+
+func sprotEntry(g *gen, d *xmltree.Document, root xmltree.NodeID) {
+	e := d.AddChild(root, "entry")
+	prot := d.AddChild(e, "protein")
+	d.AddChild(prot, "name")
+	org := d.AddChild(e, "organism")
+	d.AddChild(org, "name")
+	if g.bernoulli(0.6) {
+		d.AddChild(org, "lineage")
+	}
+	seq := d.AddChild(e, "sequence")
+	d.AddValueChild(seq, "length", int64(g.uniform(50, 3000)))
+	d.AddValueChild(e, "created", int64(g.uniform(19860101, 20031231)))
+
+	for i, n := 0, g.zipf(1.5, 8); i < n; i++ {
+		ref := d.AddChild(e, "reference")
+		for j, m := 0, g.uniform(1, 4); j < m; j++ {
+			d.AddChild(ref, "author")
+		}
+		d.AddChild(ref, "title")
+		d.AddValueChild(ref, "year", int64(g.uniform(1970, 2003)))
+	}
+	for i, n := 0, g.uniform(0, 4); i < n; i++ {
+		f := d.AddChild(e, "feature")
+		d.AddChild(f, "type")
+		loc := d.AddChild(f, "location")
+		from := g.uniform(1, 2500)
+		d.AddValueChild(loc, "from", int64(from))
+		d.AddValueChild(loc, "to", int64(from+g.uniform(1, 400)))
+	}
+	for i, n := 0, g.uniform(1, 5); i < n; i++ {
+		d.AddValueChild(e, "keyword", int64(g.uniform(0, 199)))
+	}
+}

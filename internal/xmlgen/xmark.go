@@ -1,0 +1,143 @@
+package xmlgen
+
+import "xsketch/internal/xmltree"
+
+// XMark generates the auction-site benchmark stand-in. All fanouts are
+// drawn uniformly from narrow fixed ranges, giving the regular structure
+// for which the paper observes consistently low estimation error at every
+// synopsis size. At Scale 1 the document holds roughly 100k elements.
+func XMark(cfg Config) *xmltree.Document {
+	g := newGen(cfg.Seed)
+	d := xmltree.NewDocument("site")
+	root := d.Root()
+
+	regions := d.AddChild(root, "regions")
+	regionNames := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	items := cfg.scaledCount(2000)
+	for _, rn := range regionNames {
+		region := d.AddChild(regions, rn)
+		for i := 0; i < items/len(regionNames); i++ {
+			xmarkItem(g, d, region)
+		}
+	}
+
+	categories := d.AddChild(root, "categories")
+	for i := 0; i < cfg.scaledCount(100); i++ {
+		cat := d.AddChild(categories, "category")
+		d.AddChild(cat, "name")
+		d.AddChild(cat, "description")
+	}
+
+	people := d.AddChild(root, "people")
+	for i := 0; i < cfg.scaledCount(2500); i++ {
+		xmarkPerson(g, d, people)
+	}
+
+	open := d.AddChild(root, "open_auctions")
+	for i := 0; i < cfg.scaledCount(1200); i++ {
+		xmarkOpenAuction(g, d, open)
+	}
+
+	closed := d.AddChild(root, "closed_auctions")
+	for i := 0; i < cfg.scaledCount(1000); i++ {
+		xmarkClosedAuction(g, d, closed)
+	}
+	return d
+}
+
+func xmarkItem(g *gen, d *xmltree.Document, region xmltree.NodeID) {
+	item := d.AddChild(region, "item")
+	d.AddChild(item, "location")
+	d.AddValueChild(item, "quantity", int64(g.uniform(1, 10)))
+	d.AddChild(item, "name")
+	d.AddChild(item, "payment")
+	desc := d.AddChild(item, "description")
+	for i, n := 0, g.uniform(1, 3); i < n; i++ {
+		d.AddChild(desc, "parlist")
+	}
+	d.AddChild(item, "shipping")
+	for i, n := 0, g.uniform(1, 3); i < n; i++ {
+		d.AddValueChild(item, "incategory", int64(g.uniform(0, 99)))
+	}
+	mailbox := d.AddChild(item, "mailbox")
+	for i, n := 0, g.uniform(0, 3); i < n; i++ {
+		mail := d.AddChild(mailbox, "mail")
+		d.AddChild(mail, "from")
+		d.AddChild(mail, "to")
+		d.AddValueChild(mail, "date", int64(g.uniform(19980101, 20031231)))
+	}
+}
+
+func xmarkPerson(g *gen, d *xmltree.Document, people xmltree.NodeID) {
+	p := d.AddChild(people, "person")
+	d.AddChild(p, "name")
+	d.AddChild(p, "emailaddress")
+	if g.bernoulli(0.5) {
+		d.AddChild(p, "phone")
+	}
+	if g.bernoulli(0.7) {
+		addr := d.AddChild(p, "address")
+		d.AddChild(addr, "street")
+		d.AddChild(addr, "city")
+		d.AddChild(addr, "country")
+		d.AddValueChild(addr, "zipcode", int64(g.uniform(10000, 99999)))
+	}
+	if g.bernoulli(0.5) {
+		d.AddChild(p, "creditcard")
+	}
+	if g.bernoulli(0.8) {
+		prof := d.AddChild(p, "profile")
+		for i, n := 0, g.uniform(0, 3); i < n; i++ {
+			d.AddChild(prof, "interest")
+		}
+		if g.bernoulli(0.5) {
+			d.AddChild(prof, "education")
+		}
+		if g.bernoulli(0.5) {
+			d.AddChild(prof, "gender")
+		}
+		d.AddChild(prof, "business")
+		if g.bernoulli(0.8) {
+			d.AddValueChild(prof, "age", int64(g.uniform(18, 80)))
+		}
+	}
+	if g.bernoulli(0.4) {
+		watches := d.AddChild(p, "watches")
+		for i, n := 0, g.uniform(1, 3); i < n; i++ {
+			d.AddChild(watches, "watch")
+		}
+	}
+}
+
+func xmarkOpenAuction(g *gen, d *xmltree.Document, open xmltree.NodeID) {
+	oa := d.AddChild(open, "open_auction")
+	d.AddValueChild(oa, "initial", int64(g.uniform(1, 500)))
+	for i, n := 0, g.uniform(0, 4); i < n; i++ {
+		b := d.AddChild(oa, "bidder")
+		d.AddValueChild(b, "date", int64(g.uniform(19980101, 20031231)))
+		d.AddValueChild(b, "increase", int64(g.uniform(1, 50)))
+	}
+	d.AddValueChild(oa, "current", int64(g.uniform(1, 5000)))
+	d.AddChild(oa, "itemref")
+	d.AddChild(oa, "seller")
+	d.AddValueChild(oa, "quantity", int64(g.uniform(1, 10)))
+	d.AddChild(oa, "type")
+	iv := d.AddChild(oa, "interval")
+	d.AddValueChild(iv, "start", int64(g.uniform(19980101, 20031231)))
+	d.AddValueChild(iv, "end", int64(g.uniform(19980101, 20031231)))
+	d.AddChild(oa, "annotation")
+}
+
+func xmarkClosedAuction(g *gen, d *xmltree.Document, closed xmltree.NodeID) {
+	ca := d.AddChild(closed, "closed_auction")
+	d.AddChild(ca, "seller")
+	d.AddChild(ca, "buyer")
+	d.AddChild(ca, "itemref")
+	d.AddValueChild(ca, "price", int64(g.uniform(1, 5000)))
+	d.AddValueChild(ca, "date", int64(g.uniform(19980101, 20031231)))
+	d.AddValueChild(ca, "quantity", int64(g.uniform(1, 10)))
+	d.AddChild(ca, "type")
+	ann := d.AddChild(ca, "annotation")
+	d.AddChild(ann, "description")
+	d.AddValueChild(ann, "happiness", int64(g.uniform(1, 10)))
+}

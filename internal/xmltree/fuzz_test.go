@@ -1,0 +1,45 @@
+package xmltree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks that the XML parser never panics, and that every
+// accepted document validates and survives a serialize/re-parse cycle.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`<a/>`,
+		`<a><b>7</b></a>`,
+		`<bib><author id="3"><name/></author></bib>`,
+		`<a>text<b/>tail</a>`,
+		`<a b="x" c="-12"/>`,
+		``,
+		`<a>`,
+		`<a></b>`,
+		`<a/><b/>`,
+		`<a>&lt;</a>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted document fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Serialize(&buf, d); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		d2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of serialized output failed: %v\n%s", err, buf.String())
+		}
+		if d2.Len() != d.Len() {
+			t.Fatalf("element count changed: %d -> %d", d.Len(), d2.Len())
+		}
+	})
+}

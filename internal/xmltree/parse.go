@@ -1,0 +1,142 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads an XML document from r into the arena representation.
+//
+// Element attributes are modeled as child elements (the paper's data model
+// treats attributes as containment edges just like sub-elements). Character
+// data under an element is parsed as an int64 value when it is entirely
+// numeric; otherwise it is ignored, matching the prototype's focus on
+// integer range predicates.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var d *Document
+	var stack []NodeID
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			text.Reset()
+			var id NodeID
+			if d == nil {
+				d = NewDocument(t.Name.Local)
+				id = d.Root()
+			} else {
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements (second is <%s>)", t.Name.Local)
+				}
+				id = d.AddChild(stack[len(stack)-1], t.Name.Local)
+			}
+			for _, attr := range t.Attr {
+				if attr.Name.Space == "xmlns" || attr.Name.Local == "xmlns" {
+					continue
+				}
+				aid := d.AddChild(id, "@"+attr.Name.Local)
+				if v, err := strconv.ParseInt(strings.TrimSpace(attr.Value), 10, 64); err == nil {
+					d.SetValue(aid, v)
+				}
+			}
+			stack = append(stack, id)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element </%s>", t.Name.Local)
+			}
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if s := strings.TrimSpace(text.String()); s != "" && len(d.Nodes[id].Children) == 0 {
+				if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+					d.SetValue(id, v)
+				}
+			}
+			text.Reset()
+		case xml.CharData:
+			text.Write(t)
+		}
+	}
+	if d == nil {
+		return nil, fmt.Errorf("xmltree: parse: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: %d unclosed elements", len(stack))
+	}
+	return d, nil
+}
+
+// ParseString parses an XML document from a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Serialize writes the document as XML to w. Leaf values are written as
+// character data; attribute-modeled children (tags starting with '@') are
+// written back as attributes. The output round-trips through Parse.
+func Serialize(w io.Writer, d *Document) error {
+	bw := &errWriter{w: w}
+	if _, err := io.WriteString(bw, xml.Header); err != nil {
+		return err
+	}
+	serializeNode(bw, d, d.Root(), 0)
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}
+
+func serializeNode(w io.Writer, d *Document, id NodeID, depth int) {
+	n := d.Node(id)
+	tag := d.Tag(n.Tag)
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%s<%s", indent, tag)
+	// Emit attribute-children inline, remember element children.
+	var elems []NodeID
+	for _, c := range n.Children {
+		ctag := d.Tag(d.Node(c).Tag)
+		if strings.HasPrefix(ctag, "@") {
+			cn := d.Node(c)
+			if cn.HasValue {
+				fmt.Fprintf(w, " %s=%q", ctag[1:], strconv.FormatInt(cn.Value, 10))
+			} else {
+				fmt.Fprintf(w, " %s=\"\"", ctag[1:])
+			}
+			continue
+		}
+		elems = append(elems, c)
+	}
+	switch {
+	case len(elems) == 0 && n.HasValue:
+		fmt.Fprintf(w, ">%d</%s>\n", n.Value, tag)
+	case len(elems) == 0:
+		fmt.Fprintf(w, "/>\n")
+	default:
+		fmt.Fprintf(w, ">\n")
+		for _, c := range elems {
+			serializeNode(w, d, c, depth+1)
+		}
+		fmt.Fprintf(w, "%s</%s>\n", indent, tag)
+	}
+}

@@ -1,0 +1,107 @@
+package xmltree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Stats summarizes the structural characteristics a dataset reports in the
+// paper's Table 1 plus a few extras that are useful when validating the
+// synthetic generators.
+type Stats struct {
+	// ElementCount is the total number of elements (paper: "Element Count").
+	ElementCount int
+	// TextBytes is the size of the serialized XML file (paper: "Text Size").
+	TextBytes int
+	// DistinctTags is the number of distinct element tags.
+	DistinctTags int
+	// DistinctPaths is the number of distinct root-to-node label paths.
+	DistinctPaths int
+	// MaxDepth is the maximum node depth (root = 0).
+	MaxDepth int
+	// AvgFanout is the average number of children over internal nodes.
+	AvgFanout float64
+	// ValueCount is the number of elements carrying an integer value.
+	ValueCount int
+}
+
+// ComputeStats derives Stats for a document. TextBytes is measured by
+// serializing the document, which is what the paper reports ("the size of
+// the corresponding disk file").
+func ComputeStats(d *Document) Stats {
+	var s Stats
+	s.ElementCount = d.Len()
+	s.DistinctTags = d.TagCount()
+
+	paths := make(map[string]struct{})
+	internal := 0
+	childSum := 0
+	d.Walk(func(id NodeID, depth int) bool {
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		n := d.Node(id)
+		if n.HasValue {
+			s.ValueCount++
+		}
+		if len(n.Children) > 0 {
+			internal++
+			childSum += len(n.Children)
+		}
+		paths[d.PathString(id)] = struct{}{}
+		return true
+	})
+	s.DistinctPaths = len(paths)
+	if internal > 0 {
+		s.AvgFanout = float64(childSum) / float64(internal)
+	}
+
+	var buf bytes.Buffer
+	if err := Serialize(&buf, d); err == nil {
+		s.TextBytes = buf.Len()
+	}
+	return s
+}
+
+// ValueDomain returns the [min, max] range of integer values under elements
+// with the given tag, and whether any were found. Workload generation uses
+// this to draw the paper's "random 10% range" value predicates.
+func ValueDomain(d *Document, tag TagID) (lo, hi int64, ok bool) {
+	first := true
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Tag != tag || !n.HasValue {
+			continue
+		}
+		if first {
+			lo, hi, first = n.Value, n.Value, false
+			continue
+		}
+		if n.Value < lo {
+			lo = n.Value
+		}
+		if n.Value > hi {
+			hi = n.Value
+		}
+	}
+	return lo, hi, !first
+}
+
+// ValueTags returns the TagIDs (sorted) of tags for which at least minCount
+// elements carry a value. Workloads attach value predicates to these tags.
+func ValueTags(d *Document, minCount int) []TagID {
+	counts := make(map[TagID]int)
+	for i := range d.Nodes {
+		if d.Nodes[i].HasValue {
+			counts[d.Nodes[i].Tag]++
+		}
+	}
+	var out []TagID
+	for t, c := range counts {
+		if c >= minCount {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

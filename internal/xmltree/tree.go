@@ -1,0 +1,281 @@
+// Package xmltree provides the XML data model used throughout the library.
+//
+// Following the paper's preliminaries (Section 2), an XML document is modeled
+// as a tree T(V, E) where each node corresponds to an element (we fold
+// attributes into elements, as the paper's synopsis model treats them
+// uniformly) and an edge represents containment. Leaf elements may carry an
+// integer value; the paper's value predicates are ranges over integers.
+//
+// Documents are stored in a flat arena: node identity is an int32 index into
+// Document.Nodes, parents and children are index links, and tags are interned
+// into small integer TagIDs. This keeps a 100k-element document within a few
+// megabytes and makes synopsis construction (which partitions elements into
+// extents of node IDs) cheap.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies an element within its Document. The root has ID 0.
+// NilNode marks the absence of a node (e.g. the root's parent).
+type NodeID int32
+
+// NilNode is the sentinel "no node" value.
+const NilNode NodeID = -1
+
+// TagID is an interned element tag. Tag text is recovered via Document.Tag.
+type TagID int32
+
+// Node is a single element of the document tree. Children are stored as a
+// contiguous slice of NodeIDs in document order.
+type Node struct {
+	Parent   NodeID
+	Tag      TagID
+	Children []NodeID
+	// Value is the node's integer content for leaf elements that carry one;
+	// HasValue reports whether Value is meaningful.
+	Value    int64
+	HasValue bool
+}
+
+// Document is an XML tree in arena form. The zero value is not usable;
+// construct documents with NewBuilder or Parse.
+type Document struct {
+	// Nodes holds every element; Nodes[0] is the root.
+	Nodes []Node
+	// tags maps interned TagIDs back to tag text.
+	tags []string
+	// tagIndex maps tag text to its TagID.
+	tagIndex map[string]TagID
+}
+
+// NewDocument returns an empty document with a single root element carrying
+// the given tag.
+func NewDocument(rootTag string) *Document {
+	d := &Document{tagIndex: make(map[string]TagID)}
+	root := d.Intern(rootTag)
+	d.Nodes = append(d.Nodes, Node{Parent: NilNode, Tag: root})
+	return d
+}
+
+// Intern returns the TagID for tag, allocating one if needed.
+func (d *Document) Intern(tag string) TagID {
+	if id, ok := d.tagIndex[tag]; ok {
+		return id
+	}
+	id := TagID(len(d.tags))
+	d.tags = append(d.tags, tag)
+	if d.tagIndex == nil {
+		d.tagIndex = make(map[string]TagID)
+	}
+	d.tagIndex[tag] = id
+	return id
+}
+
+// LookupTag returns the TagID for tag and whether it is known.
+func (d *Document) LookupTag(tag string) (TagID, bool) {
+	id, ok := d.tagIndex[tag]
+	return id, ok
+}
+
+// Tag returns the text of an interned tag.
+func (d *Document) Tag(id TagID) string {
+	if id < 0 || int(id) >= len(d.tags) {
+		return fmt.Sprintf("<bad tag %d>", id)
+	}
+	return d.tags[id]
+}
+
+// TagCount returns the number of distinct tags in the document.
+func (d *Document) TagCount() int { return len(d.tags) }
+
+// Root returns the root node's ID (always 0 for a non-empty document).
+func (d *Document) Root() NodeID { return 0 }
+
+// Len returns the number of elements in the document.
+func (d *Document) Len() int { return len(d.Nodes) }
+
+// Node returns a pointer to the node with the given ID.
+func (d *Document) Node(id NodeID) *Node { return &d.Nodes[id] }
+
+// AddChild appends a new element with the given tag under parent and returns
+// its ID.
+func (d *Document) AddChild(parent NodeID, tag string) NodeID {
+	id := NodeID(len(d.Nodes))
+	d.Nodes = append(d.Nodes, Node{Parent: parent, Tag: d.Intern(tag)})
+	p := &d.Nodes[parent]
+	p.Children = append(p.Children, id)
+	return id
+}
+
+// AddValueChild appends a new leaf element with the given tag and integer
+// value under parent and returns its ID.
+func (d *Document) AddValueChild(parent NodeID, tag string, value int64) NodeID {
+	id := d.AddChild(parent, tag)
+	n := &d.Nodes[id]
+	n.Value = value
+	n.HasValue = true
+	return id
+}
+
+// SetValue assigns an integer value to an existing node.
+func (d *Document) SetValue(id NodeID, value int64) {
+	n := &d.Nodes[id]
+	n.Value = value
+	n.HasValue = true
+}
+
+// ChildrenWithTag returns the children of id whose tag equals tag, in
+// document order. The result aliases no internal storage.
+func (d *Document) ChildrenWithTag(id NodeID, tag TagID) []NodeID {
+	var out []NodeID
+	for _, c := range d.Nodes[id].Children {
+		if d.Nodes[c].Tag == tag {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Walk visits every node in document order (pre-order DFS), calling fn with
+// each node's ID and depth (root depth 0). If fn returns false the subtree
+// below that node is skipped.
+func (d *Document) Walk(fn func(id NodeID, depth int) bool) {
+	type frame struct {
+		id    NodeID
+		depth int
+	}
+	if len(d.Nodes) == 0 {
+		return
+	}
+	stack := []frame{{0, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(f.id, f.depth) {
+			continue
+		}
+		ch := d.Nodes[f.id].Children
+		for i := len(ch) - 1; i >= 0; i-- {
+			stack = append(stack, frame{ch[i], f.depth + 1})
+		}
+	}
+}
+
+// Depth returns the depth of id (root is 0).
+func (d *Document) Depth(id NodeID) int {
+	depth := 0
+	for d.Nodes[id].Parent != NilNode {
+		id = d.Nodes[id].Parent
+		depth++
+	}
+	return depth
+}
+
+// PathTags returns the tag sequence from the root down to id, inclusive.
+func (d *Document) PathTags(id NodeID) []TagID {
+	var rev []TagID
+	for {
+		rev = append(rev, d.Nodes[id].Tag)
+		if d.Nodes[id].Parent == NilNode {
+			break
+		}
+		id = d.Nodes[id].Parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathString renders the root-to-id label path as "a/b/c".
+func (d *Document) PathString(id NodeID) string {
+	tags := d.PathTags(id)
+	s := ""
+	for i, t := range tags {
+		if i > 0 {
+			s += "/"
+		}
+		s += d.Tag(t)
+	}
+	return s
+}
+
+// Validate checks structural invariants: parent/child links are mutual,
+// every non-root node is reachable from the root exactly once, and tag IDs
+// are in range. It returns the first violation found.
+func (d *Document) Validate() error {
+	if len(d.Nodes) == 0 {
+		return fmt.Errorf("xmltree: empty document")
+	}
+	if d.Nodes[0].Parent != NilNode {
+		return fmt.Errorf("xmltree: root has parent %d", d.Nodes[0].Parent)
+	}
+	seen := make([]bool, len(d.Nodes))
+	count := 0
+	d.Walk(func(id NodeID, _ int) bool {
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		count++
+		return true
+	})
+	if count != len(d.Nodes) {
+		return fmt.Errorf("xmltree: %d of %d nodes reachable from root", count, len(d.Nodes))
+	}
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Tag < 0 || int(n.Tag) >= len(d.tags) {
+			return fmt.Errorf("xmltree: node %d has out-of-range tag %d", i, n.Tag)
+		}
+		for _, c := range n.Children {
+			if c <= 0 || int(c) >= len(d.Nodes) {
+				return fmt.Errorf("xmltree: node %d has out-of-range child %d", i, c)
+			}
+			if d.Nodes[c].Parent != NodeID(i) {
+				return fmt.Errorf("xmltree: node %d lists child %d whose parent is %d", i, c, d.Nodes[c].Parent)
+			}
+		}
+		if n.Parent != NilNode {
+			found := false
+			for _, c := range d.Nodes[n.Parent].Children {
+				if c == NodeID(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("xmltree: node %d not listed among parent %d's children", i, n.Parent)
+			}
+		}
+	}
+	return nil
+}
+
+// TagHistogram returns a map from tag text to the number of elements with
+// that tag.
+func (d *Document) TagHistogram() map[string]int {
+	h := make(map[string]int, len(d.tags))
+	for i := range d.Nodes {
+		h[d.Tag(d.Nodes[i].Tag)]++
+	}
+	return h
+}
+
+// Tags returns all tag strings in TagID order.
+func (d *Document) Tags() []string {
+	out := make([]string, len(d.tags))
+	copy(out, d.tags)
+	return out
+}
+
+// SortedTags returns all tag strings sorted lexicographically (for stable
+// diagnostics output).
+func (d *Document) SortedTags() []string {
+	out := d.Tags()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,444 @@
+package xmltree
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDocument(t *testing.T) {
+	d := NewDocument("root")
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	if got := d.Tag(d.Node(d.Root()).Tag); got != "root" {
+		t.Fatalf("root tag = %q, want root", got)
+	}
+	if d.Node(d.Root()).Parent != NilNode {
+		t.Fatalf("root parent = %d, want NilNode", d.Node(d.Root()).Parent)
+	}
+}
+
+func TestInternReuse(t *testing.T) {
+	d := NewDocument("r")
+	a := d.Intern("a")
+	b := d.Intern("b")
+	if a == b {
+		t.Fatalf("distinct tags interned to same ID %d", a)
+	}
+	if again := d.Intern("a"); again != a {
+		t.Fatalf("Intern(a) twice: %d then %d", a, again)
+	}
+	if d.TagCount() != 3 { // r, a, b
+		t.Fatalf("TagCount = %d, want 3", d.TagCount())
+	}
+	id, ok := d.LookupTag("b")
+	if !ok || id != b {
+		t.Fatalf("LookupTag(b) = %d,%v", id, ok)
+	}
+	if _, ok := d.LookupTag("missing"); ok {
+		t.Fatal("LookupTag(missing) reported ok")
+	}
+}
+
+func TestAddChildLinks(t *testing.T) {
+	d := NewDocument("r")
+	c1 := d.AddChild(d.Root(), "a")
+	c2 := d.AddChild(d.Root(), "b")
+	g := d.AddChild(c1, "a")
+	if got := d.Node(d.Root()).Children; !reflect.DeepEqual(got, []NodeID{c1, c2}) {
+		t.Fatalf("root children = %v", got)
+	}
+	if d.Node(g).Parent != c1 {
+		t.Fatalf("grandchild parent = %d, want %d", d.Node(g).Parent, c1)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAddValueChild(t *testing.T) {
+	d := NewDocument("r")
+	v := d.AddValueChild(d.Root(), "year", 2001)
+	n := d.Node(v)
+	if !n.HasValue || n.Value != 2001 {
+		t.Fatalf("value child = %+v", n)
+	}
+	plain := d.AddChild(d.Root(), "name")
+	if d.Node(plain).HasValue {
+		t.Fatal("plain child unexpectedly has a value")
+	}
+}
+
+func TestChildrenWithTag(t *testing.T) {
+	d := NewDocument("r")
+	a := d.AddChild(d.Root(), "a")
+	d.AddChild(a, "b")
+	d.AddChild(a, "c")
+	d.AddChild(a, "b")
+	bTag, _ := d.LookupTag("b")
+	got := d.ChildrenWithTag(a, bTag)
+	if len(got) != 2 {
+		t.Fatalf("ChildrenWithTag(b) = %v, want 2 nodes", got)
+	}
+	cTag, _ := d.LookupTag("c")
+	if got := d.ChildrenWithTag(a, cTag); len(got) != 1 {
+		t.Fatalf("ChildrenWithTag(c) = %v, want 1 node", got)
+	}
+}
+
+func TestWalkOrderAndDepth(t *testing.T) {
+	d := NewDocument("r")
+	a := d.AddChild(d.Root(), "a")
+	d.AddChild(a, "x")
+	d.AddChild(d.Root(), "b")
+	var order []string
+	var depths []int
+	d.Walk(func(id NodeID, depth int) bool {
+		order = append(order, d.Tag(d.Node(id).Tag))
+		depths = append(depths, depth)
+		return true
+	})
+	if !reflect.DeepEqual(order, []string{"r", "a", "x", "b"}) {
+		t.Fatalf("walk order = %v", order)
+	}
+	if !reflect.DeepEqual(depths, []int{0, 1, 2, 1}) {
+		t.Fatalf("walk depths = %v", depths)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	d := NewDocument("r")
+	a := d.AddChild(d.Root(), "a")
+	d.AddChild(a, "x")
+	d.AddChild(d.Root(), "b")
+	var visited []string
+	d.Walk(func(id NodeID, _ int) bool {
+		tag := d.Tag(d.Node(id).Tag)
+		visited = append(visited, tag)
+		return tag != "a" // prune below a
+	})
+	if !reflect.DeepEqual(visited, []string{"r", "a", "b"}) {
+		t.Fatalf("visited = %v", visited)
+	}
+}
+
+func TestDepthAndPath(t *testing.T) {
+	d := NewDocument("bib")
+	a := d.AddChild(d.Root(), "author")
+	p := d.AddChild(a, "paper")
+	y := d.AddChild(p, "year")
+	if got := d.Depth(y); got != 3 {
+		t.Fatalf("Depth = %d, want 3", got)
+	}
+	if got := d.PathString(y); got != "bib/author/paper/year" {
+		t.Fatalf("PathString = %q", got)
+	}
+	if got := d.PathString(d.Root()); got != "bib" {
+		t.Fatalf("root PathString = %q", got)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	d := NewDocument("r")
+	c := d.AddChild(d.Root(), "a")
+	d.Nodes[c].Parent = NodeID(5) // out of range / wrong
+	if err := d.Validate(); err == nil {
+		t.Fatal("Validate accepted corrupted parent link")
+	}
+}
+
+func TestTagHistogram(t *testing.T) {
+	d := Bibliography()
+	h := d.TagHistogram()
+	want := map[string]int{"bib": 1, "author": 3, "name": 3, "paper": 4, "book": 1, "title": 5, "year": 4, "keyword": 5}
+	if !reflect.DeepEqual(h, want) {
+		t.Fatalf("TagHistogram = %v, want %v", h, want)
+	}
+}
+
+func TestBibliographyShape(t *testing.T) {
+	d := Bibliography()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Example 3.1 requires specific (keyword, paper-sibling) combinations.
+	paperTag, _ := d.LookupTag("paper")
+	kwTag, _ := d.LookupTag("keyword")
+	type combo struct{ k, p int }
+	counts := make(map[combo]int)
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Tag != paperTag {
+			continue
+		}
+		k := len(d.ChildrenWithTag(NodeID(i), kwTag))
+		p := len(d.ChildrenWithTag(n.Parent, paperTag))
+		counts[combo{k, p}]++
+	}
+	want := map[combo]int{{2, 2}: 1, {1, 2}: 1, {1, 1}: 2}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("paper (keyword,sibling) combos = %v, want %v", counts, want)
+	}
+}
+
+func TestMotivatingDocs(t *testing.T) {
+	d1 := MotivatingUniform()
+	d2 := MotivatingSkewed()
+	for _, d := range []*Document{d1, d2} {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	}
+	// Both documents have identical single-path statistics: 2 a's, 110 b's,
+	// 110 c's.
+	for _, d := range []*Document{d1, d2} {
+		h := d.TagHistogram()
+		if h["a"] != 2 || h["b"] != 110 || h["c"] != 110 {
+			t.Fatalf("histogram = %v", h)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<bib>
+  <author id="7">
+    <name/>
+    <paper><year>2001</year><keyword/></paper>
+  </author>
+</bib>`
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// attribute id becomes @id child with value 7
+	idTag, ok := d.LookupTag("@id")
+	if !ok {
+		t.Fatal("@id tag missing")
+	}
+	found := false
+	for i := range d.Nodes {
+		if d.Nodes[i].Tag == idTag {
+			found = true
+			if !d.Nodes[i].HasValue || d.Nodes[i].Value != 7 {
+				t.Fatalf("@id node = %+v", d.Nodes[i])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no @id node")
+	}
+	yearTag, _ := d.LookupTag("year")
+	for i := range d.Nodes {
+		if d.Nodes[i].Tag == yearTag {
+			if !d.Nodes[i].HasValue || d.Nodes[i].Value != 2001 {
+				t.Fatalf("year node = %+v", d.Nodes[i])
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := Serialize(&buf, d); err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	d2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("round trip length %d -> %d\n%s", d.Len(), d2.Len(), buf.String())
+	}
+	if !reflect.DeepEqual(d.TagHistogram(), d2.TagHistogram()) {
+		t.Fatalf("round trip tags %v -> %v", d.TagHistogram(), d2.TagHistogram())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"<a><b></a></b>",
+		"<a></a><b></b>",
+		"not xml at all <",
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseNonNumericText(t *testing.T) {
+	d, err := ParseString(`<a><t>hello</t><n>42</n></a>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tTag, _ := d.LookupTag("t")
+	nTag, _ := d.LookupTag("n")
+	for i := range d.Nodes {
+		switch d.Nodes[i].Tag {
+		case tTag:
+			if d.Nodes[i].HasValue {
+				t.Fatal("non-numeric text produced a value")
+			}
+		case nTag:
+			if !d.Nodes[i].HasValue || d.Nodes[i].Value != 42 {
+				t.Fatalf("numeric text node = %+v", d.Nodes[i])
+			}
+		}
+	}
+}
+
+func TestComputeStatsBibliography(t *testing.T) {
+	d := Bibliography()
+	s := ComputeStats(d)
+	if s.ElementCount != 26 {
+		t.Fatalf("ElementCount = %d, want 26", s.ElementCount)
+	}
+	if s.DistinctTags != 8 {
+		t.Fatalf("DistinctTags = %d, want 8", s.DistinctTags)
+	}
+	if s.MaxDepth != 3 {
+		t.Fatalf("MaxDepth = %d, want 3", s.MaxDepth)
+	}
+	// Distinct paths: bib, bib/author, bib/author/name, bib/author/paper,
+	// .../title, .../year, .../keyword, bib/author/book, bib/author/book/title
+	if s.DistinctPaths != 9 {
+		t.Fatalf("DistinctPaths = %d, want 9", s.DistinctPaths)
+	}
+	if s.ValueCount != 4 {
+		t.Fatalf("ValueCount = %d, want 4", s.ValueCount)
+	}
+	if s.TextBytes == 0 {
+		t.Fatal("TextBytes = 0")
+	}
+	if s.AvgFanout <= 1 {
+		t.Fatalf("AvgFanout = %v", s.AvgFanout)
+	}
+}
+
+func TestValueDomain(t *testing.T) {
+	d := Bibliography()
+	yearTag, _ := d.LookupTag("year")
+	lo, hi, ok := ValueDomain(d, yearTag)
+	if !ok || lo != 1998 || hi != 2002 {
+		t.Fatalf("ValueDomain(year) = %d..%d, %v", lo, hi, ok)
+	}
+	nameTag, _ := d.LookupTag("name")
+	if _, _, ok := ValueDomain(d, nameTag); ok {
+		t.Fatal("ValueDomain(name) reported values")
+	}
+}
+
+func TestValueTags(t *testing.T) {
+	d := Bibliography()
+	got := ValueTags(d, 1)
+	yearTag, _ := d.LookupTag("year")
+	if len(got) != 1 || got[0] != yearTag {
+		t.Fatalf("ValueTags = %v, want [%d]", got, yearTag)
+	}
+	if got := ValueTags(d, 100); len(got) != 0 {
+		t.Fatalf("ValueTags(minCount=100) = %v", got)
+	}
+}
+
+// randomDoc builds a random tree with n nodes for property tests.
+func randomDoc(rng *rand.Rand, n int) *Document {
+	tags := []string{"a", "b", "c", "d", "e"}
+	d := NewDocument("root")
+	for d.Len() < n {
+		parent := NodeID(rng.Intn(d.Len()))
+		tag := tags[rng.Intn(len(tags))]
+		if rng.Intn(4) == 0 {
+			d.AddValueChild(parent, tag, int64(rng.Intn(1000)))
+		} else {
+			d.AddChild(parent, tag)
+		}
+	}
+	return d
+}
+
+func TestRandomDocInvariants(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%200 + 1
+		d := randomDoc(rng, n)
+		if err := d.Validate(); err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		// Sum of tag histogram equals node count.
+		total := 0
+		for _, c := range d.TagHistogram() {
+			total += c
+		}
+		if total != d.Len() {
+			return false
+		}
+		// Every node's PathTags ends with its own tag and has length Depth+1.
+		for i := 0; i < d.Len(); i++ {
+			id := NodeID(i)
+			pt := d.PathTags(id)
+			if len(pt) != d.Depth(id)+1 || pt[len(pt)-1] != d.Node(id).Tag {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDocSerializeRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 80)
+		var buf bytes.Buffer
+		if err := Serialize(&buf, d); err != nil {
+			return false
+		}
+		d2, err := Parse(&buf)
+		if err != nil {
+			t.Logf("reparse: %v", err)
+			return false
+		}
+		if d2.Len() != d.Len() {
+			return false
+		}
+		return reflect.DeepEqual(d.TagHistogram(), d2.TagHistogram())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedTags(t *testing.T) {
+	d := NewDocument("z")
+	d.Intern("m")
+	d.Intern("a")
+	got := d.SortedTags()
+	if !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Fatalf("SortedTags = %v", got)
+	}
+}
+
+func TestSerializeEmptyAttr(t *testing.T) {
+	d, err := ParseString(`<a name="x"><b/></a>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Serialize(&buf, d); err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	if !strings.Contains(buf.String(), `name=""`) {
+		t.Fatalf("expected empty attr in output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,68 @@
+package xsketch
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the synopsis as a Graphviz digraph: one node per
+// synopsis node labeled with its tag, extent size and histogram summary
+// (scope dimensionality x buckets, plus value summary units), and one edge
+// per synopsis edge styled by stability (solid = B+F stable, dashed =
+// partially stable, dotted = unstable). Useful with `xbuild -dot`.
+func (sk *Sketch) WriteDOT(w io.Writer) error {
+	ew := &dotWriter{w: w}
+	ew.printf("digraph xsketch {\n")
+	ew.printf("  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	d := sk.Syn.Doc
+	for _, n := range sk.Syn.Nodes() {
+		label := fmt.Sprintf("%s\\n|%d|", escapeDOT(d.Tag(n.Tag)), n.Count())
+		if s := sk.Summaries[n.ID]; s != nil && s.Hist != nil && len(s.Scope)+len(s.ValueDims) > 0 {
+			label += fmt.Sprintf("\\nH: %dd x %db", len(s.Scope)+len(s.ValueDims), s.Hist.NumBuckets())
+			if len(s.ValueDims) > 0 {
+				label += fmt.Sprintf(" (+%dv)", len(s.ValueDims))
+			}
+		}
+		if s := sk.Summaries[n.ID]; s != nil && s.VHist != nil {
+			label += fmt.Sprintf("\\nV: %du", s.VHist.SizeUnits())
+		}
+		ew.printf("  n%d [label=\"%s\"];\n", n.ID, label)
+	}
+	for _, e := range sk.Syn.Edges() {
+		style := "dotted"
+		switch {
+		case e.BStable && e.FStable:
+			style = "solid"
+		case e.BStable || e.FStable:
+			style = "dashed"
+		}
+		flags := ""
+		if e.BStable {
+			flags += "B"
+		}
+		if e.FStable {
+			flags += "F"
+		}
+		ew.printf("  n%d -> n%d [style=%s, label=\"%s\"];\n", e.From, e.To, style, flags)
+	}
+	ew.printf("}\n")
+	return ew.err
+}
+
+type dotWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (dw *dotWriter) printf(format string, args ...any) {
+	if dw.err != nil {
+		return
+	}
+	_, dw.err = fmt.Fprintf(dw.w, format, args...)
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

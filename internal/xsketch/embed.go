@@ -1,0 +1,333 @@
+package xsketch
+
+import (
+	"xsketch/internal/graphsyn"
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+)
+
+// This file implements the expansion of a twig query into its embeddings
+// over the synopsis (paper Section 4). A maximal twig query replaces every
+// multi-step path with a chain of single-step nodes and every '//' operator
+// with valid document paths taken from the synopsis structure; an embedding
+// then assigns a concrete synopsis node to every (expanded) twig node. The
+// selectivity of the query is the sum of the selectivities of its unique
+// embeddings.
+
+// EmbNode is one node of a twig embedding: a synopsis node together with
+// the value and branching predicates that apply at this navigational step,
+// and the embedded children.
+type EmbNode struct {
+	Syn      graphsyn.NodeID
+	Value    *pathexpr.ValuePred
+	Branches []*pathexpr.Path
+	Children []*EmbNode
+}
+
+// Embedding is a fully expanded match of a twig query over the synopsis.
+// Root is a virtual node standing for the document root's synopsis node;
+// its children embed the query's root path.
+type Embedding struct {
+	Root *EmbNode
+}
+
+// Embeddings enumerates the embeddings of q over the synopsis. The
+// enumeration expands '//' into simple (non-repeating) synopsis paths of
+// length at most Cfg.MaxDescendantPathLen and caps the total embedding
+// count at Cfg.MaxEmbeddings.
+func (sk *Sketch) Embeddings(q *twig.Query) []*Embedding {
+	if q.Root == nil {
+		return nil
+	}
+	rootSyn := sk.Syn.NodeOf(sk.Syn.Doc.Root())
+	budget := sk.Cfg.MaxEmbeddings
+	if budget <= 0 {
+		budget = 1 << 30
+	}
+	alts := sk.embedTwig(rootSyn, q.Root, &budget)
+	out := make([]*Embedding, 0, len(alts))
+	for _, a := range alts {
+		out = append(out, &Embedding{Root: &EmbNode{Syn: rootSyn, Children: []*EmbNode{a}}})
+	}
+	// Root-self interpretation of absolute paths (mirroring eval): a
+	// child-axis first step naming the root element's tag consumes the
+	// virtual root itself, its predicates attaching there.
+	if steps := q.Root.Path.Steps; len(steps) > 0 && steps[0].Axis == pathexpr.Child {
+		if tag, ok := sk.Syn.Doc.LookupTag(steps[0].Label); ok && sk.Syn.Node(rootSyn).Tag == tag {
+			step0 := steps[0]
+			if len(steps) == 1 {
+				for _, combo := range sk.embedChildren(rootSyn, q.Root.Children, &budget) {
+					out = append(out, &Embedding{Root: &EmbNode{
+						Syn: rootSyn, Value: step0.Value, Branches: step0.Branches, Children: combo,
+					}})
+				}
+			} else {
+				rq := q.Clone()
+				rq.Root.Path.Steps = rq.Root.Path.Steps[1:]
+				for _, alt := range sk.embedTwig(rootSyn, rq.Root, &budget) {
+					out = append(out, &Embedding{Root: &EmbNode{
+						Syn: rootSyn, Value: step0.Value, Branches: step0.Branches, Children: []*EmbNode{alt},
+					}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// embedChildren enumerates the cartesian combinations of the children's
+// embedded alternatives from a fixed context node (used by the root-self
+// interpretation, where the parent is the virtual root itself). With no
+// children it yields one empty combination.
+func (sk *Sketch) embedChildren(ctx graphsyn.NodeID, children []*twig.Node, budget *int) [][]*EmbNode {
+	alts := make([][]*EmbNode, len(children))
+	for i, ct := range children {
+		alts[i] = sk.embedTwig(ctx, ct, budget)
+		if len(alts[i]) == 0 {
+			return nil
+		}
+	}
+	var out [][]*EmbNode
+	combo := make([]*EmbNode, len(children))
+	var emit func(i int)
+	emit = func(i int) {
+		if *budget <= 0 {
+			return
+		}
+		if i == len(children) {
+			out = append(out, append([]*EmbNode(nil), combo...))
+			*budget--
+			return
+		}
+		for _, a := range alts[i] {
+			combo[i] = a
+			emit(i + 1)
+		}
+	}
+	emit(0)
+	return out
+}
+
+// chain is a single-path realization of one twig node's path expression:
+// head is attached under the parent context, tail receives the twig node's
+// children.
+type chain struct {
+	head, tail *EmbNode
+}
+
+// embedTwig returns the alternative embedded subtrees for twig node t
+// evaluated from synopsis context ctx.
+func (sk *Sketch) embedTwig(ctx graphsyn.NodeID, t *twig.Node, budget *int) []*EmbNode {
+	chains := sk.embedPath(ctx, t.Path.Steps, budget)
+	if len(chains) == 0 {
+		return nil
+	}
+	var out []*EmbNode
+	for _, ch := range chains {
+		// Embed each twig child from the chain tail; collect the
+		// alternatives per child.
+		childAlts := make([][]*EmbNode, len(t.Children))
+		ok := true
+		for i, ct := range t.Children {
+			childAlts[i] = sk.embedTwig(ch.tail.Syn, ct, budget)
+			if len(childAlts[i]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Cartesian product over the children's alternatives; each
+		// combination needs its own copy of the chain.
+		combo := make([]*EmbNode, len(t.Children))
+		var emit func(i int)
+		emit = func(i int) {
+			if *budget <= 0 {
+				return
+			}
+			if i == len(t.Children) {
+				c := cloneChain(ch)
+				c.tail.Children = append(c.tail.Children, combo...)
+				out = append(out, c.head)
+				*budget--
+				return
+			}
+			for _, alt := range childAlts[i] {
+				combo[i] = alt
+				emit(i + 1)
+			}
+		}
+		emit(0)
+		if *budget <= 0 {
+			break
+		}
+	}
+	return out
+}
+
+// embedPath enumerates the chains realizing a path expression from ctx.
+func (sk *Sketch) embedPath(ctx graphsyn.NodeID, steps []*pathexpr.Step, budget *int) []chain {
+	if len(steps) == 0 {
+		return nil
+	}
+	step := steps[0]
+	var out []chain
+	for _, seq := range sk.expandStep(ctx, step) {
+		// seq is the node sequence realizing this step (intermediate '//'
+		// nodes followed by the labeled target).
+		head, tail := buildChain(seq)
+		tail.Value = step.Value
+		tail.Branches = step.Branches
+		if len(steps) == 1 {
+			out = append(out, chain{head, tail})
+			continue
+		}
+		for _, rest := range sk.embedPath(tail.Syn, steps[1:], budget) {
+			c := cloneChain(chain{head, tail})
+			c.tail.Children = append(c.tail.Children, rest.head)
+			out = append(out, chain{c.head, rest.tail})
+		}
+	}
+	return out
+}
+
+// cloneChain deep-copies the spine from head to tail (children hanging off
+// the spine are shared; the enumeration only ever appends to tails of fresh
+// clones). It returns the cloned chain.
+func cloneChain(c chain) chain {
+	// The spine is the path of last-children? No: chains are built so that
+	// each spine node has exactly the next spine node among its children
+	// (appended last). We copy nodes along the spine by following the
+	// recorded structure: walk from head following the child that leads to
+	// tail. Since chains are trees built here, the spine is the unique path
+	// head..tail; we rebuild it.
+	spine := findSpine(c.head, c.tail)
+	var prevCopy *EmbNode
+	var headCopy, tailCopy *EmbNode
+	for i, n := range spine {
+		cp := &EmbNode{Syn: n.Syn, Value: n.Value, Branches: n.Branches}
+		cp.Children = append(cp.Children, n.Children...)
+		if i > 0 {
+			// Replace the spine child in the parent copy.
+			for j, ch := range prevCopy.Children {
+				if ch == spine[i] {
+					prevCopy.Children[j] = cp
+					break
+				}
+			}
+		} else {
+			headCopy = cp
+		}
+		prevCopy = cp
+		tailCopy = cp
+	}
+	return chain{headCopy, tailCopy}
+}
+
+// findSpine returns the node path from head to tail within the embedded
+// subtree.
+func findSpine(head, tail *EmbNode) []*EmbNode {
+	var path []*EmbNode
+	var dfs func(n *EmbNode) bool
+	dfs = func(n *EmbNode) bool {
+		path = append(path, n)
+		if n == tail {
+			return true
+		}
+		for _, c := range n.Children {
+			if dfs(c) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	dfs(head)
+	return path
+}
+
+// buildChain converts a synopsis-node sequence into a linked chain of
+// embedding nodes, returning head and tail.
+func buildChain(seq []graphsyn.NodeID) (head, tail *EmbNode) {
+	for _, id := range seq {
+		n := &EmbNode{Syn: id}
+		if head == nil {
+			head = n
+		} else {
+			tail.Children = append(tail.Children, n)
+		}
+		tail = n
+	}
+	return head, tail
+}
+
+// expandStep enumerates the synopsis-node sequences realizing one step from
+// ctx: a single child for the child axis, or every simple downward path of
+// bounded length ending at the step's label for the descendant axis.
+func (sk *Sketch) expandStep(ctx graphsyn.NodeID, step *pathexpr.Step) [][]graphsyn.NodeID {
+	d := sk.Syn.Doc
+	tag, ok := d.LookupTag(step.Label)
+	if !ok {
+		return nil
+	}
+	var out [][]graphsyn.NodeID
+	switch step.Axis {
+	case pathexpr.Child:
+		for _, c := range sk.Syn.Node(ctx).Children {
+			if sk.Syn.Node(c).Tag == tag {
+				out = append(out, []graphsyn.NodeID{c})
+			}
+		}
+	case pathexpr.Descendant:
+		maxLen := sk.Cfg.MaxDescendantPathLen
+		if maxLen <= 0 {
+			maxLen = 10
+		}
+		var path []graphsyn.NodeID
+		onPath := map[graphsyn.NodeID]bool{ctx: true}
+		var dfs func(cur graphsyn.NodeID)
+		dfs = func(cur graphsyn.NodeID) {
+			if len(path) >= maxLen {
+				return
+			}
+			for _, c := range sk.Syn.Node(cur).Children {
+				if onPath[c] {
+					continue
+				}
+				path = append(path, c)
+				if sk.Syn.Node(c).Tag == tag {
+					out = append(out, append([]graphsyn.NodeID(nil), path...))
+				}
+				onPath[c] = true
+				dfs(c)
+				onPath[c] = false
+				path = path[:len(path)-1]
+			}
+		}
+		dfs(ctx)
+	}
+	return out
+}
+
+// Walk visits every node of the embedding in depth-first order (excluding
+// the virtual root), passing the node and its parent.
+func (e *Embedding) Walk(fn func(n, parent *EmbNode)) {
+	var rec func(n, parent *EmbNode)
+	rec = func(n, parent *EmbNode) {
+		fn(n, parent)
+		for _, c := range n.Children {
+			rec(c, n)
+		}
+	}
+	for _, c := range e.Root.Children {
+		rec(c, e.Root)
+	}
+}
+
+// Size returns the number of embedding nodes (excluding the virtual root).
+func (e *Embedding) Size() int {
+	n := 0
+	e.Walk(func(*EmbNode, *EmbNode) { n++ })
+	return n
+}

@@ -1,0 +1,441 @@
+package xsketch
+
+import (
+	"math"
+
+	"xsketch/internal/graphsyn"
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+)
+
+// This file implements the paper's estimation framework (Section 4): the
+// TREEPARSE decomposition of a twig embedding into expansion sets E_i,
+// uncovered sets U_i and correlation sets D_i, and the selectivity
+// expression
+//
+//	s(T) = |n_0| * Π_i Π_{C∈U_i} ΣF_i(C) * Σ_{E_1..E_m} Π_i F_i(E_i | D_i)
+//
+// Terms over uncovered counts use the Forward Uniformity assumption,
+// F_i(E_i | D_i) terms use histogram buckets under Correlation Scope
+// Independence, and counts absent from every scope separate multiplicatively
+// under Forward Independence.
+
+// EstimateQuery estimates the selectivity (number of binding tuples) of a
+// twig query as the sum over its embeddings.
+func (sk *Sketch) EstimateQuery(q *twig.Query) float64 {
+	total := 0.0
+	for _, em := range sk.Embeddings(q) {
+		total += sk.EstimateEmbedding(em)
+	}
+	return total
+}
+
+// EstimatePath estimates the selectivity of a single path expression (the
+// number of elements it reaches from the document root). On tree data a
+// chain twig's binding-tuple count equals the number of reached elements,
+// so this reuses the twig machinery — the "Twig XSKETCHes compute low-error
+// estimates of path selectivities" mode of the paper's Section 6.2.
+func (sk *Sketch) EstimatePath(p *pathexpr.Path) float64 {
+	return sk.EstimateQuery(twig.New(p))
+}
+
+// EstimateEmbedding estimates the selectivity of one embedding: the extent
+// size of the (virtual) root node times the expected binding tuples per
+// root element.
+func (sk *Sketch) EstimateEmbedding(em *Embedding) float64 {
+	est := newEstimator(sk, em)
+	base := float64(sk.Syn.Node(em.Root.Syn).Count())
+	return base * est.contrib(em.Root, nil, false)
+}
+
+// estimator carries per-embedding precomputation: condSet lists the scope
+// edges that some embedding node's histogram conditions on as a backward
+// count, so ancestors know when bucket enumeration must carry into the
+// recursion (and when the cheaper factorized form is exact).
+type estimator struct {
+	sk      *Sketch
+	condSet map[ScopeEdge]bool
+}
+
+func newEstimator(sk *Sketch, em *Embedding) *estimator {
+	e := &estimator{sk: sk, condSet: map[ScopeEdge]bool{}}
+	var scan func(n *EmbNode)
+	scan = func(n *EmbNode) {
+		if s := sk.Summaries[n.Syn]; s != nil {
+			for _, se := range s.Scope {
+				if se.From != n.Syn {
+					e.condSet[se] = true
+				}
+			}
+		}
+		for _, c := range n.Children {
+			scan(c)
+		}
+	}
+	scan(em.Root)
+	return e
+}
+
+// assignment records the count values fixed by ancestor bucket choices,
+// keyed by scope edge. It is nil when nothing is assigned.
+type assignment map[ScopeEdge]float64
+
+// vdUse is one value-dimension consumption at a node: a predicate whose
+// selectivity is read off the extended histogram's value coordinate
+// instead of an independent value histogram. countDim, when >= 0, marks a
+// branch-existence use whose per-bucket probability is min(1, count *
+// overlap) over the branch edge's count dimension.
+type vdUse struct {
+	dim      int
+	vd       *ValueDim
+	pred     *pathexpr.ValuePred
+	countDim int
+}
+
+// contrib returns the expected number of binding tuples of the
+// sub-embedding rooted at n, per element of n's synopsis node, given the
+// ancestor count assignment. skipSelfValue marks that n's value predicate
+// was already consumed by the parent's extended histogram.
+func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool) float64 {
+	sk := e.sk
+	s := sk.Summaries[n.Syn]
+	var scope []ScopeEdge
+	var vdims []*ValueDim
+	if s != nil && s.Hist != nil {
+		scope = s.Scope
+		vdims = s.ValueDims
+	}
+
+	var uses []vdUse
+	factor := 1.0
+
+	// Self value predicate: use the extended histogram's self value
+	// dimension when present (correlated with the count dims), otherwise
+	// the independent per-node value histogram.
+	if n.Value != nil && !skipSelfValue {
+		if idx := valueDimIdx(s, n.Syn); idx >= 0 {
+			uses = append(uses, vdUse{dim: idx, vd: vdims[idx-len(scope)], pred: n.Value, countDim: -1})
+		} else {
+			factor *= e.valueFraction(n)
+		}
+	}
+	// Branch predicates: a single-step branch with a value predicate whose
+	// target has a value dimension here is consumed per bucket; everything
+	// else falls back to the independent existence estimate.
+	for _, br := range n.Branches {
+		if u, ok := e.branchValueUse(s, scope, vdims, n, br); ok {
+			uses = append(uses, u)
+			continue
+		}
+		factor *= e.existsFraction(n.Syn, br.Steps)
+	}
+	if factor == 0 {
+		return 0
+	}
+	if len(n.Children) == 0 && len(uses) == 0 {
+		return factor
+	}
+
+	// TREEPARSE sets: covered children expand scope dims (E_i), the rest
+	// fall to Forward Uniformity (U_i); D_i is the subset of scope assigned
+	// by ancestors.
+	type coveredChild struct {
+		child *EmbNode
+		dim   int
+		skip  bool // child's value predicate consumed via a value dim
+	}
+	var covered []coveredChild
+	var uncovered []*EmbNode
+	uncoveredSkip := map[*EmbNode]bool{}
+	for _, c := range n.Children {
+		cc := coveredChild{child: c, dim: scopeIndex(scope, ScopeEdge{From: n.Syn, To: c.Syn})}
+		// A child's value predicate correlates with this node's extended
+		// histogram when a value dimension sourced at the child exists.
+		if c.Value != nil {
+			if idx := valueDimIdx(s, c.Syn); idx >= 0 {
+				uses = append(uses, vdUse{dim: idx, vd: vdims[idx-len(scope)], pred: c.Value, countDim: -1})
+				cc.skip = true
+			}
+		}
+		if cc.dim >= 0 {
+			covered = append(covered, cc)
+		} else {
+			uncovered = append(uncovered, c)
+			if cc.skip {
+				uncoveredSkip[c] = true
+			}
+		}
+	}
+
+	var dDims []int
+	var dVals []float64
+	for i, se := range scope {
+		if v, ok := assigned[se]; ok {
+			dDims = append(dDims, i)
+			dVals = append(dVals, v)
+		}
+	}
+
+	// Uncovered children: Forward Uniformity for the count multiplier, and
+	// Forward Independence to separate them from the covered expansion.
+	// Their recursion still sees the ancestor assignment, so when one of
+	// their descendants conditions on this node's expanded dims we must
+	// evaluate them inside the bucket loop; value-dimension uses force the
+	// same.
+	needEnum := len(uses) > 0
+	for _, cc := range covered {
+		if e.condSet[scope[cc.dim]] {
+			needEnum = true
+			break
+		}
+	}
+
+	uncMult := 1.0
+	for _, c := range uncovered {
+		uncMult *= e.avgCount(n.Syn, c.Syn)
+	}
+	if uncMult == 0 {
+		return 0
+	}
+
+	if !needEnum {
+		// Factorized form: Σ_b f_b/denom Π c_dim times each child's own
+		// contribution (no descendant conditions on our dims).
+		part := 1.0
+		if len(covered) > 0 {
+			eDims := make([]int, len(covered))
+			for i, cc := range covered {
+				eDims[i] = cc.dim
+			}
+			if s == nil || s.Hist == nil {
+				return 0
+			}
+			part = s.Hist.CondSumProduct(eDims, dDims, dVals)
+		}
+		for _, cc := range covered {
+			part *= e.contrib(cc.child, assigned, cc.skip)
+			if part == 0 {
+				return 0
+			}
+		}
+		for _, c := range uncovered {
+			uncMult *= e.contrib(c, assigned, uncoveredSkip[c])
+		}
+		return factor * uncMult * part
+	}
+
+	// Enumerated form: iterate bucket choices of this node's histogram,
+	// applying value-dimension factors per bucket and extending the
+	// assignment with the expanded dims for descendants that condition on
+	// them.
+	if s == nil || s.Hist == nil {
+		return 0
+	}
+	buckets, denom := s.Hist.Match(dDims, dVals)
+	if denom == 0 {
+		return 0
+	}
+	ext := make(assignment, len(assigned)+len(covered))
+	for k, v := range assigned {
+		ext[k] = v
+	}
+	total := 0.0
+	for _, b := range buckets {
+		w := b.Freq / denom
+		for _, cc := range covered {
+			w *= b.Centroid[cc.dim]
+		}
+		for _, u := range uses {
+			ov := u.vd.overlap(b.Centroid[u.dim], u.pred)
+			if u.countDim >= 0 {
+				cnt := b.Centroid[u.countDim]
+				p := cnt * ov
+				if p > 1 {
+					p = 1
+				}
+				ov = p
+			}
+			w *= ov
+			if w == 0 {
+				break
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		for _, cc := range covered {
+			ext[scope[cc.dim]] = b.Centroid[cc.dim]
+		}
+		for _, cc := range covered {
+			w *= e.contrib(cc.child, ext, cc.skip)
+			if w == 0 {
+				break
+			}
+		}
+		if w != 0 {
+			for _, c := range uncovered {
+				w *= e.contrib(c, ext, uncoveredSkip[c])
+				if w == 0 {
+					break
+				}
+			}
+		}
+		total += w
+		for _, cc := range covered {
+			delete(ext, scope[cc.dim])
+		}
+	}
+	return factor * uncMult * total
+}
+
+// valueDimIdx returns the histogram dimension index of the value dim with
+// the given source in summary s, or -1.
+func valueDimIdx(s *NodeSummary, source graphsyn.NodeID) int {
+	if s == nil {
+		return -1
+	}
+	return s.valueDimIndex(source)
+}
+
+// branchValueUse matches a branching predicate against the node's value
+// dimensions: a single-step branch [tag op value] whose label resolves to
+// exactly one synopsis child carrying a value dimension is consumed per
+// bucket. The per-bucket probability is min(1, count * overlap), where
+// count is the branch edge's count dimension when in scope (1 otherwise).
+func (e *estimator) branchValueUse(s *NodeSummary, scope []ScopeEdge, vdims []*ValueDim, n *EmbNode, br *pathexpr.Path) (vdUse, bool) {
+	if s == nil || len(vdims) == 0 || len(br.Steps) != 1 {
+		return vdUse{}, false
+	}
+	step := br.Steps[0]
+	if step.Value == nil || len(step.Branches) != 0 || step.Axis != pathexpr.Child {
+		return vdUse{}, false
+	}
+	tag, ok := e.sk.Syn.Doc.LookupTag(step.Label)
+	if !ok {
+		return vdUse{}, false
+	}
+	var target graphsyn.NodeID = -1
+	matches := 0
+	for _, c := range e.sk.Syn.Node(n.Syn).Children {
+		if e.sk.Syn.Node(c).Tag == tag {
+			matches++
+			target = c
+		}
+	}
+	if matches != 1 {
+		return vdUse{}, false
+	}
+	idx := s.valueDimIndex(target)
+	if idx < 0 {
+		return vdUse{}, false
+	}
+	countDim := scopeIndex(scope, ScopeEdge{From: n.Syn, To: target})
+	return vdUse{dim: idx, vd: vdims[idx-len(scope)], pred: step.Value, countDim: countDim}, true
+}
+
+// valueFraction estimates the fraction of the node's elements satisfying
+// its value predicate, using the stored value histogram scaled by the share
+// of valued elements; a predicate on a node with no value information
+// yields 0 (no element can be proven to carry a matching value).
+func (e *estimator) valueFraction(n *EmbNode) float64 {
+	if n.Value == nil {
+		return 1
+	}
+	s := e.sk.Summaries[n.Syn]
+	if s == nil || s.VHist == nil || s.VHist.Total() == 0 {
+		return 0
+	}
+	extent := e.sk.Syn.Node(n.Syn).Count()
+	valuedShare := float64(s.VHist.Total()) / float64(extent)
+	if valuedShare > 1 {
+		valuedShare = 1
+	}
+	return s.VHist.Selectivity(n.Value.Lo, n.Value.Hi) * valuedShare
+}
+
+// existsFraction estimates P(an element of node id has >= 1 match of the
+// remaining branch steps). Following the single-path XSKETCH framework, an
+// F-stable edge whose target certainly satisfies the rest contributes
+// probability 1; otherwise the probability is approximated by the expected
+// number of satisfying matches clamped to 1, summing over the alternative
+// synopsis realizations of the step.
+func (e *estimator) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step) float64 {
+	if len(steps) == 0 {
+		return 1
+	}
+	step := steps[0]
+	expected := 0.0
+	for _, seq := range e.sk.expandStep(id, step) {
+		// Probability mass via the chain: expected count of elements at the
+		// end of the sequence, times the probability each satisfies the
+		// step predicates and the rest of the branch.
+		target := seq[len(seq)-1]
+		q := 1.0
+		if step.Value != nil {
+			q *= e.valueFraction(&EmbNode{Syn: target, Value: step.Value})
+		}
+		for _, sub := range step.Branches {
+			q *= e.existsFraction(target, sub.Steps)
+		}
+		if q == 0 {
+			continue
+		}
+		q *= e.existsFraction(target, steps[1:])
+		if q == 0 {
+			continue
+		}
+		// Exact shortcut: a direct F-stable edge with certain satisfaction
+		// guarantees existence for every element.
+		if len(seq) == 1 && q == 1 {
+			if edge := e.sk.Syn.Edge(id, target); edge != nil && edge.FStable {
+				return 1
+			}
+		}
+		mult := 1.0
+		prev := id
+		for _, nodeID := range seq {
+			mult *= e.avgCount(prev, nodeID)
+			prev = nodeID
+		}
+		expected += mult * q
+	}
+	return math.Min(1, expected)
+}
+
+// avgCount estimates the average number of children in node v per element
+// of node u, i.e. ΣF_u(c_v) under Forward Uniformity:
+// |u -> v| / |u|, where the edge count |u -> v| is taken from the stored
+// model — |v| when the edge is B-stable, otherwise |v| split across v's
+// parent nodes proportionally to their extent sizes (the single-path
+// XSKETCH estimate for unstable edges).
+func (e *estimator) avgCount(u, v graphsyn.NodeID) float64 {
+	cu := float64(e.sk.Syn.Node(u).Count())
+	if cu == 0 {
+		return 0
+	}
+	return e.estEdgeCount(u, v) / cu
+}
+
+// estEdgeCount estimates |u -> v|: the number of elements of v whose parent
+// lies in u.
+func (e *estimator) estEdgeCount(u, v graphsyn.NodeID) float64 {
+	edge := e.sk.Syn.Edge(u, v)
+	if edge == nil {
+		return 0
+	}
+	if e.sk.Cfg.StoreEdgeCounts {
+		return float64(edge.ChildCount)
+	}
+	nv := e.sk.Syn.Node(v)
+	if edge.BStable {
+		return float64(nv.Count())
+	}
+	var parentTotal float64
+	for _, p := range nv.Parents {
+		parentTotal += float64(e.sk.Syn.Node(p).Count())
+	}
+	if parentTotal == 0 {
+		return 0
+	}
+	return float64(nv.Count()) * float64(e.sk.Syn.Node(u).Count()) / parentTotal
+}

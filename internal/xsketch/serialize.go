@@ -1,0 +1,111 @@
+package xsketch
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"xsketch/internal/graphsyn"
+	"xsketch/internal/xmltree"
+)
+
+// Synopsis persistence. A Twig XSKETCH is built once (offline, against the
+// document) and consulted many times by an optimizer, so the library
+// persists the *construction decisions* — the element partition, per-node
+// budgets, expanded scopes and value dimensions — rather than the derived
+// histograms; Load replays them against the document, reusing the rebuild
+// machinery and guaranteeing the loaded synopsis is bit-for-bit consistent
+// with a freshly built one.
+
+// sketchGob is the wire format (encoding/gob).
+type sketchGob struct {
+	Version   int
+	DocLen    int
+	RootTag   string
+	Assign    []graphsyn.NodeID
+	Tags      []string
+	Summaries []summaryGob
+	Cfg       Config
+}
+
+type summaryGob struct {
+	Buckets      int
+	ValueBuckets int
+	ExtraScope   []ScopeEdge
+	ValueDims    []*ValueDim
+}
+
+const gobVersion = 1
+
+// Save writes the sketch's construction state to w.
+func Save(w io.Writer, sk *Sketch) error {
+	d := sk.Syn.Doc
+	g := sketchGob{
+		Version: gobVersion,
+		DocLen:  d.Len(),
+		RootTag: d.Tag(d.Node(d.Root()).Tag),
+		Assign:  sk.Syn.Assignment(),
+		Cfg:     sk.Cfg,
+	}
+	for _, n := range sk.Syn.Nodes() {
+		g.Tags = append(g.Tags, d.Tag(n.Tag))
+		s := sk.Summaries[n.ID]
+		sg := summaryGob{}
+		if s != nil {
+			sg.Buckets = s.Buckets
+			sg.ValueBuckets = s.ValueBuckets
+			sg.ExtraScope = s.ExtraScope
+			sg.ValueDims = s.ValueDims
+		}
+		g.Summaries = append(g.Summaries, sg)
+	}
+	if err := gob.NewEncoder(w).Encode(&g); err != nil {
+		return fmt.Errorf("xsketch: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a sketch persisted by Save and rebinds it to the document it
+// was built from. The document must be structurally identical (Load
+// verifies the element count, root tag and per-node tag agreement).
+func Load(r io.Reader, d *xmltree.Document) (*Sketch, error) {
+	var g sketchGob
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("xsketch: load: %w", err)
+	}
+	if g.Version != gobVersion {
+		return nil, fmt.Errorf("xsketch: load: unsupported version %d", g.Version)
+	}
+	if g.DocLen != d.Len() {
+		return nil, fmt.Errorf("xsketch: load: document has %d elements, synopsis was built on %d", d.Len(), g.DocLen)
+	}
+	if root := d.Tag(d.Node(d.Root()).Tag); root != g.RootTag {
+		return nil, fmt.Errorf("xsketch: load: document root %q, synopsis root %q", root, g.RootTag)
+	}
+	syn, err := graphsyn.FromAssignment(d, g.Assign)
+	if err != nil {
+		return nil, fmt.Errorf("xsketch: load: %w", err)
+	}
+	if len(g.Summaries) != syn.NumNodes() || len(g.Tags) != syn.NumNodes() {
+		return nil, fmt.Errorf("xsketch: load: %d summaries for %d nodes", len(g.Summaries), syn.NumNodes())
+	}
+	for i, n := range syn.Nodes() {
+		if got := d.Tag(n.Tag); got != g.Tags[i] {
+			return nil, fmt.Errorf("xsketch: load: node %d tag %q, synopsis recorded %q", i, got, g.Tags[i])
+		}
+	}
+	sk := &Sketch{Syn: syn, Summaries: make(map[graphsyn.NodeID]*NodeSummary), Cfg: g.Cfg}
+	for i, sg := range g.Summaries {
+		sk.Summaries[graphsyn.NodeID(i)] = &NodeSummary{
+			Buckets:      sg.Buckets,
+			ValueBuckets: sg.ValueBuckets,
+			ExtraScope:   sg.ExtraScope,
+			ValueDims:    sg.ValueDims,
+		}
+	}
+	sk.RebuildAll()
+	if err := sk.Validate(); err != nil {
+		return nil, fmt.Errorf("xsketch: load: rebuilt synopsis invalid: %w", err)
+	}
+	return sk, nil
+}

@@ -1,0 +1,193 @@
+package xsketch
+
+import (
+	"bytes"
+	"testing"
+
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := xmltree.Bibliography()
+	sk := New(d, exactConfig())
+	// Make the sketch non-trivial: a split, an expanded scope, a value
+	// dimension and per-node budgets.
+	paper := synNode(t, sk, "paper")
+	author := synNode(t, sk, "author")
+	year := synNode(t, sk, "year")
+	title := synNode(t, sk, "title")
+	if _, ok := sk.Syn.BStabilize(paper, title); !ok {
+		t.Fatal("split failed")
+	}
+	sk.RebuildAll()
+	sk.Summaries[paper].ExtraScope = append(sk.Summaries[paper].ExtraScope, ScopeEdge{author, paper})
+	sk.Summaries[paper].Buckets = 32
+	sk.RebuildNode(paper)
+	if !sk.AddValueDim(paper, year, 4) {
+		t.Fatal("AddValueDim failed")
+	}
+	if err := sk.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, sk); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), d)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatalf("loaded Validate: %v", err)
+	}
+	if loaded.SizeBytes() != sk.SizeBytes() {
+		t.Fatalf("size %d -> %d after round trip", sk.SizeBytes(), loaded.SizeBytes())
+	}
+	if loaded.Syn.NumNodes() != sk.Syn.NumNodes() {
+		t.Fatalf("nodes %d -> %d", sk.Syn.NumNodes(), loaded.Syn.NumNodes())
+	}
+	// Estimates are identical.
+	queries := []string{
+		"t0 in author, t1 in t0/name, t2 in t0/paper[year>2000], t3 in t2/title, t4 in t2/keyword",
+		"t0 in //title",
+		"t0 in author[book], t1 in t0/paper, t2 in t1/keyword",
+	}
+	for _, src := range queries {
+		q := twig.MustParse(src)
+		a, b := sk.EstimateQuery(q), loaded.EstimateQuery(q)
+		if a != b {
+			t.Fatalf("estimate changed after round trip: %v vs %v for %s", a, b, src)
+		}
+	}
+}
+
+func TestLoadRejectsWrongDocument(t *testing.T) {
+	d := xmltree.Bibliography()
+	sk := New(d, DefaultConfig())
+	var buf bytes.Buffer
+	if err := Save(&buf, sk); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Different element count.
+	d2 := xmltree.Bibliography()
+	d2.AddChild(d2.Root(), "author")
+	if _, err := Load(bytes.NewReader(buf.Bytes()), d2); err == nil {
+		t.Fatal("Load accepted a larger document")
+	}
+	// Same size, different root tag.
+	d3 := xmltree.NewDocument("other")
+	for d3.Len() < d.Len() {
+		d3.AddChild(d3.Root(), "x")
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), d3); err == nil {
+		t.Fatal("Load accepted a different document shape")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	d := xmltree.Bibliography()
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream")), d); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestSaveLoadPreservesBuiltSketch(t *testing.T) {
+	// A sketch with several structural refinements applied by hand.
+	d := xmltree.MotivatingSkewed()
+	cfg := DefaultConfig()
+	cfg.InitialEdgeBuckets = 4
+	sk := New(d, cfg)
+	var buf bytes.Buffer
+	if err := Save(&buf, sk); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf, d)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	q := twig.MustParse("t0 in a, t1 in t0/b, t2 in t0/c")
+	if a, b := sk.EstimateQuery(q), loaded.EstimateQuery(q); a != b {
+		t.Fatalf("estimates differ: %v vs %v", a, b)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	sk := New(xmltree.Bibliography(), exactConfig())
+	var buf bytes.Buffer
+	if err := sk.WriteDOT(&buf); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph xsketch", "author", "style=solid", "->"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// One node line per synopsis node.
+	if got := bytes.Count(buf.Bytes(), []byte("[label=")); got < sk.Syn.NumNodes() {
+		t.Fatalf("DOT has %d labeled entities for %d nodes", got, sk.Syn.NumNodes())
+	}
+}
+
+func TestExplainQuery(t *testing.T) {
+	sk := New(xmltree.Bibliography(), exactConfig())
+	q := twig.MustParse("t0 in author, t1 in t0//title, t2 in t0/name")
+	ex := sk.ExplainQuery(q)
+	if len(ex.Embeddings) != 2 {
+		t.Fatalf("embeddings = %d, want 2", len(ex.Embeddings))
+	}
+	sum := 0.0
+	for _, e := range ex.Embeddings {
+		sum += e.Estimate
+		if e.Tree == "" {
+			t.Fatal("empty tree rendering")
+		}
+	}
+	if sum != ex.Total {
+		t.Fatalf("total %v != sum %v", ex.Total, sum)
+	}
+	if ex.Total != sk.EstimateQuery(q) {
+		t.Fatalf("explain total %v != estimate %v", ex.Total, sk.EstimateQuery(q))
+	}
+	out := ex.String()
+	for _, want := range []string{"embedding 1", "author", "covered (E)", "uniform (U)"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsBreakdown(t *testing.T) {
+	sk := New(xmltree.Bibliography(), exactConfig())
+	st := sk.Stats()
+	if st.Nodes != sk.Syn.NumNodes() || st.Edges != sk.Syn.NumEdges() {
+		t.Fatalf("stats shape = %+v", st)
+	}
+	if st.TotalBytes != sk.SizeBytes() {
+		t.Fatalf("Stats total %d != SizeBytes %d", st.TotalBytes, sk.SizeBytes())
+	}
+	if st.StructureBytes <= 0 || st.HistogramBytes <= 0 || st.ValueBytes <= 0 {
+		t.Fatalf("degenerate breakdown %+v", st)
+	}
+	if st.BStableEdges == 0 || st.FStableEdges == 0 {
+		t.Fatalf("stability counts = %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty String")
+	}
+	// Adding a value dim shows up in the breakdown.
+	paper := synNode(t, sk, "paper")
+	year := synNode(t, sk, "year")
+	if !sk.AddValueDim(paper, year, 4) {
+		t.Fatal("AddValueDim failed")
+	}
+	st2 := sk.Stats()
+	if st2.ValueDims != 1 || st2.TotalBytes <= st.TotalBytes {
+		t.Fatalf("value dim not reflected: %+v", st2)
+	}
+	if st2.TotalBytes != sk.SizeBytes() {
+		t.Fatalf("Stats total %d != SizeBytes %d after dim", st2.TotalBytes, sk.SizeBytes())
+	}
+}

@@ -1,0 +1,78 @@
+package xsketch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats breaks a synopsis down by component, mirroring the paper's storage
+// discussion: structural summary (nodes + edges with stability bits) vs
+// distribution information (edge histograms, value summaries).
+type Stats struct {
+	Nodes int
+	Edges int
+	// BStableEdges / FStableEdges count edges with each stability flag.
+	BStableEdges, FStableEdges int
+	// EdgeHistBuckets is the total bucket count across edge histograms;
+	// EdgeHistDims the total dimensionality (scope edges + value dims).
+	EdgeHistBuckets, EdgeHistDims int
+	// ValueDims is the number of extended-histogram value dimensions.
+	ValueDims int
+	// ValueSummaries / ValueUnits count per-node value summaries and their
+	// total stored units.
+	ValueSummaries, ValueUnits int
+	// StructureBytes / HistogramBytes / ValueBytes decompose SizeBytes.
+	StructureBytes, HistogramBytes, ValueBytes int
+	// TotalBytes is the full stored size.
+	TotalBytes int
+}
+
+// Stats computes the current breakdown.
+func (sk *Sketch) Stats() Stats {
+	var st Stats
+	m := sk.Cfg.SizeModel
+	st.Nodes = sk.Syn.NumNodes()
+	st.Edges = sk.Syn.NumEdges()
+	for _, e := range sk.Syn.Edges() {
+		if e.BStable {
+			st.BStableEdges++
+		}
+		if e.FStable {
+			st.FStableEdges++
+		}
+	}
+	st.StructureBytes = m.StructureBytes(sk.Syn)
+	for _, s := range sk.Summaries {
+		dims := len(s.Scope) + len(s.ValueDims)
+		st.EdgeHistDims += dims
+		st.ValueDims += len(s.ValueDims)
+		st.HistogramBytes += len(s.Scope) * m.BucketDimBytes
+		for _, vd := range s.ValueDims {
+			st.HistogramBytes += m.BucketDimBytes + len(vd.Bounds)*m.BucketDimBytes
+		}
+		if s.Hist != nil {
+			st.EdgeHistBuckets += s.Hist.NumBuckets()
+			st.HistogramBytes += s.Hist.NumBuckets() * m.BucketBytes(dims)
+		}
+		if s.VHist != nil {
+			st.ValueSummaries++
+			st.ValueUnits += s.VHist.SizeUnits()
+			st.ValueBytes += s.VHist.SizeUnits() * (2*m.BucketDimBytes + m.BucketFreqBytes)
+		}
+	}
+	st.TotalBytes = st.StructureBytes + st.HistogramBytes + st.ValueBytes
+	return st
+}
+
+// String renders the breakdown as a short multi-line report.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes %d, edges %d (%d B-stable, %d F-stable)\n",
+		st.Nodes, st.Edges, st.BStableEdges, st.FStableEdges)
+	fmt.Fprintf(&b, "edge histograms: %d buckets over %d dims (%d value dims)\n",
+		st.EdgeHistBuckets, st.EdgeHistDims, st.ValueDims)
+	fmt.Fprintf(&b, "value summaries: %d with %d units\n", st.ValueSummaries, st.ValueUnits)
+	fmt.Fprintf(&b, "size: %d B = %d structure + %d histograms + %d values",
+		st.TotalBytes, st.StructureBytes, st.HistogramBytes, st.ValueBytes)
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package xsketch
+
+import (
+	"math"
+	"testing"
+
+	"xsketch/internal/eval"
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+// typedDoc builds a document with a strong value/count correlation: movies
+// with type 0 have 10 actors, movies with type 9 have 1 actor.
+func typedDoc() *xmltree.Document {
+	d := xmltree.NewDocument("db")
+	addMovie := func(genre int64, actors int) {
+		m := d.AddChild(d.Root(), "movie")
+		d.AddValueChild(m, "type", genre)
+		for i := 0; i < actors; i++ {
+			d.AddChild(m, "actor")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		addMovie(0, 10)
+	}
+	for i := 0; i < 5; i++ {
+		addMovie(9, 1)
+	}
+	return d
+}
+
+func TestValueDimBinning(t *testing.T) {
+	vd := &ValueDim{Source: 0, Lo: 0, Bounds: []int64{4, 9}, Los: []int64{0, 5}}
+	if vd.bins() != 2 {
+		t.Fatalf("bins = %d", vd.bins())
+	}
+	if got := vd.binOf(0); got != 1 {
+		t.Fatalf("binOf(0) = %d", got)
+	}
+	if got := vd.binOf(4); got != 1 {
+		t.Fatalf("binOf(4) = %d", got)
+	}
+	if got := vd.binOf(5); got != 2 {
+		t.Fatalf("binOf(5) = %d", got)
+	}
+	if got := vd.binOf(100); got != 2 {
+		t.Fatalf("binOf(100) clamps to %d", got)
+	}
+	lo, hi := vd.binRange(1)
+	if lo != 0 || hi != 4 {
+		t.Fatalf("binRange(1) = %d..%d", lo, hi)
+	}
+	lo, hi = vd.binRange(2)
+	if lo != 5 || hi != 9 {
+		t.Fatalf("binRange(2) = %d..%d", lo, hi)
+	}
+}
+
+func TestValueDimOverlap(t *testing.T) {
+	vd := &ValueDim{Source: 0, Lo: 0, Bounds: []int64{9}, Los: []int64{0}}
+	pred := &pathexpr.ValuePred{Lo: 0, Hi: 4}
+	if got := vd.overlap(1, pred); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("overlap = %v, want 0.5", got)
+	}
+	if got := vd.overlap(0, pred); got != 0 {
+		t.Fatalf("missing-value overlap = %v", got)
+	}
+	if got := vd.overlap(1, &pathexpr.ValuePred{Lo: 100, Hi: 200}); got != 0 {
+		t.Fatalf("disjoint overlap = %v", got)
+	}
+	if got := vd.overlap(1, &pathexpr.ValuePred{Lo: -10, Hi: 100}); got != 1 {
+		t.Fatalf("containing overlap = %v", got)
+	}
+}
+
+func TestAddValueDimRebuildsJoint(t *testing.T) {
+	d := typedDoc()
+	sk := New(d, exactConfig())
+	movie := synNode(t, sk, "movie")
+	typ := synNode(t, sk, "type")
+	if !sk.AddValueDim(movie, typ, 4) {
+		t.Fatal("AddValueDim failed")
+	}
+	if err := sk.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := sk.Summary(movie)
+	if len(s.ValueDims) != 1 {
+		t.Fatalf("ValueDims = %d", len(s.ValueDims))
+	}
+	if s.Hist.Dims() != len(s.Scope)+1 {
+		t.Fatalf("hist dims = %d, scope %d", s.Hist.Dims(), len(s.Scope))
+	}
+	// Adding the same source again is rejected.
+	if sk.AddValueDim(movie, typ, 4) {
+		t.Fatal("duplicate AddValueDim accepted")
+	}
+	// A valueless source is rejected.
+	actor := synNode(t, sk, "actor")
+	if sk.AddValueDim(movie, actor, 4) {
+		t.Fatal("AddValueDim accepted valueless source")
+	}
+	// A non-child source is rejected.
+	if sk.AddValueDim(actor, typ, 4) {
+		t.Fatal("AddValueDim accepted non-child source")
+	}
+}
+
+func TestValueDimCapturesCorrelation(t *testing.T) {
+	// The headline use: //movie[/type=X]/actor with genre-correlated cast
+	// sizes. Without the value dimension the estimate uses the independent
+	// value fraction times the average cast; with it, the genre-specific
+	// cast size.
+	d := typedDoc()
+	ev := eval.New(d)
+	qAction := twig.MustParse("t0 in movie[type=0], t1 in t0/actor")
+	qDoc := twig.MustParse("t0 in movie[type=9], t1 in t0/actor")
+
+	plain := New(d, exactConfig())
+	// Independent estimate: P(type=0) = 0.5, E[actors] = 5.5 ->
+	// 10 * 0.5 * 5.5 = 27.5 for both genres.
+	approx(t, plain.EstimateQuery(qAction), 27.5, 1e-9, "independent action")
+	approx(t, plain.EstimateQuery(qDoc), 27.5, 1e-9, "independent documentary")
+
+	joint := New(d, exactConfig())
+	movie := synNode(t, joint, "movie")
+	typ := synNode(t, joint, "type")
+	if !joint.AddValueDim(movie, typ, 8) {
+		t.Fatal("AddValueDim failed")
+	}
+	// Correlated: type=0 movies have 10 actors -> 5 * 10 = 50; type=9
+	// movies have 1 actor -> 5 * 1 = 5. Exact joint buckets give exact
+	// answers here.
+	approx(t, joint.EstimateQuery(qAction), float64(ev.Selectivity(qAction)), 1e-6, "joint action")
+	approx(t, joint.EstimateQuery(qDoc), float64(ev.Selectivity(qDoc)), 1e-6, "joint documentary")
+	if truth := ev.Selectivity(qAction); truth != 50 {
+		t.Fatalf("truth action = %d", truth)
+	}
+}
+
+func TestValueDimSelfValue(t *testing.T) {
+	// A value dimension on the node's own values: years correlated with
+	// keyword counts (papers after 2000 have 3 keywords, before: 1).
+	d := xmltree.NewDocument("bib")
+	addPaper := func(year int64, keywords int) {
+		p := d.AddChild(d.Root(), "paper")
+		d.SetValue(p, year) // the paper element itself carries the year
+		for i := 0; i < keywords; i++ {
+			d.AddChild(p, "keyword")
+		}
+	}
+	for i := 0; i < 4; i++ {
+		addPaper(1990, 1)
+	}
+	for i := 0; i < 4; i++ {
+		addPaper(2001, 3)
+	}
+	sk := New(d, exactConfig())
+	paper := synNode(t, sk, "paper")
+	if !sk.AddValueDim(paper, paper, 8) {
+		t.Fatal("AddValueDim(self) failed")
+	}
+	q := twig.MustParse("t0 in paper[>2000], t1 in t0/keyword")
+	truth := eval.New(d).Selectivity(q)
+	if truth != 12 {
+		t.Fatalf("truth = %d", truth)
+	}
+	approx(t, sk.EstimateQuery(q), 12, 1e-6, "self value dim")
+	// Without the dimension: 8 * 0.5 * E[k]=2 = 8.
+	plain := New(d, exactConfig())
+	approx(t, plain.EstimateQuery(q), 8, 1e-9, "independent self value")
+}
+
+func TestValueDimCoveredChildPredicate(t *testing.T) {
+	// The child itself is part of the twig (not just a branch): movie with
+	// its type element bound and predicated.
+	d := typedDoc()
+	sk := New(d, exactConfig())
+	movie := synNode(t, sk, "movie")
+	typ := synNode(t, sk, "type")
+	if !sk.AddValueDim(movie, typ, 8) {
+		t.Fatal("AddValueDim failed")
+	}
+	q := twig.MustParse("t0 in movie, t1 in t0/type[=0], t2 in t0/actor")
+	truth := eval.New(d).Selectivity(q) // 5 movies * 1 type * 10 actors
+	if truth != 50 {
+		t.Fatalf("truth = %d", truth)
+	}
+	approx(t, sk.EstimateQuery(q), 50, 1e-6, "covered child value dim")
+}
+
+func TestValueDimSurvivesUnrelatedSplit(t *testing.T) {
+	d := typedDoc()
+	sk := New(d, exactConfig())
+	movie := synNode(t, sk, "movie")
+	typ := synNode(t, sk, "type")
+	if !sk.AddValueDim(movie, typ, 4) {
+		t.Fatal("AddValueDim failed")
+	}
+	// Splitting an unrelated node keeps the dimension valid.
+	actor := synNode(t, sk, "actor")
+	_, _ = sk.Syn.Split(actor, func(e xmltree.NodeID) bool { return int(e)%2 == 0 })
+	sk.RebuildAll()
+	if err := sk.Validate(); err != nil {
+		t.Fatalf("Validate after split: %v", err)
+	}
+	if len(sk.Summary(movie).ValueDims) != 1 {
+		t.Fatal("value dim dropped by unrelated split")
+	}
+}
+
+func TestValueDimString(t *testing.T) {
+	vd := &ValueDim{Source: 3, Lo: 1, Bounds: []int64{5, 9}, Los: []int64{1, 6}}
+	if vd.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestWaveletValueSummaries(t *testing.T) {
+	cfg := exactConfig()
+	cfg.WaveletValues = true
+	sk := New(xmltree.Bibliography(), cfg)
+	if err := sk.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The wavelet-backed value summary answers the paper's year predicate.
+	q := twig.MustParse("t0 in author/paper/year[>2000]")
+	got := sk.EstimateQuery(q)
+	if math.Abs(got-2) > 0.6 {
+		t.Fatalf("wavelet year>2000 = %v, want ~2", got)
+	}
+}
