@@ -114,11 +114,17 @@ func ParsePath(s string) (*Path, error) { return pathexpr.Parse(s) }
 // children with Query.AddChild.
 func NewQuery(root *Path) *Query { return twig.New(root) }
 
-// Datasets lists the synthetic dataset names ("xmark", "imdb", "sprot").
+// Datasets lists the paper's three evaluation dataset names ("xmark",
+// "imdb", "sprot"). GenerateDataset additionally accepts the recursive
+// "parts" dataset; AllDatasets lists the full accepted set.
 func Datasets() []string { return xmlgen.Names() }
 
-// GenerateDataset builds one of the paper's synthetic datasets at the
-// given scale (1 = paper-sized, roughly 100k elements).
+// AllDatasets lists every dataset name GenerateDataset accepts: the
+// paper's three evaluation datasets plus the recursive "parts" dataset.
+func AllDatasets() []string { return xmlgen.AllNames() }
+
+// GenerateDataset builds one of the synthetic datasets named by
+// AllDatasets at the given scale (1 = paper-sized, roughly 100k elements).
 func GenerateDataset(name string, seed int64, scale float64) (*Document, error) {
 	for _, n := range xmlgen.AllNames() {
 		if n == name {

@@ -39,6 +39,22 @@ func TestPublicAPIDatasetsAndWorkloads(t *testing.T) {
 	if len(xsketch.Datasets()) != 3 {
 		t.Fatalf("Datasets = %v", xsketch.Datasets())
 	}
+	all := xsketch.AllDatasets()
+	if len(all) != 4 {
+		t.Fatalf("AllDatasets = %v", all)
+	}
+	hasParts := false
+	for _, name := range all {
+		if name == "parts" {
+			hasParts = true
+		}
+		if _, err := xsketch.GenerateDataset(name, 1, 0.02); err != nil {
+			t.Fatalf("GenerateDataset(%q): %v", name, err)
+		}
+	}
+	if !hasParts {
+		t.Fatalf("AllDatasets misses the recursive dataset: %v", all)
+	}
 	doc, err := xsketch.GenerateDataset("imdb", 1, 0.02)
 	if err != nil {
 		t.Fatalf("GenerateDataset: %v", err)

@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		in      = flag.String("in", "", "input XML file ('-' for stdin)")
-		dataset = flag.String("dataset", "", "generate a dataset instead of reading XML: xmark, imdb, sprot")
+		dataset = flag.String("dataset", "", "generate a dataset instead of reading XML: xmark, imdb, sprot, parts")
 		scale   = flag.Float64("scale", 0.1, "dataset scale when -dataset is used")
 		budget  = flag.Int("budget", 50*1024, "synopsis space budget in bytes")
 		seed    = flag.Int64("seed", 1, "random seed for XBUILD sampling")
@@ -48,6 +48,9 @@ func main() {
 		b.Sketch().Syn.NumNodes(), b.Sketch().Syn.NumEdges(), b.Sketch().SizeBytes())
 	b.Run()
 	sk := b.Sketch()
+	if len(b.Steps()) == 0 && sk.SizeBytes() > *budget {
+		fmt.Printf("budget below coarsest synopsis (%d bytes); no refinements applied\n", sk.SizeBytes())
+	}
 	if *trace {
 		for i, s := range b.Steps() {
 			fmt.Printf("step %3d: %-40s -> %6d bytes (workload err %.1f%%)\n",

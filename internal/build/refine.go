@@ -1,0 +1,294 @@
+package build
+
+import (
+	"fmt"
+
+	"xsketch/internal/graphsyn"
+	core "xsketch/internal/xsketch"
+)
+
+// Op identifies one of the paper's six refinement operations (Section 5).
+type Op int
+
+const (
+	// OpBStabilize splits a node so an incoming edge becomes B-stable.
+	OpBStabilize Op = iota
+	// OpFStabilize splits a node so an outgoing edge becomes F-stable.
+	OpFStabilize
+	// OpEdgeRefine grows a node's edge-histogram bucket budget.
+	OpEdgeRefine
+	// OpEdgeExpand adds a count dimension to a node's edge histogram.
+	OpEdgeExpand
+	// OpValueRefine grows a node's value-summary unit budget.
+	OpValueRefine
+	// OpValueExpand adds a value dimension to a node's extended histogram.
+	OpValueExpand
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpBStabilize:
+		return "b-stabilize"
+	case OpFStabilize:
+		return "f-stabilize"
+	case OpEdgeRefine:
+		return "edge-refine"
+	case OpEdgeExpand:
+		return "edge-expand"
+	case OpValueRefine:
+		return "value-refine"
+	case OpValueExpand:
+		return "value-expand"
+	}
+	return "?"
+}
+
+// Refinement describes one candidate operation, fully determined by its
+// fields so it can be applied to any clone of the synopsis it was
+// generated from.
+type Refinement struct {
+	Op Op
+	// Node is the node whose summary is refined (all ops except the
+	// structural splits, which identify their target via From/To).
+	Node graphsyn.NodeID
+	// From, To identify the synopsis edge: the stabilized edge for the
+	// structural ops, or the added scope edge for edge-expand.
+	From, To graphsyn.NodeID
+	// Source is the node providing the values of a value-expand dimension.
+	Source graphsyn.NodeID
+	// Buckets is the new bucket/unit budget for the refine ops and the bin
+	// count for value-expand.
+	Buckets int
+}
+
+// target returns the node whose neighborhood the operation transforms,
+// used to anchor the per-step workload resampling.
+func (r Refinement) target() graphsyn.NodeID {
+	switch r.Op {
+	case OpBStabilize:
+		return r.To
+	case OpFStabilize:
+		return r.From
+	}
+	return r.Node
+}
+
+// String renders the operation compactly, e.g. "b-stabilize(3->7)" or
+// "edge-expand(n4 += 4->9)".
+func (r Refinement) String() string {
+	switch r.Op {
+	case OpBStabilize, OpFStabilize:
+		return fmt.Sprintf("%s(%d->%d)", r.Op, r.From, r.To)
+	case OpEdgeRefine:
+		return fmt.Sprintf("%s(n%d, %d buckets)", r.Op, r.Node, r.Buckets)
+	case OpValueRefine:
+		return fmt.Sprintf("%s(n%d, %d units)", r.Op, r.Node, r.Buckets)
+	case OpEdgeExpand:
+		return fmt.Sprintf("%s(n%d += %d->%d)", r.Op, r.Node, r.From, r.To)
+	case OpValueExpand:
+		return fmt.Sprintf("%s(n%d += values(n%d))", r.Op, r.Node, r.Source)
+	}
+	return r.Op.String()
+}
+
+// candidate pairs a refinement with nothing else today; the indirection
+// keeps room for per-candidate scoring hints.
+type candidate struct {
+	ref Refinement
+}
+
+// candidates generates the full candidate set over the current synopsis in
+// a fixed, deterministic order: structural splits over the sorted edge
+// list, then per-node (ascending ID) budget growth, scope expansion and
+// value expansion.
+func (b *Builder) candidates() []candidate {
+	sk := b.sk
+	var out []candidate
+	edges := sk.Syn.Edges()
+	for _, e := range edges {
+		if !e.BStable {
+			out = append(out, candidate{Refinement{Op: OpBStabilize, From: e.From, To: e.To}})
+		}
+	}
+	for _, e := range edges {
+		if !e.FStable {
+			out = append(out, candidate{Refinement{Op: OpFStabilize, From: e.From, To: e.To}})
+		}
+	}
+	for _, n := range sk.Syn.Nodes() {
+		s := sk.Summary(n.ID)
+		if s == nil {
+			continue
+		}
+		// edge-refine: only when compression saturated the budget (an
+		// unsaturated histogram is already exact).
+		if s.Hist != nil && s.Hist.Dims() > 0 && s.Hist.NumBuckets() >= s.Buckets {
+			out = append(out, candidate{Refinement{Op: OpEdgeRefine, Node: n.ID, Buckets: s.Buckets * 2}})
+		}
+		// value-refine: only when the node stores a saturated value summary.
+		// A zero ValueBuckets config means value summaries are deliberately
+		// disabled (e.g. the value-free CST comparison), so no candidate.
+		if s.ValueBuckets > 0 && s.VHist != nil && s.VHist.SizeUnits() >= s.ValueBuckets {
+			out = append(out, candidate{Refinement{Op: OpValueRefine, Node: n.ID, Buckets: s.ValueBuckets * 2}})
+		}
+		// edge-expand, forward: any child edge not yet in scope (the
+		// default scope holds only F-stable child edges).
+		for _, c := range n.Children {
+			e := core.ScopeEdge{From: n.ID, To: c}
+			if !inScope(s.Scope, e) {
+				out = append(out, candidate{Refinement{Op: OpEdgeExpand, Node: n.ID, From: e.From, To: e.To}})
+			}
+		}
+		// edge-expand, backward: counts from strict B-stable ancestors
+		// within TSN (the full model; gated because the paper's prototype
+		// is forward-only).
+		if b.opts.EnableBackwardExpand {
+			anc := sk.Syn.BStableAncestors(n.ID)
+			for _, a := range anc[1:] {
+				for _, z := range sk.Syn.Node(a).Children {
+					e := core.ScopeEdge{From: a, To: z}
+					if !inScope(s.Scope, e) && sk.Syn.InTSN(n.ID, a, z) {
+						out = append(out, candidate{Refinement{Op: OpEdgeExpand, Node: n.ID, From: a, To: z}})
+					}
+				}
+			}
+		}
+		// value-expand: a dimension over the node's own values or a
+		// child's values (paper Section 3.2, H^v).
+		if s.ValuedCount > 0 && !hasValueDim(s, n.ID) {
+			out = append(out, candidate{Refinement{Op: OpValueExpand, Node: n.ID, Source: n.ID, Buckets: b.opts.ValueExpandBins}})
+		}
+		for _, c := range n.Children {
+			if cs := sk.Summary(c); cs != nil && cs.ValuedCount > 0 && !hasValueDim(s, c) {
+				out = append(out, candidate{Refinement{Op: OpValueExpand, Node: n.ID, Source: c, Buckets: b.opts.ValueExpandBins}})
+			}
+		}
+	}
+	return out
+}
+
+func inScope(scope []core.ScopeEdge, e core.ScopeEdge) bool {
+	for _, s := range scope {
+		if s == e {
+			return true
+		}
+	}
+	return false
+}
+
+func hasValueDim(s *core.NodeSummary, source graphsyn.NodeID) bool {
+	for _, vd := range s.ValueDims {
+		if vd.Source == source {
+			return true
+		}
+	}
+	return false
+}
+
+// apply executes the refinement on the given sketch (typically a clone of
+// the one it was generated from). It reports false when the operation
+// turns out to be a no-op there — e.g. the split predicate does not
+// partition the extent, or the expanded dimension does not survive
+// validation.
+func (b *Builder) apply(sk *core.Sketch, r Refinement) bool {
+	switch r.Op {
+	case OpBStabilize:
+		newID, ok := sk.Syn.BStabilize(r.From, r.To)
+		if !ok {
+			return false
+		}
+		inheritSummary(sk, r.To, newID)
+		b.rebuildAfterSplit(sk, r.To, newID)
+	case OpFStabilize:
+		newID, ok := sk.Syn.FStabilize(r.From, r.To)
+		if !ok {
+			return false
+		}
+		inheritSummary(sk, r.From, newID)
+		b.rebuildAfterSplit(sk, r.From, newID)
+	case OpEdgeRefine:
+		s := sk.Summary(r.Node)
+		if s == nil || r.Buckets <= s.Buckets {
+			return false
+		}
+		s.Buckets = r.Buckets
+		sk.RebuildNode(r.Node)
+	case OpValueRefine:
+		s := sk.Summary(r.Node)
+		if s == nil || r.Buckets <= s.ValueBuckets {
+			return false
+		}
+		s.ValueBuckets = r.Buckets
+		sk.RebuildNode(r.Node)
+	case OpEdgeExpand:
+		s := sk.Summary(r.Node)
+		e := core.ScopeEdge{From: r.From, To: r.To}
+		if s == nil || inScope(s.Scope, e) {
+			return false
+		}
+		s.ExtraScope = append(s.ExtraScope, e)
+		sk.RebuildNode(r.Node)
+		// RebuildNode drops the edge again if it is not a valid scope
+		// member; treat that as inapplicable.
+		return inScope(sk.Summary(r.Node).Scope, e)
+	case OpValueExpand:
+		return sk.AddValueDim(r.Node, r.Source, r.Buckets)
+	default:
+		return false
+	}
+	return true
+}
+
+// inheritSummary seeds the summary of a node split off from `from` with
+// the parent node's budgets, expanded scope and value dimensions (its
+// extent is a subset of the old one, so the old construction decisions are
+// the best available prior). Forward extra-scope edges are rewritten to
+// originate from the new node; everything is revalidated on rebuild.
+func inheritSummary(sk *core.Sketch, from, to graphsyn.NodeID) {
+	src := sk.Summaries[from]
+	if src == nil {
+		return
+	}
+	dst := &core.NodeSummary{
+		Buckets:      src.Buckets,
+		ValueBuckets: src.ValueBuckets,
+		ValueDims:    append([]*core.ValueDim(nil), src.ValueDims...),
+	}
+	for _, e := range src.ExtraScope {
+		if e.From == from {
+			e.From = to
+		}
+		dst.ExtraScope = append(dst.ExtraScope, e)
+	}
+	sk.Summaries[to] = dst
+}
+
+// rebuildAfterSplit recomputes the summaries invalidated by splitting v
+// into (v, w). Without backward counts only the two halves, their parents
+// (whose F-stable default scopes reference v/w) and their children (whose
+// B-stable ancestor chains, and hence extra-scope/value-dim validity, may
+// have changed) are affected; with backward expand enabled, scope edges
+// can reference arbitrary ancestors, so everything is rebuilt.
+func (b *Builder) rebuildAfterSplit(sk *core.Sketch, v, w graphsyn.NodeID) {
+	if b.opts.EnableBackwardExpand {
+		sk.RebuildAll()
+		return
+	}
+	affected := map[graphsyn.NodeID]bool{v: true, w: true}
+	for _, id := range []graphsyn.NodeID{v, w} {
+		n := sk.Syn.Node(id)
+		for _, p := range n.Parents {
+			affected[p] = true
+		}
+		for _, c := range n.Children {
+			affected[c] = true
+		}
+	}
+	// Deterministic rebuild order (map iteration order is random, and
+	// RebuildNode allocates into shared state).
+	for _, n := range sk.Syn.Nodes() {
+		if affected[n.ID] {
+			sk.RebuildNode(n.ID)
+		}
+	}
+}

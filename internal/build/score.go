@@ -1,0 +1,154 @@
+package build
+
+import (
+	"math"
+	"sync"
+
+	"xsketch/internal/graphsyn"
+	"xsketch/internal/metrics"
+	"xsketch/internal/twig"
+	"xsketch/internal/workload"
+	core "xsketch/internal/xsketch"
+)
+
+// scoredQuery is one scoring-workload query with its truth: the exact
+// selectivity, or the reference synopsis's estimate under
+// Options.ReferenceScoring.
+type scoredQuery struct {
+	q     *twig.Query
+	truth int64
+}
+
+// scoreResult is one candidate's outcome: the refined synopsis, its size,
+// and its scoring-workload error.
+type scoreResult struct {
+	sk   *core.Sketch
+	size int
+	err  float64
+}
+
+// initScoring prepares the scoring workload and, when requested, the
+// reference synopsis whose estimates stand in for true counts.
+func (b *Builder) initScoring() {
+	if b.opts.ReferenceScoring {
+		// The reference summary is a large coarsest synopsis: label-split
+		// structure with generous histogram budgets (the paper's "large
+		// reference synopsis", cheap to build, far more accurate than the
+		// budgeted synopsis being constructed).
+		cfg := b.opts.Sketch
+		if cfg.InitialEdgeBuckets < 16 {
+			cfg.InitialEdgeBuckets = 16
+		}
+		if cfg.InitialValueBuckets < 16 {
+			cfg.InitialValueBuckets = 16
+		}
+		b.ref = core.New(b.doc, cfg)
+	}
+	if w := b.opts.ScoringWorkload; w != nil {
+		b.base = b.scoredQueries(w)
+		b.queries = b.base
+		return
+	}
+	// Sample a P+V workload so value predicates exercise the value
+	// refinements. Queries are kept smaller than the paper's 4-8
+	// evaluation twigs: scoring runs per candidate per step, and small
+	// twigs localize the gain signal.
+	cfg := workload.DefaultConfig(workload.KindPV)
+	cfg.NumQueries = b.opts.ScoringQueries
+	cfg.MinNodes, cfg.MaxNodes = 2, 6
+	cfg.Seed = b.opts.Seed
+	b.base = b.scoredQueries(workload.Generate(b.doc, cfg))
+	b.queries = b.base
+}
+
+// resampleAnchored refreshes the anchored share of the scoring workload
+// with queries rooted in the extent of the refined node (the paper samples
+// queries "around the regions transformed by the candidate operations").
+// A fixed ScoringWorkload disables this.
+func (b *Builder) resampleAnchored(node graphsyn.NodeID) {
+	if b.opts.ScoringWorkload != nil {
+		return
+	}
+	cfg := workload.DefaultConfig(workload.KindPV)
+	cfg.NumQueries = b.opts.ScoringQueries / 3
+	cfg.MinNodes, cfg.MaxNodes = 2, 6
+	cfg.Seed = b.rng.Int63()
+	cfg.Anchors = b.sk.Syn.Node(node).Extent
+	if cfg.NumQueries > 0 {
+		b.anchored = b.scoredQueries(workload.Generate(b.doc, cfg))
+	}
+	b.queries = append(append([]scoredQuery(nil), b.base...), b.anchored...)
+}
+
+// scoredQueries converts a generated workload into scoring queries,
+// substituting reference-synopsis estimates for the exact truths under
+// ReferenceScoring.
+func (b *Builder) scoredQueries(w *workload.Workload) []scoredQuery {
+	out := make([]scoredQuery, 0, len(w.Queries))
+	for _, q := range w.Queries {
+		truth := q.Truth
+		if b.ref != nil {
+			truth = int64(math.Round(b.ref.EstimateQuery(q.Twig)))
+		}
+		out = append(out, scoredQuery{q: q.Twig, truth: truth})
+	}
+	return out
+}
+
+// errorOf scores a synopsis on the current scoring workload with the
+// paper's sanity-bounded average relative error.
+func (b *Builder) errorOf(sk *core.Sketch) float64 {
+	if len(b.queries) == 0 {
+		return 0
+	}
+	results := make([]metrics.Result, len(b.queries))
+	for i, sq := range b.queries {
+		results[i] = metrics.Result{Truth: sq.truth, Estimate: sk.EstimateQuery(sq.q)}
+	}
+	return metrics.Evaluate(results, 0).AvgError
+}
+
+// scoreOne clones the current synopsis, applies the candidate and scores
+// it. Returns nil when the candidate is inapplicable.
+func (b *Builder) scoreOne(c candidate) *scoreResult {
+	sk := b.sk.Clone()
+	if !b.apply(sk, c.ref) {
+		return nil
+	}
+	return &scoreResult{sk: sk, size: sk.SizeBytes(), err: b.errorOf(sk)}
+}
+
+// scoreAll scores every candidate on a worker pool. Results land at their
+// candidate's index, and each candidate's score is independent of the
+// others, so the outcome is deterministic regardless of worker count or
+// scheduling order.
+func (b *Builder) scoreAll(cands []candidate) []*scoreResult {
+	out := make([]*scoreResult, len(cands))
+	workers := b.opts.Parallelism
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, c := range cands {
+			out[i] = b.scoreOne(c)
+		}
+		return out
+	}
+	ch := make(chan int, len(cands))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i] = b.scoreOne(cands[i])
+			}
+		}()
+	}
+	for i := range cands {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
