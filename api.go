@@ -60,6 +60,12 @@ type (
 	ScopeEdge = core.ScopeEdge
 	// SynopsisNodeID identifies a synopsis node.
 	SynopsisNodeID = graphsyn.NodeID
+	// EstimateResult is one query's estimate with its truncation flag
+	// (Sketch.EstimateQueryResult, Sketch.EstimateBatch).
+	EstimateResult = core.EstimateResult
+	// EstimatorStats reports the estimation cache's lifetime counters
+	// (Sketch.EstimatorStats).
+	EstimatorStats = core.EstimatorStats
 	// BuildOptions configures the XBUILD construction algorithm.
 	BuildOptions = build.Options
 	// Builder runs XBUILD incrementally (budget sweeps, tracing).

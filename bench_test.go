@@ -204,6 +204,57 @@ func BenchmarkEstimateQuery(b *testing.B) {
 	}
 }
 
+// benchXMarkEstimation builds a coarsest XMark synopsis (optionally with
+// the estimation cache disabled) and a 50-query P+V workload for the
+// batch-estimation benchmarks.
+func benchXMarkEstimation(b *testing.B, disableCache bool) (*xsketch.Sketch, []*twig.Query) {
+	b.Helper()
+	d := xmlgen.XMark(xmlgen.Config{Seed: 1, Scale: 0.05})
+	cfg := xsketch.DefaultConfig()
+	cfg.DisableEstimatorCache = disableCache
+	sk := xsketch.New(d, cfg)
+	wcfg := workload.DefaultConfig(workload.KindPV)
+	wcfg.NumQueries = 50
+	w := workload.Generate(d, wcfg)
+	qs := make([]*twig.Query, len(w.Queries))
+	for i, q := range w.Queries {
+		qs[i] = q.Twig
+	}
+	return sk, qs
+}
+
+// BenchmarkEstimateWorkloadSequentialUncached is the baseline the batch
+// engine is measured against: one query at a time, no memoization.
+func BenchmarkEstimateWorkloadSequentialUncached(b *testing.B) {
+	sk, qs := benchXMarkEstimation(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			sk.EstimateQuery(q)
+		}
+	}
+}
+
+// BenchmarkEstimateWorkloadBatchCachedSerial isolates the cache's effect:
+// same single-threaded execution, memoized expansion and exists-fractions.
+func BenchmarkEstimateWorkloadBatchCachedSerial(b *testing.B) {
+	sk, qs := benchXMarkEstimation(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.EstimateBatch(qs, 1)
+	}
+}
+
+// BenchmarkEstimateWorkloadBatchCached is the full batch path: worker pool
+// (GOMAXPROCS) plus the shared per-sketch cache.
+func BenchmarkEstimateWorkloadBatchCached(b *testing.B) {
+	sk, qs := benchXMarkEstimation(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.EstimateBatch(qs, 0)
+	}
+}
+
 func BenchmarkExactSelectivity(b *testing.B) {
 	d, _, w := benchDocAndSketch(b)
 	ev := eval.New(d)

@@ -27,6 +27,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		paper   = flag.Bool("paper", false, "use the paper-scale configuration (slow)")
 		steps   = flag.Int("steps", 300, "max XBUILD refinement steps")
+		workers = flag.Int("workers", 0, "estimation workers for workload scoring (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		opts = experiments.PaperOptions()
 		opts.Seed = *seed
 	}
+	opts.Workers = *workers
 
 	run := func(name string, fn func()) {
 		start := time.Now()

@@ -20,7 +20,9 @@ import (
 	"xsketch/internal/build"
 	"xsketch/internal/cli"
 	"xsketch/internal/metrics"
+	"xsketch/internal/twig"
 	"xsketch/internal/workload"
+	"xsketch/internal/xsketch"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		estimate = flag.Bool("estimate", false, "also build a synopsis and report estimates")
 		budget   = flag.Int("budget", 16*1024, "synopsis budget when -estimate is used")
+		workers  = flag.Int("workers", 0, "estimation workers when -estimate is used (0 = GOMAXPROCS)")
 		saveTo   = flag.String("o", "", "save the workload (replayable with workload.Load) to this file")
 	)
 	flag.Parse()
@@ -56,24 +59,28 @@ func main() {
 	cfg.Seed = *seed
 	w := workload.Generate(doc, cfg)
 
-	var estFn func(q workload.Query) float64
+	var ests []xsketch.EstimateResult
 	if *estimate {
 		opts := build.DefaultOptions(*budget)
 		opts.Seed = *seed
 		sk := build.XBuild(doc, opts)
 		fmt.Fprintf(os.Stderr, "synopsis: %d bytes, %d nodes\n", sk.SizeBytes(), sk.Syn.NumNodes())
-		estFn = func(q workload.Query) float64 { return sk.EstimateQuery(q.Twig) }
+		qs := make([]*twig.Query, len(w.Queries))
+		for i, q := range w.Queries {
+			qs[i] = q.Twig
+		}
+		ests = sk.EstimateBatch(qs, *workers)
 	}
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	var results []metrics.Result
-	for _, q := range w.Queries {
-		if estFn == nil {
+	for i, q := range w.Queries {
+		if ests == nil {
 			fmt.Fprintf(out, "%d\t%s\n", q.Truth, q.Twig)
 			continue
 		}
-		est := estFn(q)
+		est := ests[i].Estimate
 		denom := math.Max(1, float64(q.Truth))
 		fmt.Fprintf(out, "%d\t%.2f\t%.1f%%\t%s\n", q.Truth, est, 100*math.Abs(est-float64(q.Truth))/denom, q.Twig)
 		results = append(results, metrics.Result{Truth: q.Truth, Estimate: est})

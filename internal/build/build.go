@@ -211,7 +211,7 @@ func (b *Builder) Step() bool {
 		return b.stepRandom(cands)
 	}
 	cands = b.sampleCandidates(cands)
-	curErr := b.errorOf(b.sk)
+	curErr := b.errorOfParallel(b.sk, b.opts.Parallelism)
 	results := b.scoreAll(cands)
 	best, bestGain := -1, 0.0
 	for i, r := range results {

@@ -82,28 +82,51 @@ func (b *Builder) resampleAnchored(node graphsyn.NodeID) {
 
 // scoredQueries converts a generated workload into scoring queries,
 // substituting reference-synopsis estimates for the exact truths under
-// ReferenceScoring.
+// ReferenceScoring. Reference estimates run on the batch path: the
+// reference synopsis is never refined, so its estimation cache persists
+// across every resampling and build step.
 func (b *Builder) scoredQueries(w *workload.Workload) []scoredQuery {
 	out := make([]scoredQuery, 0, len(w.Queries))
-	for _, q := range w.Queries {
-		truth := q.Truth
-		if b.ref != nil {
-			truth = int64(math.Round(b.ref.EstimateQuery(q.Twig)))
+	if b.ref != nil {
+		qs := make([]*twig.Query, len(w.Queries))
+		for i, q := range w.Queries {
+			qs[i] = q.Twig
 		}
-		out = append(out, scoredQuery{q: q.Twig, truth: truth})
+		ests := b.ref.EstimateBatch(qs, b.opts.Parallelism)
+		for i, q := range w.Queries {
+			out = append(out, scoredQuery{q: q.Twig, truth: int64(math.Round(ests[i].Estimate))})
+		}
+		return out
+	}
+	for _, q := range w.Queries {
+		out = append(out, scoredQuery{q: q.Twig, truth: q.Truth})
 	}
 	return out
 }
 
 // errorOf scores a synopsis on the current scoring workload with the
-// paper's sanity-bounded average relative error.
+// paper's sanity-bounded average relative error. It runs the batch path
+// single-worker: candidate scoring already saturates the worker pool one
+// level up, and the per-sketch cache (shared across the workload's
+// queries) is where the win is.
 func (b *Builder) errorOf(sk *core.Sketch) float64 {
+	return b.errorOfParallel(sk, 1)
+}
+
+// errorOfParallel is errorOf with an explicit estimation worker count,
+// used where the caller is not itself running on the scoring pool.
+func (b *Builder) errorOfParallel(sk *core.Sketch, workers int) float64 {
 	if len(b.queries) == 0 {
 		return 0
 	}
+	qs := make([]*twig.Query, len(b.queries))
+	for i, sq := range b.queries {
+		qs[i] = sq.q
+	}
+	ests := sk.EstimateBatch(qs, workers)
 	results := make([]metrics.Result, len(b.queries))
 	for i, sq := range b.queries {
-		results[i] = metrics.Result{Truth: sq.truth, Estimate: sk.EstimateQuery(sq.q)}
+		results[i] = metrics.Result{Truth: sq.truth, Estimate: ests[i].Estimate}
 	}
 	return metrics.Evaluate(results, 0).AvgError
 }

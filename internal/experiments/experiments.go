@@ -22,6 +22,7 @@ import (
 	"xsketch/internal/build"
 	"xsketch/internal/cst"
 	"xsketch/internal/metrics"
+	"xsketch/internal/twig"
 	"xsketch/internal/workload"
 	"xsketch/internal/xmlgen"
 	"xsketch/internal/xmltree"
@@ -48,6 +49,9 @@ type Options struct {
 	// Datasets restricts the run; empty means the paper's selection per
 	// experiment.
 	Datasets []string
+	// Workers is the estimation worker count used when scoring workloads
+	// on a synopsis (Sketch.EstimateBatch); <= 0 selects GOMAXPROCS.
+	Workers int
 }
 
 // DefaultOptions returns a laptop-scale configuration: ~5k-element
@@ -219,18 +223,31 @@ func (o Options) sweepSketch(doc *xmltree.Document, w *workload.Workload, mutate
 		sk := b.Sketch()
 		points = append(points, SweepPoint{
 			SizeKB:   float64(sk.SizeBytes()) / 1024,
-			AvgError: scoreXSketch(sk, w, 0),
+			AvgError: scoreXSketch(sk, w, 0, o.Workers),
 		})
 	}
 	return points
 }
 
-func scoreXSketch(sk *xsketch.Sketch, w *workload.Workload, outlierCap float64) float64 {
+// scoreXSketch evaluates the workload on the sketch's concurrent batch
+// path (workers <= 0 selects GOMAXPROCS); estimates are bit-identical to
+// the sequential path for any worker count.
+func scoreXSketch(sk *xsketch.Sketch, w *workload.Workload, outlierCap float64, workers int) float64 {
+	ests := estimateWorkload(sk, w, workers)
 	results := make([]metrics.Result, len(w.Queries))
 	for i, q := range w.Queries {
-		results[i] = metrics.Result{Truth: q.Truth, Estimate: sk.EstimateQuery(q.Twig)}
+		results[i] = metrics.Result{Truth: q.Truth, Estimate: ests[i].Estimate}
 	}
 	return metrics.Evaluate(results, outlierCap).AvgError
+}
+
+// estimateWorkload runs a workload's queries through Sketch.EstimateBatch.
+func estimateWorkload(sk *xsketch.Sketch, w *workload.Workload, workers int) []xsketch.EstimateResult {
+	qs := make([]*twig.Query, len(w.Queries))
+	for i, q := range w.Queries {
+		qs[i] = q.Twig
+	}
+	return sk.EstimateBatch(qs, workers)
 }
 
 func scoreCST(c *cst.CST, w *workload.Workload, outlierCap float64) float64 {
@@ -294,7 +311,7 @@ func Figure9c(o Options) []RatioSeries {
 			if c.SizeBytes() > size {
 				c.Prune(size)
 			}
-			errX := scoreXSketch(sk, w, 0)
+			errX := scoreXSketch(sk, w, 0, o.Workers)
 			errC := scoreCST(c, w, o.OutlierCap)
 			floor := 0.001
 			den := errX

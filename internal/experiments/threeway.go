@@ -57,8 +57,9 @@ func ThreeWay(o Options) []ThreeWayRow {
 		}
 
 		var xres, cres, sres []result
-		for _, q := range w.Queries {
-			xres = append(xres, result{q.Truth, sk.EstimateQuery(q.Twig)})
+		xests := estimateWorkload(sk, w, o.Workers)
+		for i, q := range w.Queries {
+			xres = append(xres, result{q.Truth, xests[i].Estimate})
 			cres = append(cres, result{q.Truth, c.EstimateQuery(q.Twig)})
 			sres = append(sres, result{q.Truth, sx.EstimateQuery(q.Twig)})
 		}

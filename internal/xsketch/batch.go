@@ -1,0 +1,71 @@
+package xsketch
+
+import (
+	"runtime"
+	"sync"
+
+	"xsketch/internal/twig"
+)
+
+// EstimateResult is one query's outcome from the estimation engine.
+type EstimateResult struct {
+	// Estimate is the estimated number of binding tuples (the value
+	// EstimateQuery returns).
+	Estimate float64
+	// Truncated reports that embedding enumeration exhausted
+	// Config.MaxEmbeddings, so the estimate was computed from a truncated
+	// (but non-empty, when any embedding exists) embedding set.
+	Truncated bool
+}
+
+// EstimateQueryResult estimates a twig query and reports whether the
+// embedding enumeration was truncated by Config.MaxEmbeddings.
+func (sk *Sketch) EstimateQueryResult(q *twig.Query) EstimateResult {
+	ems, truncated := sk.EmbeddingsTruncated(q)
+	total := 0.0
+	for _, em := range ems {
+		total += sk.EstimateEmbedding(em)
+	}
+	return EstimateResult{Estimate: total, Truncated: truncated}
+}
+
+// EstimateBatch estimates a workload of twig queries on a worker pool,
+// returning one result per query in input order. workers <= 0 selects
+// GOMAXPROCS. Results are bit-identical to calling EstimateQuery on each
+// query sequentially, for any worker count: every memoized sub-result is a
+// pure function of the (unchanging) sketch, so cache interleaving cannot
+// alter values. The batch shares the sketch's estimation cache, which is
+// where the speedup comes from — workload queries overlap heavily in the
+// structural sub-results they need.
+func (sk *Sketch) EstimateBatch(queries []*twig.Query, workers int) []EstimateResult {
+	out := make([]EstimateResult, len(queries))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = sk.EstimateQueryResult(q)
+		}
+		return out
+	}
+	idx := make(chan int, len(queries))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = sk.EstimateQueryResult(queries[i])
+			}
+		}()
+	}
+	for i := range queries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

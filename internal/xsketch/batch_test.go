@@ -1,0 +1,158 @@
+package xsketch
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+	"xsketch/internal/workload"
+	"xsketch/internal/xmlgen"
+	"xsketch/internal/xmltree"
+)
+
+// xmarkQueries samples a mixed P+V workload over a small XMark document.
+func xmarkQueries(n int) (*xmltree.Document, []*twig.Query) {
+	d := xmlgen.XMark(xmlgen.Config{Seed: 1, Scale: 0.02})
+	cfg := workload.DefaultConfig(workload.KindPV)
+	cfg.NumQueries = n
+	cfg.Seed = 3
+	w := workload.Generate(d, cfg)
+	qs := make([]*twig.Query, len(w.Queries))
+	for i, q := range w.Queries {
+		qs[i] = q.Twig
+	}
+	return d, qs
+}
+
+func TestEstimateBatchMatchesSequential(t *testing.T) {
+	d, qs := xmarkQueries(50)
+	for _, workers := range []int{2, 4, 8} {
+		seq := New(d, DefaultConfig())
+		par := New(d, DefaultConfig())
+		batch := par.EstimateBatch(qs, workers)
+		if len(batch) != len(qs) {
+			t.Fatalf("batch returned %d results for %d queries", len(batch), len(qs))
+		}
+		for i, q := range qs {
+			want := seq.EstimateQueryResult(q)
+			got := batch[i]
+			if math.Float64bits(got.Estimate) != math.Float64bits(want.Estimate) {
+				t.Errorf("workers=%d query %d: batch %v != sequential %v", workers, i, got.Estimate, want.Estimate)
+			}
+			if got.Truncated != want.Truncated {
+				t.Errorf("workers=%d query %d: truncated %v != %v", workers, i, got.Truncated, want.Truncated)
+			}
+		}
+	}
+}
+
+func TestEstimateBatchConcurrentWithStats(t *testing.T) {
+	// Exercised under -race: several goroutines run batches on one sketch
+	// while another polls the cache counters.
+	d, qs := xmarkQueries(30)
+	sk := New(d, DefaultConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sk.EstimateBatch(qs, 4)
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			sk.EstimatorStats()
+		}
+	}()
+	wg.Wait()
+	<-done
+	st := sk.EstimatorStats()
+	if st.Misses == 0 {
+		t.Fatalf("stats after batches: %+v, want misses > 0", st)
+	}
+}
+
+func TestEstimatorStatsAndInvalidation(t *testing.T) {
+	sk := bibSketch(t)
+	q := twig.MustParse("t0 in author, t1 in t0//title, t2 in t0/name")
+	before := sk.EstimateQuery(q)
+	sk.EstimateQuery(q)
+	st := sk.EstimatorStats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("stats after repeated estimation: %+v, want hits and misses", st)
+	}
+	// Refinement invalidates: the rebuilt node's cache entries are dropped
+	// and re-estimation reproduces the same value from scratch.
+	sk.RebuildNode(synNode(t, sk, "author"))
+	if got := sk.EstimatorStats(); got.Evictions == 0 {
+		t.Fatalf("stats after RebuildNode: %+v, want evictions > 0", got)
+	}
+	approx(t, sk.EstimateQuery(q), before, 1e-12, "estimate after invalidation")
+}
+
+func TestDisableEstimatorCacheParity(t *testing.T) {
+	d, qs := xmarkQueries(25)
+	cached := New(d, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.DisableEstimatorCache = true
+	uncached := New(d, cfg)
+	for i, q := range qs {
+		c := cached.EstimateQuery(q)
+		u := uncached.EstimateQuery(q)
+		if math.Float64bits(c) != math.Float64bits(u) {
+			t.Errorf("query %d: cached %v != uncached %v", i, c, u)
+		}
+	}
+	if st := uncached.EstimatorStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled cache recorded activity: %+v", st)
+	}
+}
+
+func TestExistsFractionDepthGuard(t *testing.T) {
+	sk := bibSketch(t)
+	id := synNode(t, sk, "author")
+	steps := pathexpr.MustParse("paper/title").Steps
+	if v, clean := sk.existsFraction(id, steps, maxExistsDepth+1); v != 0 || clean {
+		t.Fatalf("past guard: got (%v, %v), want (0, false)", v, clean)
+	}
+	// Guarded results must not be cached: the same lookup at depth 0 still
+	// computes the real value.
+	if v, clean := sk.existsFraction(id, steps, 0); v <= 0 || !clean {
+		t.Fatalf("after guarded call: got (%v, %v), want positive and clean", v, clean)
+	}
+}
+
+func TestValueFractionEmptyExtent(t *testing.T) {
+	d := xmltree.NewDocument("r")
+	for i := 0; i < 3; i++ {
+		d.AddValueChild(d.Root(), "v", int64(i))
+	}
+	sk := New(d, exactConfig())
+	id := synNode(t, sk, "v")
+	// Fabricate the stale-summary scenario: a node whose extent was emptied
+	// by refinement but whose value histogram still holds mass.
+	sk.Syn.Node(id).Extent = nil
+	pred := &pathexpr.ValuePred{Lo: 0, Hi: 2}
+	if got := sk.valueFraction(id, pred); got != 0 {
+		t.Fatalf("valueFraction over empty extent = %v, want 0", got)
+	}
+}
+
+func TestEstimateBatchDegenerateInputs(t *testing.T) {
+	sk := bibSketch(t)
+	if got := sk.EstimateBatch(nil, 4); len(got) != 0 {
+		t.Fatalf("nil batch returned %d results", len(got))
+	}
+	qs := []*twig.Query{twig.MustParse("t0 in author")}
+	for _, workers := range []int{-1, 0, 1, 16} {
+		res := sk.EstimateBatch(qs, workers)
+		if len(res) != 1 {
+			t.Fatalf("workers=%d: %d results", workers, len(res))
+		}
+		approx(t, res[0].Estimate, 3, 1e-9, "author count")
+	}
+}

@@ -1,6 +1,9 @@
 package xsketch
 
 import (
+	"fmt"
+	"strings"
+
 	"xsketch/internal/graphsyn"
 	"xsketch/internal/pathexpr"
 	"xsketch/internal/twig"
@@ -31,20 +34,55 @@ type Embedding struct {
 	Root *EmbNode
 }
 
+// embedBudget threads the Cfg.MaxEmbeddings bound through the enumeration.
+// The budget is soft: once exhausted, every enumeration level still yields
+// its first alternative (instead of dropping partially built combinations
+// and collapsing the whole query to zero embeddings), so a truncated
+// enumeration always returns a usable prefix of the embedding set.
+type embedBudget struct {
+	left      int
+	truncated bool
+}
+
+// exhausted reports that the budget is spent, flagging truncation as a side
+// effect (it is only consulted where further work is pending or skipped).
+func (b *embedBudget) exhausted() bool {
+	if b.left <= 0 {
+		b.truncated = true
+		return true
+	}
+	return false
+}
+
 // Embeddings enumerates the embeddings of q over the synopsis. The
 // enumeration expands '//' into simple (non-repeating) synopsis paths of
 // length at most Cfg.MaxDescendantPathLen and caps the total embedding
-// count at Cfg.MaxEmbeddings.
+// count at Cfg.MaxEmbeddings (returning the truncated set when the cap is
+// hit; see EmbeddingsTruncated).
 func (sk *Sketch) Embeddings(q *twig.Query) []*Embedding {
+	ems, _ := sk.EmbeddingsTruncated(q)
+	return ems
+}
+
+// EmbeddingsTruncated enumerates the embeddings of q and additionally
+// reports whether enumeration was truncated by Cfg.MaxEmbeddings.
+//
+// Structurally identical embeddings are deduplicated before returning:
+// both interpretations of an absolute first step naming the root tag (the
+// plain root-children reading and the root-self reading, mirroring eval)
+// draw from one budget and produce distinct trees by construction, but the
+// dedup pass guarantees no synopsis realization is ever counted twice by
+// EstimateQuery even if a future enumeration change introduces overlap.
+func (sk *Sketch) EmbeddingsTruncated(q *twig.Query) ([]*Embedding, bool) {
 	if q.Root == nil {
-		return nil
+		return nil, false
 	}
 	rootSyn := sk.Syn.NodeOf(sk.Syn.Doc.Root())
-	budget := sk.Cfg.MaxEmbeddings
-	if budget <= 0 {
-		budget = 1 << 30
+	bud := &embedBudget{left: sk.Cfg.MaxEmbeddings}
+	if bud.left <= 0 {
+		bud.left = 1 << 30
 	}
-	alts := sk.embedTwig(rootSyn, q.Root, &budget)
+	alts := sk.embedTwig(rootSyn, q.Root, bud)
 	out := make([]*Embedding, 0, len(alts))
 	for _, a := range alts {
 		out = append(out, &Embedding{Root: &EmbNode{Syn: rootSyn, Children: []*EmbNode{a}}})
@@ -56,7 +94,7 @@ func (sk *Sketch) Embeddings(q *twig.Query) []*Embedding {
 		if tag, ok := sk.Syn.Doc.LookupTag(steps[0].Label); ok && sk.Syn.Node(rootSyn).Tag == tag {
 			step0 := steps[0]
 			if len(steps) == 1 {
-				for _, combo := range sk.embedChildren(rootSyn, q.Root.Children, &budget) {
+				for _, combo := range sk.embedChildren(rootSyn, q.Root.Children, bud) {
 					out = append(out, &Embedding{Root: &EmbNode{
 						Syn: rootSyn, Value: step0.Value, Branches: step0.Branches, Children: combo,
 					}})
@@ -64,7 +102,7 @@ func (sk *Sketch) Embeddings(q *twig.Query) []*Embedding {
 			} else {
 				rq := q.Clone()
 				rq.Root.Path.Steps = rq.Root.Path.Steps[1:]
-				for _, alt := range sk.embedTwig(rootSyn, rq.Root, &budget) {
+				for _, alt := range sk.embedTwig(rootSyn, rq.Root, bud) {
 					out = append(out, &Embedding{Root: &EmbNode{
 						Syn: rootSyn, Value: step0.Value, Branches: step0.Branches, Children: []*EmbNode{alt},
 					}})
@@ -72,17 +110,62 @@ func (sk *Sketch) Embeddings(q *twig.Query) []*Embedding {
 			}
 		}
 	}
+	return dedupeEmbeddings(out), bud.truncated
+}
+
+// dedupeEmbeddings drops embeddings whose trees are structurally identical
+// (same synopsis nodes, predicates and shape) to an earlier one, preserving
+// enumeration order.
+func dedupeEmbeddings(ems []*Embedding) []*Embedding {
+	if len(ems) < 2 {
+		return ems
+	}
+	seen := make(map[string]bool, len(ems))
+	out := ems[:0]
+	for _, em := range ems {
+		sig := embSig(em.Root)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, em)
+	}
 	return out
+}
+
+// embSig renders an embedding subtree as a canonical signature string.
+func embSig(n *EmbNode) string {
+	var b strings.Builder
+	writeEmbSig(&b, n)
+	return b.String()
+}
+
+func writeEmbSig(b *strings.Builder, n *EmbNode) {
+	fmt.Fprintf(b, "n%d", n.Syn)
+	if n.Value != nil {
+		fmt.Fprintf(b, "{%d:%d}", n.Value.Lo, n.Value.Hi)
+	}
+	for _, br := range n.Branches {
+		fmt.Fprintf(b, "[%s]", br)
+	}
+	b.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeEmbSig(b, c)
+	}
+	b.WriteByte(')')
 }
 
 // embedChildren enumerates the cartesian combinations of the children's
 // embedded alternatives from a fixed context node (used by the root-self
 // interpretation, where the parent is the virtual root itself). With no
 // children it yields one empty combination.
-func (sk *Sketch) embedChildren(ctx graphsyn.NodeID, children []*twig.Node, budget *int) [][]*EmbNode {
+func (sk *Sketch) embedChildren(ctx graphsyn.NodeID, children []*twig.Node, bud *embedBudget) [][]*EmbNode {
 	alts := make([][]*EmbNode, len(children))
 	for i, ct := range children {
-		alts[i] = sk.embedTwig(ctx, ct, budget)
+		alts[i] = sk.embedTwig(ctx, ct, bud)
 		if len(alts[i]) == 0 {
 			return nil
 		}
@@ -91,17 +174,17 @@ func (sk *Sketch) embedChildren(ctx graphsyn.NodeID, children []*twig.Node, budg
 	combo := make([]*EmbNode, len(children))
 	var emit func(i int)
 	emit = func(i int) {
-		if *budget <= 0 {
-			return
-		}
 		if i == len(children) {
 			out = append(out, append([]*EmbNode(nil), combo...))
-			*budget--
+			bud.left--
 			return
 		}
 		for _, a := range alts[i] {
 			combo[i] = a
 			emit(i + 1)
+			if bud.exhausted() && len(out) > 0 {
+				return
+			}
 		}
 	}
 	emit(0)
@@ -116,9 +199,12 @@ type chain struct {
 }
 
 // embedTwig returns the alternative embedded subtrees for twig node t
-// evaluated from synopsis context ctx.
-func (sk *Sketch) embedTwig(ctx graphsyn.NodeID, t *twig.Node, budget *int) []*EmbNode {
-	chains := sk.embedPath(ctx, t.Path.Steps, budget)
+// evaluated from synopsis context ctx. Even with the budget exhausted it
+// yields at least one subtree whenever t is structurally embeddable, so a
+// truncated enumeration never collapses an embeddable query to zero
+// embeddings (it returns a prefix of the full set instead).
+func (sk *Sketch) embedTwig(ctx graphsyn.NodeID, t *twig.Node, bud *embedBudget) []*EmbNode {
+	chains := sk.embedPath(ctx, t.Path.Steps, bud)
 	if len(chains) == 0 {
 		return nil
 	}
@@ -129,7 +215,7 @@ func (sk *Sketch) embedTwig(ctx graphsyn.NodeID, t *twig.Node, budget *int) []*E
 		childAlts := make([][]*EmbNode, len(t.Children))
 		ok := true
 		for i, ct := range t.Children {
-			childAlts[i] = sk.embedTwig(ch.tail.Syn, ct, budget)
+			childAlts[i] = sk.embedTwig(ch.tail.Syn, ct, bud)
 			if len(childAlts[i]) == 0 {
 				ok = false
 				break
@@ -143,23 +229,23 @@ func (sk *Sketch) embedTwig(ctx graphsyn.NodeID, t *twig.Node, budget *int) []*E
 		combo := make([]*EmbNode, len(t.Children))
 		var emit func(i int)
 		emit = func(i int) {
-			if *budget <= 0 {
-				return
-			}
 			if i == len(t.Children) {
 				c := cloneChain(ch)
 				c.tail.Children = append(c.tail.Children, combo...)
 				out = append(out, c.head)
-				*budget--
+				bud.left--
 				return
 			}
 			for _, alt := range childAlts[i] {
 				combo[i] = alt
 				emit(i + 1)
+				if bud.exhausted() && len(out) > 0 {
+					return
+				}
 			}
 		}
 		emit(0)
-		if *budget <= 0 {
+		if bud.exhausted() && len(out) > 0 {
 			break
 		}
 	}
@@ -167,7 +253,7 @@ func (sk *Sketch) embedTwig(ctx graphsyn.NodeID, t *twig.Node, budget *int) []*E
 }
 
 // embedPath enumerates the chains realizing a path expression from ctx.
-func (sk *Sketch) embedPath(ctx graphsyn.NodeID, steps []*pathexpr.Step, budget *int) []chain {
+func (sk *Sketch) embedPath(ctx graphsyn.NodeID, steps []*pathexpr.Step, bud *embedBudget) []chain {
 	if len(steps) == 0 {
 		return nil
 	}
@@ -183,7 +269,7 @@ func (sk *Sketch) embedPath(ctx graphsyn.NodeID, steps []*pathexpr.Step, budget 
 			out = append(out, chain{head, tail})
 			continue
 		}
-		for _, rest := range sk.embedPath(tail.Syn, steps[1:], budget) {
+		for _, rest := range sk.embedPath(tail.Syn, steps[1:], bud) {
 			c := cloneChain(chain{head, tail})
 			c.tail.Children = append(c.tail.Children, rest.head)
 			out = append(out, chain{c.head, rest.tail})
@@ -262,10 +348,11 @@ func buildChain(seq []graphsyn.NodeID) (head, tail *EmbNode) {
 	return head, tail
 }
 
-// expandStep enumerates the synopsis-node sequences realizing one step from
-// ctx: a single child for the child axis, or every simple downward path of
-// bounded length ending at the step's label for the descendant axis.
-func (sk *Sketch) expandStep(ctx graphsyn.NodeID, step *pathexpr.Step) [][]graphsyn.NodeID {
+// expandStepUncached enumerates the synopsis-node sequences realizing one
+// step from ctx: a single child for the child axis, or every simple
+// downward path of bounded length ending at the step's label for the
+// descendant axis. expandStep in estcache.go is the memoized entry point.
+func (sk *Sketch) expandStepUncached(ctx graphsyn.NodeID, step *pathexpr.Step) [][]graphsyn.NodeID {
 	d := sk.Syn.Doc
 	tag, ok := d.LookupTag(step.Label)
 	if !ok {

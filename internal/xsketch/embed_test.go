@@ -312,6 +312,61 @@ func TestConditioningUnderCompression(t *testing.T) {
 	t.Logf("truth %v, conditioned %v, forward-only %v", truth, got, plainEst)
 }
 
+func TestEmbeddingsTruncatedTinyBudget(t *testing.T) {
+	// Regression: a budget too small for the full chain used to starve the
+	// outer enumeration levels entirely, returning zero embeddings (and so
+	// a zero estimate) for a query the synopsis clearly embeds. The budget
+	// is now a soft floor: each level keeps at least its first alternative.
+	cfg := exactConfig()
+	cfg.MaxEmbeddings = 1
+	sk := New(xmltree.Bibliography(), cfg)
+	q := twig.MustParse("t0 in author, t1 in t0/paper, t2 in t1/title")
+	ems, truncated := sk.EmbeddingsTruncated(q)
+	if len(ems) == 0 {
+		t.Fatal("tiny budget collapsed an embeddable query to zero embeddings")
+	}
+	if !truncated {
+		t.Fatal("budget 1 on a multi-level chain should report truncation")
+	}
+	res := sk.EstimateQueryResult(q)
+	if res.Estimate <= 0 {
+		t.Fatalf("estimate under tiny budget = %v, want > 0", res.Estimate)
+	}
+	if !res.Truncated {
+		t.Fatal("EstimateQueryResult should surface truncation")
+	}
+	// An ample budget reports no truncation.
+	if _, tr := bibSketch(t).EmbeddingsTruncated(q); tr {
+		t.Fatal("ample budget reported truncation")
+	}
+}
+
+func TestEmbeddingsNoDuplicates(t *testing.T) {
+	// The root-self interpretation of absolute paths must not introduce
+	// duplicate embeddings (each would be double-counted by the estimate's
+	// sum over embeddings). Checked on absolute paths naming the root tag
+	// and on a recursive schema where descendant expansion is busiest.
+	check := func(sk *Sketch, src string) {
+		t.Helper()
+		ems := sk.Embeddings(twig.MustParse(src))
+		seen := make(map[string]bool, len(ems))
+		for _, em := range ems {
+			sig := embSig(em.Root)
+			if seen[sig] {
+				t.Errorf("%s: duplicate embedding %s", src, sig)
+			}
+			seen[sig] = true
+		}
+	}
+	bib := bibSketch(t)
+	check(bib, "t0 in bib/author")
+	check(bib, "t0 in bib, t1 in t0/author")
+	check(bib, "t0 in //title")
+	rec := New(recursiveDoc(6), exactConfig())
+	check(rec, "t0 in //part, t1 in t0/bolt")
+	check(rec, "t0 in assembly/part")
+}
+
 func TestEstimateRootSelfInterpretation(t *testing.T) {
 	sk := bibSketch(t)
 	ev := eval.New(sk.Syn.Doc)

@@ -1,0 +1,214 @@
+package xsketch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xsketch/internal/graphsyn"
+	"xsketch/internal/pathexpr"
+)
+
+// This file implements the per-sketch estimation cache: memo tables for the
+// structural sub-results that EstimateQuery recomputes constantly —
+// expandStep realizations, estimated edge counts, and existsFraction
+// probabilities. All three are pure functions of the synopsis and the
+// stored summaries, so memoized values are bit-identical to recomputed
+// ones and estimation stays deterministic under any mix of cache hits,
+// misses and worker interleavings.
+//
+// Concurrency contract: any number of goroutines may estimate against one
+// sketch concurrently (EstimateQuery, EstimateBatch, EstimatorStats).
+// Mutating the sketch — refinements, RebuildNode, AddValueDim — requires
+// exclusive access, exactly as it did before the cache existed; every
+// rebuild path invalidates the cache so stale sub-results never leak into
+// post-refinement estimates.
+
+// EstimatorStats reports the estimation cache counters of a sketch.
+// Hits and Misses count memo-table lookups; Evictions counts entries
+// dropped by cache invalidation (every synopsis refinement invalidates).
+// All counters are cumulative over the sketch's lifetime and are zero when
+// Config.DisableEstimatorCache is set.
+type EstimatorStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// estEngine is the per-sketch estimation cache state: an atomically
+// swappable memo table (swapped out wholesale on invalidation) plus
+// lifetime counters that survive invalidation.
+type estEngine struct {
+	cache                   atomic.Pointer[estimatorCache]
+	hits, misses, evictions atomic.Uint64
+}
+
+// expandKey identifies one expandStep realization set. expandStep depends
+// only on the context node and the step's axis and label (predicates are
+// applied later, per realization).
+type expandKey struct {
+	ctx   graphsyn.NodeID
+	axis  pathexpr.Axis
+	label string
+}
+
+// edgeKey identifies one estEdgeCount lookup.
+type edgeKey struct{ u, v graphsyn.NodeID }
+
+// existsKey identifies one existsFraction result: the context node plus a
+// canonical rendering of the remaining branch steps (the parseable path
+// syntax, which is collision-free).
+type existsKey struct {
+	node  graphsyn.NodeID
+	steps string
+}
+
+// estimatorCache holds the three memo tables behind one RWMutex. Lookups
+// take the read lock; inserts take the write lock. Two goroutines missing
+// on the same key both compute the (identical) value and the second store
+// overwrites the first — wasted work, never wrong results.
+type estimatorCache struct {
+	mu     sync.RWMutex
+	expand map[expandKey][][]graphsyn.NodeID
+	edge   map[edgeKey]float64
+	exists map[existsKey]float64
+}
+
+func newEstimatorCache() *estimatorCache {
+	return &estimatorCache{
+		expand: make(map[expandKey][][]graphsyn.NodeID),
+		edge:   make(map[edgeKey]float64),
+		exists: make(map[existsKey]float64),
+	}
+}
+
+// size returns the total entry count (used to account evictions).
+func (c *estimatorCache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.expand) + len(c.edge) + len(c.exists)
+}
+
+// estCache returns the sketch's live memo table, creating it on first use.
+func (sk *Sketch) estCache() *estimatorCache {
+	if c := sk.est.cache.Load(); c != nil {
+		return c
+	}
+	c := newEstimatorCache()
+	if sk.est.cache.CompareAndSwap(nil, c) {
+		return c
+	}
+	return sk.est.cache.Load()
+}
+
+// InvalidateEstimatorCache drops every memoized estimation sub-result.
+// All rebuild paths call it automatically; callers that mutate the synopsis
+// or the summaries directly (without RebuildNode) must call it themselves.
+func (sk *Sketch) InvalidateEstimatorCache() {
+	old := sk.est.cache.Swap(nil)
+	if old != nil {
+		sk.est.evictions.Add(uint64(old.size()))
+	}
+}
+
+// EstimatorStats returns the cumulative estimation cache counters. Safe to
+// call concurrently with estimation.
+func (sk *Sketch) EstimatorStats() EstimatorStats {
+	return EstimatorStats{
+		Hits:      sk.est.hits.Load(),
+		Misses:    sk.est.misses.Load(),
+		Evictions: sk.est.evictions.Load(),
+	}
+}
+
+// expandStep enumerates the synopsis-node sequences realizing one step from
+// ctx, memoized per (ctx, axis, label). The cached slices are shared and
+// must not be mutated by callers.
+func (sk *Sketch) expandStep(ctx graphsyn.NodeID, step *pathexpr.Step) [][]graphsyn.NodeID {
+	if sk.Cfg.DisableEstimatorCache {
+		return sk.expandStepUncached(ctx, step)
+	}
+	c := sk.estCache()
+	k := expandKey{ctx: ctx, axis: step.Axis, label: step.Label}
+	c.mu.RLock()
+	v, ok := c.expand[k]
+	c.mu.RUnlock()
+	if ok {
+		sk.est.hits.Add(1)
+		return v
+	}
+	sk.est.misses.Add(1)
+	v = sk.expandStepUncached(ctx, step)
+	c.mu.Lock()
+	c.expand[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+// estEdgeCount estimates |u -> v| (see estEdgeCountUncached), memoized per
+// edge.
+func (sk *Sketch) estEdgeCount(u, v graphsyn.NodeID) float64 {
+	if sk.Cfg.DisableEstimatorCache {
+		return sk.estEdgeCountUncached(u, v)
+	}
+	c := sk.estCache()
+	k := edgeKey{u, v}
+	c.mu.RLock()
+	val, ok := c.edge[k]
+	c.mu.RUnlock()
+	if ok {
+		sk.est.hits.Add(1)
+		return val
+	}
+	sk.est.misses.Add(1)
+	val = sk.estEdgeCountUncached(u, v)
+	c.mu.Lock()
+	c.edge[k] = val
+	c.mu.Unlock()
+	return val
+}
+
+// maxExistsDepth bounds the existsFraction recursion. The recursion already
+// terminates structurally — every recursive call strictly shrinks the
+// remaining step list, even over cyclic synopsis graphs, because
+// expandStep returns bounded simple paths — so the guard is purely
+// defensive against pathological hand-built queries.
+const maxExistsDepth = 64
+
+// stepsSig renders a step list as its canonical parseable path syntax,
+// which is injective over step lists and therefore a collision-free cache
+// key component.
+func stepsSig(steps []*pathexpr.Step) string {
+	return (&pathexpr.Path{Steps: steps}).String()
+}
+
+// existsFraction estimates P(an element of node id has >= 1 match of the
+// remaining branch steps), memoized per (node, canonical steps). The
+// second return reports whether the value was computed entirely below the
+// recursion-depth guard; guarded (non-clean) values are never cached, so
+// cached contents are independent of evaluation order.
+func (sk *Sketch) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step, depth int) (float64, bool) {
+	if len(steps) == 0 {
+		return 1, true
+	}
+	if depth > maxExistsDepth {
+		return 0, false
+	}
+	if sk.Cfg.DisableEstimatorCache {
+		return sk.existsFractionUncached(id, steps, depth)
+	}
+	c := sk.estCache()
+	k := existsKey{node: id, steps: stepsSig(steps)}
+	c.mu.RLock()
+	v, ok := c.exists[k]
+	c.mu.RUnlock()
+	if ok {
+		sk.est.hits.Add(1)
+		return v, true
+	}
+	sk.est.misses.Add(1)
+	v, clean := sk.existsFractionUncached(id, steps, depth)
+	if clean {
+		c.mu.Lock()
+		c.exists[k] = v
+		c.mu.Unlock()
+	}
+	return v, clean
+}

@@ -21,13 +21,11 @@ import (
 // under Forward Independence.
 
 // EstimateQuery estimates the selectivity (number of binding tuples) of a
-// twig query as the sum over its embeddings.
+// twig query as the sum over its embeddings. It is safe for concurrent use;
+// see EstimateBatch for the worker-pool form and EstimateQueryResult for
+// the truncation-aware form.
 func (sk *Sketch) EstimateQuery(q *twig.Query) float64 {
-	total := 0.0
-	for _, em := range sk.Embeddings(q) {
-		total += sk.EstimateEmbedding(em)
-	}
-	return total
+	return sk.EstimateQueryResult(q).Estimate
 }
 
 // EstimatePath estimates the selectivity of a single path expression (the
@@ -333,73 +331,99 @@ func (e *estimator) branchValueUse(s *NodeSummary, scope []ScopeEdge, vdims []*V
 	return vdUse{dim: idx, vd: vdims[idx-len(scope)], pred: step.Value, countDim: countDim}, true
 }
 
-// valueFraction estimates the fraction of the node's elements satisfying
-// its value predicate, using the stored value histogram scaled by the share
-// of valued elements; a predicate on a node with no value information
-// yields 0 (no element can be proven to carry a matching value).
+// valueFraction delegates to the sketch-level form (see below).
 func (e *estimator) valueFraction(n *EmbNode) float64 {
-	if n.Value == nil {
+	return e.sk.valueFraction(n.Syn, n.Value)
+}
+
+// existsFraction delegates to the memoized sketch-level form.
+func (e *estimator) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step) float64 {
+	v, _ := e.sk.existsFraction(id, steps, 0)
+	return v
+}
+
+// avgCount delegates to the sketch-level form.
+func (e *estimator) avgCount(u, v graphsyn.NodeID) float64 {
+	return e.sk.avgCount(u, v)
+}
+
+// valueFraction estimates the fraction of the synopsis node's elements
+// satisfying the value predicate, using the stored value histogram scaled
+// by the share of valued elements; a predicate on a node with no value
+// information — including a refined-away node with an empty extent —
+// yields 0 (no element can be proven to carry a matching value).
+func (sk *Sketch) valueFraction(id graphsyn.NodeID, pred *pathexpr.ValuePred) float64 {
+	if pred == nil {
 		return 1
 	}
-	s := e.sk.Summaries[n.Syn]
+	s := sk.Summaries[id]
 	if s == nil || s.VHist == nil || s.VHist.Total() == 0 {
 		return 0
 	}
-	extent := e.sk.Syn.Node(n.Syn).Count()
+	extent := sk.Syn.Node(id).Count()
+	if extent == 0 {
+		// A stale summary over an emptied extent would otherwise divide by
+		// zero and leak Inf/NaN into the estimate.
+		return 0
+	}
 	valuedShare := float64(s.VHist.Total()) / float64(extent)
 	if valuedShare > 1 {
 		valuedShare = 1
 	}
-	return s.VHist.Selectivity(n.Value.Lo, n.Value.Hi) * valuedShare
+	return s.VHist.Selectivity(pred.Lo, pred.Hi) * valuedShare
 }
 
-// existsFraction estimates P(an element of node id has >= 1 match of the
-// remaining branch steps). Following the single-path XSKETCH framework, an
-// F-stable edge whose target certainly satisfies the rest contributes
-// probability 1; otherwise the probability is approximated by the expected
-// number of satisfying matches clamped to 1, summing over the alternative
-// synopsis realizations of the step.
-func (e *estimator) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step) float64 {
-	if len(steps) == 0 {
-		return 1
-	}
+// existsFractionUncached estimates P(an element of node id has >= 1 match
+// of the remaining branch steps). Following the single-path XSKETCH
+// framework, an F-stable edge whose target certainly satisfies the rest
+// contributes probability 1; otherwise the probability is approximated by
+// the expected number of satisfying matches clamped to 1, summing over the
+// alternative synopsis realizations of the step. The second return reports
+// that no recursive call hit the depth guard (see existsFraction in
+// estcache.go, the memoized entry point).
+func (sk *Sketch) existsFractionUncached(id graphsyn.NodeID, steps []*pathexpr.Step, depth int) (float64, bool) {
 	step := steps[0]
 	expected := 0.0
-	for _, seq := range e.sk.expandStep(id, step) {
+	clean := true
+	for _, seq := range sk.expandStep(id, step) {
 		// Probability mass via the chain: expected count of elements at the
 		// end of the sequence, times the probability each satisfies the
 		// step predicates and the rest of the branch.
 		target := seq[len(seq)-1]
 		q := 1.0
 		if step.Value != nil {
-			q *= e.valueFraction(&EmbNode{Syn: target, Value: step.Value})
+			q *= sk.valueFraction(target, step.Value)
 		}
 		for _, sub := range step.Branches {
-			q *= e.existsFraction(target, sub.Steps)
+			v, ok := sk.existsFraction(target, sub.Steps, depth+1)
+			q *= v
+			clean = clean && ok
 		}
 		if q == 0 {
 			continue
 		}
-		q *= e.existsFraction(target, steps[1:])
+		v, ok := sk.existsFraction(target, steps[1:], depth+1)
+		q *= v
+		clean = clean && ok
 		if q == 0 {
 			continue
 		}
 		// Exact shortcut: a direct F-stable edge with certain satisfaction
 		// guarantees existence for every element.
 		if len(seq) == 1 && q == 1 {
-			if edge := e.sk.Syn.Edge(id, target); edge != nil && edge.FStable {
-				return 1
+			if edge := sk.Syn.Edge(id, target); edge != nil && edge.FStable {
+				return 1, clean
 			}
 		}
 		mult := 1.0
 		prev := id
 		for _, nodeID := range seq {
-			mult *= e.avgCount(prev, nodeID)
+			mult *= sk.avgCount(prev, nodeID)
 			prev = nodeID
 		}
 		expected += mult * q
 	}
-	return math.Min(1, expected)
+	return math.Min(1, expected), clean
 }
 
 // avgCount estimates the average number of children in node v per element
@@ -408,34 +432,35 @@ func (e *estimator) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step) f
 // model — |v| when the edge is B-stable, otherwise |v| split across v's
 // parent nodes proportionally to their extent sizes (the single-path
 // XSKETCH estimate for unstable edges).
-func (e *estimator) avgCount(u, v graphsyn.NodeID) float64 {
-	cu := float64(e.sk.Syn.Node(u).Count())
+func (sk *Sketch) avgCount(u, v graphsyn.NodeID) float64 {
+	cu := float64(sk.Syn.Node(u).Count())
 	if cu == 0 {
 		return 0
 	}
-	return e.estEdgeCount(u, v) / cu
+	return sk.estEdgeCount(u, v) / cu
 }
 
-// estEdgeCount estimates |u -> v|: the number of elements of v whose parent
-// lies in u.
-func (e *estimator) estEdgeCount(u, v graphsyn.NodeID) float64 {
-	edge := e.sk.Syn.Edge(u, v)
+// estEdgeCountUncached estimates |u -> v|: the number of elements of v
+// whose parent lies in u. estEdgeCount in estcache.go is the memoized
+// entry point.
+func (sk *Sketch) estEdgeCountUncached(u, v graphsyn.NodeID) float64 {
+	edge := sk.Syn.Edge(u, v)
 	if edge == nil {
 		return 0
 	}
-	if e.sk.Cfg.StoreEdgeCounts {
+	if sk.Cfg.StoreEdgeCounts {
 		return float64(edge.ChildCount)
 	}
-	nv := e.sk.Syn.Node(v)
+	nv := sk.Syn.Node(v)
 	if edge.BStable {
 		return float64(nv.Count())
 	}
 	var parentTotal float64
 	for _, p := range nv.Parents {
-		parentTotal += float64(e.sk.Syn.Node(p).Count())
+		parentTotal += float64(sk.Syn.Node(p).Count())
 	}
 	if parentTotal == 0 {
 		return 0
 	}
-	return float64(nv.Count()) * float64(e.sk.Syn.Node(u).Count()) / parentTotal
+	return float64(nv.Count()) * float64(sk.Syn.Node(u).Count()) / parentTotal
 }

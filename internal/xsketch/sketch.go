@@ -81,8 +81,15 @@ type Config struct {
 	// the '//' axis during embedding enumeration.
 	MaxDescendantPathLen int
 	// MaxEmbeddings bounds the number of embeddings enumerated per query
-	// (safety valve for pathological synopses); 0 means no bound.
+	// (safety valve for pathological synopses); 0 means no bound. When the
+	// bound is hit, enumeration returns the (truncated) embeddings found so
+	// far and flags the result (see EmbeddingsTruncated, EstimateResult).
 	MaxEmbeddings int
+	// DisableEstimatorCache turns off the per-sketch memo tables for
+	// estimation sub-results (expandStep, estEdgeCount, existsFraction).
+	// Estimates are identical either way; the switch exists for measuring
+	// the cache's effect and as a safety valve.
+	DisableEstimatorCache bool
 	// SizeModel prices the stored summary.
 	SizeModel graphsyn.SizeModel
 }
@@ -99,11 +106,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// Sketch is a Twig XSKETCH synopsis.
+// Sketch is a Twig XSKETCH synopsis. Estimation methods are safe for
+// concurrent use; mutation (refinements, rebuilds) requires exclusive
+// access and invalidates the estimation cache (see estcache.go).
 type Sketch struct {
 	Syn       *graphsyn.Synopsis
 	Summaries map[graphsyn.NodeID]*NodeSummary
 	Cfg       Config
+
+	// est holds the estimation memo tables and their counters. Its zero
+	// value is ready to use, so the struct-literal constructors (New,
+	// FromSynopsis, Clone, Load) need no extra setup; clones start with an
+	// empty cache.
+	est estEngine
 }
 
 // New builds the coarsest Twig XSKETCH for a document: the label split
@@ -164,8 +179,11 @@ func (sk *Sketch) RebuildAll() {
 
 // RebuildNode recomputes the scope and histograms of one node. The default
 // scope is the node's F-stable child edges; surviving ExtraScope edges
-// (still existing and still inside TSN) are appended.
+// (still existing and still inside TSN) are appended. Any rebuild
+// invalidates the estimation cache: memoized sub-results reference the
+// synopsis structure and the summaries, both of which may have changed.
 func (sk *Sketch) RebuildNode(id graphsyn.NodeID) {
+	sk.InvalidateEstimatorCache()
 	s := sk.Summaries[id]
 	if s == nil {
 		s = &NodeSummary{
