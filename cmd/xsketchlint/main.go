@@ -1,0 +1,164 @@
+// Command xsketchlint runs the repo's invariant analyzers (divguard,
+// maporder, sketchmutate, nondeterminism) over Go packages.
+//
+// Standalone use, from anywhere in the module:
+//
+//	go run ./cmd/xsketchlint ./...
+//
+// It exits 1 and prints file:line:col: message [analyzer] lines when
+// unsuppressed findings exist, 0 when clean. It also speaks enough of the
+// vet tool protocol (-V=full plus *.cfg package units) to be used as
+//
+//	go vet -vettool=$(which xsketchlint) ./...
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xsketch/internal/lint"
+	"xsketch/internal/lint/analysis"
+)
+
+func main() {
+	// `go vet` first probes the tool with a bare -flags argument and wants
+	// a JSON description of tool-specific flags on stdout. We define none.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	version := flag.String("V", "", "print version and exit (vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xsketchlint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *version != "" {
+		// `go vet` probes the tool with -V=full and requires the line to
+		// end in a buildID= field it can cache against; hash the binary so
+		// rebuilding the tool invalidates cached vet results.
+		if *version != "full" {
+			fmt.Println("xsketchlint version devel")
+			return
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sum := sha256.Sum256(data)
+		fmt.Printf("xsketchlint version devel buildID=%02x\n", sum)
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(dir, args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	lint.Print(os.Stdout, findings)
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// vetConfig is the subset of the JSON package unit `go vet` hands a vettool.
+type vetConfig struct {
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+}
+
+// runVetUnit analyzes one package unit described by a vet .cfg file,
+// resolving imports from the export data go vet already built. Findings go
+// to stderr and yield a non-zero exit, which go vet reports against the
+// package.
+func runVetUnit(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "xsketchlint: parsing %s: %v\n", path, err)
+		return 2
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		file, ok := cfg.PackageFile[importPath]
+		if !ok {
+			return nil, fmt.Errorf("xsketchlint: no export data for %q", importPath)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	tpkg, info, err := analysis.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsketchlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	findings := lint.RunOnPackage(pkg)
+	lint.Print(os.Stderr, findings)
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

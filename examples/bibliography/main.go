@@ -77,9 +77,7 @@ func main() {
 	sk2 := xsketch.NewSketch(d2, cfg)
 	p2 := nodeByTagIn(sk2, "paper")
 	a2 := nodeByTagIn(sk2, "author")
-	s := sk2.Summary(p2)
-	s.ExtraScope = append(s.ExtraScope, xsketch.ScopeEdge{From: a2, To: p2})
-	sk2.RebuildNode(p2)
+	sk2.AddScopeEdge(p2, xsketch.ScopeEdge{From: a2, To: p2})
 	wq := mustQuery("t0 in author, t1 in t0/book, t2 in t0/name, t3 in t0/paper, t4 in t3/keyword, t5 in t3/year")
 	fmt.Printf("\nSection 4 worked example, T = A{B, N, P{K, Y}} with |A->B| = 2:\n")
 	fmt.Printf("  estimate s(T) = %.4f (paper: 10/3 = 3.3333)\n", sk2.EstimateQuery(wq))

@@ -46,7 +46,7 @@ func main() {
 	typeTag, _ := d.LookupTag("type")
 	for _, m := range joint.Syn.NodesByTag(movieTag) {
 		for _, tn := range joint.Syn.NodesByTag(typeTag) {
-			joint.Summary(m).Buckets = 64
+			joint.SetBuckets(m, 64)
 			joint.AddValueDim(m, tn, 10)
 		}
 	}

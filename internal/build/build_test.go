@@ -310,3 +310,34 @@ func TestZeroBudget(t *testing.T) {
 		t.Fatalf("Validate: %v", err)
 	}
 }
+
+// TestXBuildRefinementSequenceDeterministic pins determinism at the step
+// level, not just in the persisted bytes: two builds from the same seed must
+// choose the same refinement, in the same order, at every step. This is the
+// invariant the maporder analyzer protects in score.go — an unsorted map
+// range feeding candidate scoring would break it.
+func TestXBuildRefinementSequenceDeterministic(t *testing.T) {
+	doc := xmlgen.IMDB(xmlgen.Config{Seed: 9, Scale: 0.02})
+	runOnce := func() []Step {
+		opts := DefaultOptions(1 << 30)
+		opts.Seed = 11
+		opts.MaxSteps = 12
+		opts.Parallelism = 4
+		b := NewBuilder(doc, opts)
+		b.Run()
+		return b.Steps()
+	}
+	first := runOnce()
+	if len(first) == 0 {
+		t.Fatal("build produced no refinement steps; the test exercises nothing")
+	}
+	second := runOnce()
+	if len(first) != len(second) {
+		t.Fatalf("step counts diverged: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("step %d diverged:\n  first:  %+v\n  second: %+v", i, first[i], second[i])
+		}
+	}
+}

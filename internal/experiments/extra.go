@@ -214,8 +214,7 @@ func AblationValueExpand(o Options) []AblationRow {
 		bumpMovie := func(sk *xsketch.Sketch, buckets int) {
 			if nid, ok := ds.doc.LookupTag("movie"); ok {
 				for _, n := range sk.Syn.NodesByTag(nid) {
-					sk.Summary(n).Buckets = buckets
-					sk.RebuildNode(n)
+					sk.SetBuckets(n, buckets)
 				}
 			}
 		}

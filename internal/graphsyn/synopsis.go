@@ -234,7 +234,9 @@ func (s *Synopsis) RecomputeEdges() {
 	for _, e := range s.edges {
 		e.BStable = e.ChildCount == s.nodes[e.To].Count()
 		e.FStable = e.ParentCount == s.nodes[e.From].Count()
+		//lint:allow maporder adjacency lists are sorted by sortNodeIDs immediately below
 		s.nodes[e.From].Children = append(s.nodes[e.From].Children, e.To)
+		//lint:allow maporder adjacency lists are sorted by sortNodeIDs immediately below
 		s.nodes[e.To].Parents = append(s.nodes[e.To].Parents, e.From)
 	}
 	for _, n := range s.nodes {
@@ -356,9 +358,11 @@ func (s *Synopsis) Validate() error {
 	for k, e := range s.edges {
 		ce := c.edges[k]
 		if ce == nil {
+			//lint:allow maporder any stale edge fails validation; which one the error names is diagnostic only
 			return fmt.Errorf("graphsyn: stale edge %v", k)
 		}
 		if *ce != *e {
+			//lint:allow maporder any stale edge fails validation; which one the error names is diagnostic only
 			return fmt.Errorf("graphsyn: edge %v stale: %+v vs recomputed %+v", k, e, ce)
 		}
 	}

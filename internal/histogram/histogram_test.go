@@ -342,3 +342,35 @@ func TestValueHistogramQuantile(t *testing.T) {
 		t.Fatal("empty quantile")
 	}
 }
+
+// TestQuantileZeroCountBucket is the divguard regression for Quantile: a
+// zero-count bucket (possible only in a hand-built or corrupt histogram)
+// previously divided 0/0 into the interpolation; now it is skipped.
+func TestQuantileZeroCountBucket(t *testing.T) {
+	h := &ValueHistogram{
+		total: 4,
+		buckets: []vbucket{
+			{lo: 0, hi: 9, count: 0},
+			{lo: 10, hi: 19, count: 4},
+		},
+	}
+	got := h.Quantile(0.5)
+	if got < 10 || got > 19 {
+		t.Fatalf("Quantile(0.5) = %d, want within the populated bucket", got)
+	}
+}
+
+// TestSelectivityOverflowedSpan pins the span clamp: a bucket spanning the
+// full int64 range overflows b.hi-b.lo, and the partial-overlap
+// interpolation must stay finite instead of dividing by a zero or negative
+// span.
+func TestSelectivityOverflowedSpan(t *testing.T) {
+	h := &ValueHistogram{
+		total:   2,
+		buckets: []vbucket{{lo: math.MinInt64, hi: math.MaxInt64, count: 2}},
+	}
+	got := h.Selectivity(0, 100)
+	if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 || got > 1 {
+		t.Fatalf("Selectivity over overflowed span = %v, want a finite fraction", got)
+	}
+}

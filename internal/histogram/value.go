@@ -85,13 +85,26 @@ func (h *ValueHistogram) Selectivity(lo, hi int64) float64 {
 			continue
 		}
 		// Partial overlap: interpolate over the bucket's span, clamping to
-		// avoid division by zero on single-value buckets.
+		// avoid division by zero on single-value buckets (and to survive
+		// b.hi-b.lo overflow on absurd ranges).
 		span := float64(b.hi-b.lo) + 1
+		if span < 1 {
+			span = 1
+		}
 		olo, ohi := maxI64(lo, b.lo), minI64(hi, b.hi)
 		overlap := float64(ohi-olo) + 1
 		match += float64(b.count) * overlap / span
 	}
-	return match / float64(h.total)
+	frac := match / float64(h.total)
+	// Clamp: overflowed spans can push the interpolated overlap past the
+	// bucket count; a selectivity is always a fraction.
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
 }
 
 // EstimateCount estimates how many of the summarized values fall in
@@ -132,6 +145,9 @@ func (h *ValueHistogram) Quantile(q float64) int64 {
 	target := q * float64(h.total)
 	acc := 0.0
 	for _, b := range h.buckets {
+		if b.count == 0 {
+			continue
+		}
 		if acc+float64(b.count) >= target {
 			within := (target - acc) / float64(b.count)
 			if within < 0 {

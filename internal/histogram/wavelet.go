@@ -98,6 +98,10 @@ func NewWavelet(values []int64, maxCoeffs int) *Wavelet {
 	for _, r := range ranked {
 		w.coeffs[r.idx] = r.val
 	}
+	// Reconstruct eagerly: Selectivity is called concurrently from the
+	// batch estimator, and a lazy first-use build of w.recon would be a
+	// data race.
+	w.reconstruct()
 	return w
 }
 
@@ -166,6 +170,7 @@ func (w *Wavelet) Selectivity(lo, hi int64) float64 {
 			continue
 		}
 		olo, ohi := maxI64(lo, blo), minI64(hi, bhi)
+		//lint:allow divguard binSpan clamps hi to lo, so a bin always spans at least one value
 		sum += mass * float64(ohi-olo+1) / float64(bhi-blo+1)
 	}
 	frac := sum / float64(w.total)

@@ -3,6 +3,7 @@ package histogram
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -182,4 +183,30 @@ func TestWaveletSingleValue(t *testing.T) {
 	if got := w.Selectivity(0, 41); got != 0 {
 		t.Fatalf("below single value = %v", got)
 	}
+}
+
+// TestWaveletConcurrentSelectivity guards the eager-reconstruction fix:
+// Selectivity is called concurrently from the batch estimator, and the
+// reconstructed bin vector must be built before the synopsis is shared, not
+// lazily on first use (a data race this test catches under -race).
+func TestWaveletConcurrentSelectivity(t *testing.T) {
+	vals := make([]int64, 400)
+	for i := range vals {
+		vals[i] = int64(i % 64)
+	}
+	w := NewWavelet(vals, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				lo := int64((g + j) % 32)
+				if frac := w.Selectivity(lo, lo+16); math.IsNaN(frac) {
+					t.Errorf("NaN selectivity at [%d, %d]", lo, lo+16)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

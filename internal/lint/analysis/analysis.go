@@ -1,0 +1,80 @@
+// Package analysis is a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/analysis, sized for this repository's needs.
+//
+// The container this project builds in has no module proxy access, so the
+// canonical x/tools analysis framework cannot be vendored or fetched. This
+// package reimplements the small slice the xsketchlint analyzers need —
+// the Analyzer/Pass/Diagnostic triple plus a package loader built from
+// `go list -export` and go/types — with deliberately compatible shapes, so
+// migrating to x/tools (should the dependency become available) is a
+// mechanical import swap, not a rewrite.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass: a name used in diagnostics
+// and //lint:allow suppressions, documentation, and the Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in output and suppression comments.
+	// It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's documentation (first line: one-sentence
+	// summary).
+	Doc string
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	// Analyzer is the pass's analyzer.
+	Analyzer *Analyzer
+	// Fset maps token positions across Files.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees (non-test files only).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type information for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of an expression, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// Diagnostic is one finding: a position and a message. The analyzer name is
+// attached by the runner.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// WalkStack traverses every node under root in depth-first order, invoking
+// fn with the node and the stack of its ancestors (outermost first, not
+// including the node itself). It is the ancestor-aware complement of
+// ast.Inspect that guard-style analyzers need.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's import path (e.g.
+	// "xsketch/internal/xsketch").
+	ImportPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info is the type information for Files.
+	Info *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns under dir (a directory inside
+// the module), parses and type-checks every main-module package among them,
+// and returns those packages in `go list` (dependency-first) order. Imports
+// outside the module — in this repository, only the standard library — are
+// resolved from compiler export data produced by `go list -export`, so no
+// network or third-party tooling is involved.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		listed = append(listed, &p)
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		byPath:  make(map[string]*listedPkg, len(listed)),
+		checked: make(map[string]*Package),
+	}
+	for _, p := range listed {
+		ld.byPath[p.ImportPath] = p
+	}
+	ld.exportImporter = importer.ForCompiler(fset, "gc", ld.lookupExport)
+
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.Module == nil || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks main-module packages from source, resolving external
+// imports through compiler export data.
+type loader struct {
+	fset           *token.FileSet
+	byPath         map[string]*listedPkg
+	checked        map[string]*Package
+	exportImporter types.Importer
+}
+
+// lookupExport opens the export data file `go list -export` recorded for an
+// import path.
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	p := ld.byPath[path]
+	if p == nil || p.Export == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(p.Export)
+}
+
+// Import implements types.Importer over the loader: main-module packages
+// are type-checked from source (recursively), everything else comes from
+// export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := ld.byPath[path]; p != nil && p.Module != nil && !p.Standard {
+		pkg, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.exportImporter.Import(path)
+}
+
+// check parses and type-checks one main-module package (memoized).
+func (ld *loader) check(p *listedPkg) (*Package, error) {
+	if pkg, ok := ld.checked[p.ImportPath]; ok {
+		return pkg, nil
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	tpkg, info, err := TypeCheck(ld.fset, p.ImportPath, files, ld)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, err)
+	}
+	pkg := &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	ld.checked[p.ImportPath] = pkg
+	return pkg, nil
+}
+
+// TypeCheck type-checks a parsed package with full expression, object and
+// selection information, resolving imports through imp.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{Importer: imp}
+	tpkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tpkg, info, nil
+}
+
+// StdlibExportLookup returns an export-data lookup for standard-library
+// packages, resolving lazily through `go list -export` and caching results.
+// The fixture loader in analysistest uses it so fixtures can import the
+// standard library without a surrounding module.
+func StdlibExportLookup() func(path string) (io.ReadCloser, error) {
+	cache := make(map[string]string)
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := cache[path]
+		if !ok {
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+			if err != nil {
+				return nil, fmt.Errorf("lint: locating export data for %q: %v", path, err)
+			}
+			file = strings.TrimSpace(string(out))
+			if file == "" {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			cache[path] = file
+		}
+		return os.Open(file)
+	}
+}

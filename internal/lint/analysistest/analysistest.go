@@ -1,0 +1,225 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations embedded in the fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest (see the package
+// comment on internal/lint/analysis for why this is reimplemented).
+//
+// A fixture lives in testdata/src/<pkg>/ next to the test. Expected
+// diagnostics are written as trailing comments on the offending line:
+//
+//	x := a / b // want "possibly-zero denominator"
+//
+// The quoted string is a regular expression matched against the diagnostic
+// message; several `// want` comments on one line expect several
+// diagnostics. Lines without a want comment expect none, so fixtures cover
+// flagged and allowed cases side by side. //lint:allow suppressions are
+// honored the same way the runner honors them, letting fixtures assert that
+// a suppressed finding really is silent.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// Run loads each named fixture package from dir/testdata/src and applies
+// the analyzer, reporting any mismatch between actual diagnostics and
+// `// want` expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, filepath.Join(dir, "testdata", "src", pkg), a)
+	}
+}
+
+// TestData returns the testdata directory of the caller's package, i.e.
+// the current working directory of the test binary.
+func TestData() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+func runOne(t *testing.T, pkgdir string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgdir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", pkgdir)
+	}
+
+	imp := &fixtureImporter{
+		fset:    fset,
+		srcRoot: filepath.Dir(pkgdir),
+		stdlib:  importer.ForCompiler(fset, "gc", analysis.StdlibExportLookup()),
+		loaded:  make(map[string]*types.Package),
+	}
+	tpkg, info, err := analysis.TypeCheck(fset, filepath.Base(pkgdir), files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	expects := collectWants(t, fset, pkgdir, files)
+	sup := suppressions(fset, files)
+
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}
+	var unexpected []string
+	pass.Report = func(d analysis.Diagnostic) {
+		p := fset.Position(d.Pos)
+		if sup[suppressKey(p.Filename, p.Line, a.Name)] || sup[suppressKey(p.Filename, p.Line-1, a.Name)] {
+			return
+		}
+		for _, ex := range expects {
+			if !ex.met && ex.file == p.Filename && ex.line == p.Line && ex.re.MatchString(d.Message) {
+				ex.met = true
+				return
+			}
+		}
+		unexpected = append(unexpected, fmt.Sprintf("%s: unexpected diagnostic: %s", p, d.Message))
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	sort.Strings(unexpected)
+	for _, msg := range unexpected {
+		t.Error(msg)
+	}
+	for _, ex := range expects {
+		if !ex.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", ex.file, ex.line, ex.raw)
+		}
+	}
+}
+
+// collectWants extracts `// want "re"` expectations from fixture comments.
+func collectWants(t *testing.T, fset *token.FileSet, pkgdir string, files []*ast.File) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					p := fset.Position(c.Pos())
+					expects = append(expects, &expectation{file: p.Filename, line: p.Line, re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	return expects
+}
+
+// suppressions indexes //lint:allow directives the same way the runner does.
+func suppressions(fset *token.FileSet, files []*ast.File) map[string]bool {
+	idx := make(map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				idx[suppressKey(p.Filename, p.Line, fields[0])] = true
+			}
+		}
+	}
+	return idx
+}
+
+func suppressKey(file string, line int, analyzer string) string {
+	return fmt.Sprintf("%s:%d:%s", file, line, analyzer)
+}
+
+// fixtureImporter resolves fixture-to-fixture imports from testdata/src and
+// everything else from standard-library export data.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	srcRoot string
+	stdlib  types.Importer
+	loaded  map[string]*types.Package
+}
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := imp.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(imp.srcRoot, path)
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(imp.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, _, err := analysis.TypeCheck(imp.fset, path, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.loaded[path] = pkg
+		return pkg, nil
+	}
+	return imp.stdlib.Import(path)
+}

@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// DivGuard flags floating-point divisions whose denominator is not provably
+// guarded against zero on the path to the division. This is the bug class
+// behind the PR 2 valueFraction fix: an unguarded e.Count/extent quotient
+// turned empty value extents into NaN selectivities that poisoned every
+// downstream estimate. The analyzer accepts a division when the denominator
+// is a non-zero constant, a math.Max with a positive constant arm, or is
+// dominated by a recognizable guard (an early return/continue on == 0 or
+// <= 0, an enclosing `if x > 0` / `if x != 0` branch, or a guard-by-reassign
+// such as `if d <= 0 { d = 1 }`). Everything else must either grow a guard
+// or carry an explicit //lint:allow divguard suppression.
+var DivGuard = &analysis.Analyzer{
+	Name: "divguard",
+	Doc:  "flags float divisions whose denominator is not provably guarded against zero",
+	Run:  runDivGuard,
+}
+
+func runDivGuard(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.QUO && isFloat(pass.TypeOf(n)) {
+					checkDivision(pass, n.Y, n, stack)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.QUO_ASSIGN && len(n.Lhs) == 1 && isFloat(pass.TypeOf(n.Lhs[0])) {
+					checkDivision(pass, n.Rhs[0], n, stack)
+				}
+			}
+		})
+	}
+	return nil, nil
+}
+
+// checkDivision reports div unless its denominator den is provably non-zero.
+func checkDivision(pass *analysis.Pass, den ast.Expr, div ast.Node, stack []ast.Node) {
+	den = stripParens(den)
+	if isNonZeroConst(pass, den) {
+		return
+	}
+	if maxWithPositiveArm(pass, den) {
+		return
+	}
+	cands := guardCandidates(pass, den)
+	if guardedOnPath(pass, div, stack, cands) {
+		return
+	}
+	pass.Reportf(den.Pos(), "possibly-zero denominator %s in float division; guard against zero or add //lint:allow divguard", exprStr(den))
+}
+
+// maxWithPositiveArm recognizes math.Max(x, c) with a positive constant arm,
+// which pins the result above zero.
+func maxWithPositiveArm(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := typeFuncOf(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math" || fn.Name() != "Max" {
+		// Also accept the built-in max, which has the same semantics.
+		if !isBuiltinCall(pass, call, "max") {
+			return false
+		}
+	}
+	for _, arg := range call.Args {
+		if isPositiveConst(pass, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// guardCandidates returns the set of expression spellings a zero-guard may
+// test for this denominator. A conversion like float64(h.total) is guarded
+// just as well by `if h.total == 0`, so conversion and paren layers are
+// peeled and every layer becomes a candidate.
+func guardCandidates(pass *analysis.Pass, den ast.Expr) map[string]bool {
+	cands := make(map[string]bool)
+	for {
+		den = stripParens(den)
+		cands[exprStr(den)] = true
+		call, ok := den.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return cands
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return cands
+		}
+		den = call.Args[0]
+	}
+}
+
+// candIdents collects the identifier names occurring in any candidate
+// spelling; an assignment to one of these invalidates guards established
+// earlier on the path.
+func candIdents(pass *analysis.Pass, den ast.Expr) map[string]bool {
+	idents := make(map[string]bool)
+	ast.Inspect(den, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			idents[id.Name] = true
+		}
+		return true
+	})
+	return idents
+}
+
+// guardedOnPath walks the ancestor stack from the division outward, looking
+// for a dominating zero-guard. The search honors three guard shapes:
+//
+//   - an enclosing if/for branch whose condition implies the denominator is
+//     non-zero on the branch containing the division;
+//   - a prior sibling statement `if cond { return/continue/break/panic }`
+//     whose condition being false implies non-zero (the early-return guard);
+//   - a prior sibling `if d <= 0 { d = c }` reassignment, or a plain
+//     `d := c` binding to a non-zero constant.
+//
+// The scan stops at function-literal boundaries (a closure may run on a
+// different path than its enclosing guard), and any intervening assignment
+// to an identifier involved in the denominator kills guards further out.
+func guardedOnPath(pass *analysis.Pass, div ast.Node, stack []ast.Node, cands map[string]bool) bool {
+	idents := candIdents(pass, divDenominator(div))
+	inner := div
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		case *ast.IfStmt:
+			if inner == ast.Node(s.Body) && condTrueImpliesNonZero(pass, s.Cond, cands) {
+				return true
+			}
+			if s.Else != nil && inner == ast.Node(s.Else) && condFalseImpliesNonZero(pass, s.Cond, cands) {
+				return true
+			}
+		case *ast.ForStmt:
+			if inner == ast.Node(s.Body) && s.Cond != nil && condTrueImpliesNonZero(pass, s.Cond, cands) {
+				return true
+			}
+		case *ast.BlockStmt:
+			guarded, killed := scanPriorStmts(pass, s.List, inner, cands, idents)
+			if guarded {
+				return true
+			}
+			if killed {
+				return false
+			}
+		case *ast.CaseClause:
+			guarded, killed := scanPriorStmts(pass, s.Body, inner, cands, idents)
+			if guarded {
+				return true
+			}
+			if killed {
+				return false
+			}
+		case *ast.CommClause:
+			guarded, killed := scanPriorStmts(pass, s.Body, inner, cands, idents)
+			if guarded {
+				return true
+			}
+			if killed {
+				return false
+			}
+		}
+		inner = stack[i]
+	}
+	return false
+}
+
+// divDenominator recovers the denominator expression from a division node.
+func divDenominator(div ast.Node) ast.Expr {
+	switch d := div.(type) {
+	case *ast.BinaryExpr:
+		return d.Y
+	case *ast.AssignStmt:
+		return d.Rhs[0]
+	}
+	return nil
+}
+
+// scanPriorStmts walks the statements before inner in a block, in reverse
+// order, returning guarded=true at the first dominating guard or killed=true
+// at the first statement that reassigns part of the denominator.
+func scanPriorStmts(pass *analysis.Pass, list []ast.Stmt, inner ast.Node, cands, idents map[string]bool) (guarded, killed bool) {
+	idx := -1
+	for i, st := range list {
+		if ast.Node(st) == inner {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false, false
+	}
+	for j := idx - 1; j >= 0; j-- {
+		if stmtGuards(pass, list[j], cands) {
+			return true, false
+		}
+		if stmtMutates(pass, list[j], idents) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// stmtGuards reports whether a statement establishes that every candidate
+// path onward has a non-zero denominator.
+func stmtGuards(pass *analysis.Pass, st ast.Stmt, cands map[string]bool) bool {
+	switch s := st.(type) {
+	case *ast.IfStmt:
+		if !condFalseImpliesNonZero(pass, s.Cond, cands) {
+			return false
+		}
+		if blockDiverges(s.Body) {
+			return true
+		}
+		return blockAssignsNonZero(pass, s.Body, cands)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != len(s.Rhs) {
+			return false
+		}
+		for i := range s.Lhs {
+			if cands[exprStr(s.Lhs[i])] && isNonZeroConst(pass, s.Rhs[i]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmtMutates reports whether st assigns to any identifier involved in the
+// denominator, which invalidates guards established before it.
+func stmtMutates(pass *analysis.Pass, st ast.Stmt, idents map[string]bool) bool {
+	mutated := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if id := rootIdent(l); id != nil && idents[id.Name] {
+					mutated = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := rootIdent(n.X); id != nil && idents[id.Name] {
+				mutated = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id := rootIdent(n.X); id != nil && idents[id.Name] {
+					mutated = true
+				}
+			}
+		case *ast.RangeStmt:
+			for _, l := range []ast.Expr{n.Key, n.Value} {
+				if l == nil {
+					continue
+				}
+				if id := rootIdent(l); id != nil && idents[id.Name] {
+					mutated = true
+				}
+			}
+		}
+		return !mutated
+	})
+	return mutated
+}
+
+// blockDiverges reports whether a block always leaves the enclosing scope:
+// its final statement is a return, branch (break/continue/goto) or panic.
+func blockDiverges(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := stripParens(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// blockAssignsNonZero recognizes the guard-by-reassign body: the block
+// assigns a non-zero constant to a candidate (`if d <= 0 { d = 1 }`).
+func blockAssignsNonZero(pass *analysis.Pass, b *ast.BlockStmt, cands map[string]bool) bool {
+	for _, st := range b.List {
+		if stmtGuards(pass, st, cands) {
+			return true
+		}
+	}
+	return false
+}
+
+// normalizeCmp rewrites a comparison so the candidate expression sits on the
+// left and a constant on the right, flipping the operator when the operands
+// arrive reversed. ok is false when neither shape applies.
+func normalizeCmp(pass *analysis.Pass, e *ast.BinaryExpr, cands map[string]bool) (op token.Token, sign int, ok bool) {
+	x, y := stripParens(e.X), stripParens(e.Y)
+	if cands[exprStr(x)] {
+		if s, numeric := constSign(constValue(pass, y)); numeric {
+			return e.Op, s, true
+		}
+	}
+	if cands[exprStr(y)] {
+		if s, numeric := constSign(constValue(pass, x)); numeric {
+			return flipCmp(e.Op), s, true
+		}
+	}
+	return 0, 0, false
+}
+
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// condTrueImpliesNonZero reports whether cond being true implies a candidate
+// denominator is non-zero: x != 0, x > c (c >= 0), x >= c (c > 0),
+// x < c (c <= 0), x <= c (c < 0), or a conjunction containing any of these.
+func condTrueImpliesNonZero(pass *analysis.Pass, cond ast.Expr, cands map[string]bool) bool {
+	e, ok := stripParens(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if e.Op == token.LAND {
+		return condTrueImpliesNonZero(pass, e.X, cands) || condTrueImpliesNonZero(pass, e.Y, cands)
+	}
+	op, sign, ok := normalizeCmp(pass, e, cands)
+	if !ok {
+		return false
+	}
+	switch op {
+	case token.NEQ:
+		return sign == 0
+	case token.GTR:
+		return sign >= 0
+	case token.GEQ:
+		return sign > 0
+	case token.LSS:
+		return sign <= 0
+	case token.LEQ:
+		return sign < 0
+	}
+	return false
+}
+
+// condFalseImpliesNonZero reports whether cond being false implies a
+// candidate denominator is non-zero: x == 0, x <= c (c >= 0), x < c (c > 0),
+// x >= c (c <= 0), x > c (c < 0), or a disjunction containing any of these
+// (the falsity of an || chain falsifies every disjunct).
+func condFalseImpliesNonZero(pass *analysis.Pass, cond ast.Expr, cands map[string]bool) bool {
+	e, ok := stripParens(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if e.Op == token.LOR {
+		return condFalseImpliesNonZero(pass, e.X, cands) || condFalseImpliesNonZero(pass, e.Y, cands)
+	}
+	op, sign, ok := normalizeCmp(pass, e, cands)
+	if !ok {
+		return false
+	}
+	switch op {
+	case token.EQL:
+		return sign == 0
+	case token.LEQ:
+		return sign >= 0
+	case token.LSS:
+		return sign > 0
+	case token.GEQ:
+		return sign <= 0
+	case token.GTR:
+		return sign < 0
+	}
+	return false
+}

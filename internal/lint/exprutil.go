@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// exprStr renders an expression to its canonical source form so that
+// syntactically identical expressions (a guard condition's operand and a
+// division's denominator, say) compare equal as strings.
+func exprStr(e ast.Expr) string { return types.ExprString(e) }
+
+// stripParens removes any number of surrounding parentheses.
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/star/paren
+// chain (h for h.total, s for s.buckets[i]), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point type
+// (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isInteger reports whether t's underlying type is an integer type.
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// constValue returns the compile-time constant value of e, or nil.
+func constValue(pass *analysis.Pass, e ast.Expr) constant.Value {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+// constSign returns the sign of a numeric constant (-1, 0, +1) and whether
+// the value was a usable numeric constant at all.
+func constSign(v constant.Value) (int, bool) {
+	if v == nil {
+		return 0, false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v), true
+	}
+	return 0, false
+}
+
+// isNonZeroConst reports whether e is a numeric constant known to be != 0.
+func isNonZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	s, ok := constSign(constValue(pass, e))
+	return ok && s != 0
+}
+
+// isPositiveConst reports whether e is a numeric constant known to be > 0.
+func isPositiveConst(pass *analysis.Pass, e ast.Expr) bool {
+	s, ok := constSign(constValue(pass, e))
+	return ok && s > 0
+}
+
+// typeFuncOf resolves the *types.Func a call expression invokes, or nil for
+// calls through function values, conversions and built-ins.
+func typeFuncOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltinCall reports whether call invokes the named built-in (delete,
+// panic, append, ...).
+func isBuiltinCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := stripParens(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// enclosingFuncName walks the ancestor stack outward and returns the name of
+// the outermost enclosing function declaration, so that code inside closures
+// is attributed to the method that owns them. Returns "" at package scope.
+func enclosingFuncName(stack []ast.Node) string {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// identObj resolves an identifier to its object via Uses or Defs.
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// declaredWithin reports whether the object behind e's root identifier is
+// declared inside the [pos, end] span — i.e. whether the lvalue is local to
+// that region.
+func declaredWithin(pass *analysis.Pass, e ast.Expr, pos, end token.Pos) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	obj := identObj(pass, id)
+	return obj != nil && obj.Pos() >= pos && obj.Pos() <= end
+}

@@ -1,0 +1,80 @@
+// Package lint is the xsketchlint analyzer suite: repo-specific static
+// analyses that mechanically enforce the estimator's NaN-safety (divguard),
+// per-seed determinism (maporder, nondeterminism) and cache-invalidation
+// (sketchmutate) invariants. See DESIGN.md, "Invariants and static
+// analysis".
+//
+// Intentional exceptions are suppressed in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it; the reason is
+// mandatory so every exception is visible and justified in review.
+package lint
+
+import "xsketch/internal/lint/analysis"
+
+// Analyzers is the full xsketchlint suite in output order.
+var Analyzers = []*analysis.Analyzer{
+	DivGuard,
+	MapOrder,
+	SketchMutate,
+	Nondeterminism,
+}
+
+// targets maps each analyzer to the import-path suffixes it runs on; a nil
+// entry means every package. divguard and friends are scoped to the
+// estimator/scoring packages where a NaN or ordering difference corrupts
+// results, not to CLI glue where (say) timing output is legitimate.
+var targets = map[string][]string{
+	"divguard": {
+		"internal/xsketch",
+		"internal/histogram",
+		"internal/statix",
+		"internal/metrics",
+	},
+	"maporder": {
+		"internal/xsketch",
+		"internal/histogram",
+		"internal/statix",
+		"internal/metrics",
+		"internal/build",
+		"internal/graphsyn",
+		"internal/workload",
+		"internal/eval",
+	},
+	"sketchmutate": nil,
+	"nondeterminism": {
+		"internal/xsketch",
+		"internal/histogram",
+		"internal/statix",
+		"internal/metrics",
+		"internal/build",
+		"internal/graphsyn",
+		"internal/workload",
+		"internal/eval",
+	},
+}
+
+// analyzerApplies reports whether an analyzer is in scope for a package.
+func analyzerApplies(a *analysis.Analyzer, importPath string) bool {
+	suffixes, ok := targets[a.Name]
+	if !ok || suffixes == nil {
+		return true
+	}
+	for _, s := range suffixes {
+		if importPath == s || hasPathSuffix(importPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPathSuffix reports whether path ends in suffix on a path-segment
+// boundary ("xsketch/internal/xsketch" matches "internal/xsketch").
+func hasPathSuffix(path, suffix string) bool {
+	if len(path) <= len(suffix) {
+		return path == suffix
+	}
+	return path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix
+}

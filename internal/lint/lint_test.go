@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestRepoIsClean is the acceptance gate in test form: the whole module
+// must have zero unsuppressed findings, so introducing a new unguarded
+// division or unsorted map-range fails go test as well as CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := repoRoot(t)
+	findings, err := Run(root, "./...")
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestSuppressionIndex(t *testing.T) {
+	src := `package p
+
+//lint:allow divguard denominator is clamped two lines up
+var a = 1
+
+var b = 2 //lint:allow maporder same-line directive
+
+//lint:allow divguard
+var c = 3
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := buildSuppressions(fset, []*ast.File{f})
+	if len(idx.malformed) != 1 {
+		t.Fatalf("malformed directives = %d, want 1 (the reason-less one)", len(idx.malformed))
+	}
+	posA, posB, posC := f.Decls[0].Pos(), f.Decls[1].Pos(), f.Decls[2].Pos()
+	if !idx.allowed(fset, posA, "divguard") {
+		t.Error("directive on the line above should suppress divguard at var a")
+	}
+	if idx.allowed(fset, posA, "maporder") {
+		t.Error("directive names divguard only; maporder must not be suppressed")
+	}
+	if !idx.allowed(fset, posB, "maporder") {
+		t.Error("same-line directive should suppress maporder at var b")
+	}
+	if idx.allowed(fset, posC, "divguard") {
+		t.Error("reason-less directive must not suppress anything")
+	}
+}
+
+func TestAnalyzerTargeting(t *testing.T) {
+	if !analyzerApplies(DivGuard, "xsketch/internal/xsketch") {
+		t.Error("divguard should apply to internal/xsketch")
+	}
+	if analyzerApplies(DivGuard, "xsketch/internal/cli") {
+		t.Error("divguard should not apply to internal/cli")
+	}
+	if analyzerApplies(DivGuard, "xsketch/internal/notxsketch") {
+		t.Error("suffix match must respect path-segment boundaries")
+	}
+	if !analyzerApplies(SketchMutate, "xsketch/examples/movies") {
+		t.Error("sketchmutate applies everywhere")
+	}
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// MapOrder flags `range` loops over maps whose bodies do something that can
+// observe Go's randomized map iteration order: accumulate floating-point
+// values, append to a slice that is never sorted afterwards, write output, or
+// return data derived from the loop variables. This is the XBUILD
+// determinism bug class — candidate scoring and serialization must produce
+// identical results for identical seeds, so anything order-sensitive inside
+// a map range either iterates over sorted keys, sorts its result before use,
+// or carries an explicit //lint:allow maporder suppression.
+//
+// Order-insensitive bodies are accepted: integer accumulation, min/max
+// folds, writes keyed by the range key or value, delete, and work on
+// loop-local state.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose order can reach estimates, scores, serialized output or slice appends",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return
+			}
+			checkMapRange(pass, rs, stack)
+		})
+	}
+	return nil, nil
+}
+
+// checkMapRange classifies every statement in a map-range body.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	ctx := &rangeCtx{pass: pass, rs: rs, stack: stack}
+	ctx.keyObj = ctx.loopVarObj(rs.Key)
+	ctx.valObj = ctx.loopVarObj(rs.Value)
+	for _, st := range rs.Body.List {
+		ctx.classify(st)
+	}
+}
+
+type rangeCtx struct {
+	pass   *analysis.Pass
+	rs     *ast.RangeStmt
+	stack  []ast.Node
+	keyObj types.Object
+	valObj types.Object
+}
+
+func (c *rangeCtx) loopVarObj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return identObj(c.pass, id)
+}
+
+// local reports whether the lvalue's root identifier is declared inside the
+// range statement (including the key/value variables themselves).
+func (c *rangeCtx) local(e ast.Expr) bool {
+	return declaredWithin(c.pass, e, c.rs.Pos(), c.rs.End())
+}
+
+// usesLoopVar reports whether e references the range key or value variable.
+func (c *rangeCtx) usesLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := identObj(c.pass, id)
+		if obj != nil && (obj == c.keyObj || obj == c.valObj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *rangeCtx) report(n ast.Node, format string, args ...interface{}) {
+	c.pass.Reportf(n.Pos(), format, args...)
+}
+
+func (c *rangeCtx) classify(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.DeclStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.IncDecStmt:
+		// IncDec is a fixed ±1 per entry — exact and commutative even on
+		// floats, so order-insensitive.
+	case *ast.AssignStmt:
+		c.classifyAssign(s)
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			c.classify(inner)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.classify(s.Init)
+		}
+		if c.isMinMaxFold(s) {
+			return
+		}
+		for _, inner := range s.Body.List {
+			c.classify(inner)
+		}
+		if s.Else != nil {
+			c.classify(s.Else)
+		}
+	case *ast.ForStmt:
+		for _, inner := range s.Body.List {
+			c.classify(inner)
+		}
+	case *ast.RangeStmt:
+		// The nested loop is checked on its own if it ranges a map; its
+		// body still writes under the outer map's iteration order.
+		for _, inner := range s.Body.List {
+			c.classify(inner)
+		}
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, inner := range cc.(*ast.CaseClause).Body {
+				c.classify(inner)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, inner := range cc.(*ast.CaseClause).Body {
+				c.classify(inner)
+			}
+		}
+	case *ast.ExprStmt:
+		c.classifyCall(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if c.usesLoopVar(r) {
+				c.report(s, "return of map-key-derived value inside map range depends on iteration order; iterate sorted keys or add //lint:allow maporder")
+				return
+			}
+		}
+	case *ast.SendStmt:
+		c.report(s, "channel send inside map range publishes values in map iteration order; iterate sorted keys or add //lint:allow maporder")
+	case *ast.GoStmt:
+		c.report(s, "goroutine launched inside map range starts in map iteration order; iterate sorted keys or add //lint:allow maporder")
+	case *ast.DeferStmt:
+		c.report(s, "defer inside map range runs in map iteration order; iterate sorted keys or add //lint:allow maporder")
+	default:
+		c.report(st, "statement inside map range may depend on iteration order; iterate sorted keys or add //lint:allow maporder")
+	}
+}
+
+// classifyAssign vets one assignment inside the loop body.
+func (c *rangeCtx) classifyAssign(s *ast.AssignStmt) {
+	if s.Tok == token.DEFINE {
+		return
+	}
+	if s.Tok != token.ASSIGN {
+		// Compound assignment: integer accumulation is exact and
+		// commutative; float (and string) accumulation is not.
+		for _, l := range s.Lhs {
+			if c.local(l) || isInteger(c.pass.TypeOf(l)) {
+				continue
+			}
+			c.report(s, "order-sensitive accumulation into %s inside map range; iterate sorted keys or add //lint:allow maporder", exprStr(l))
+		}
+		return
+	}
+	for i, l := range s.Lhs {
+		if isBlank(l) || c.local(l) {
+			continue
+		}
+		if idx, ok := stripParens(l).(*ast.IndexExpr); ok {
+			// Writes keyed by the range key (or data derived from the
+			// entry) land each entry in its own slot — the final state is
+			// order-independent. A fixed index is last-write-wins.
+			if c.usesLoopVar(idx.Index) || c.local(idx.Index) {
+				continue
+			}
+			c.report(s, "write to fixed element %s inside map range is last-write-wins in iteration order; iterate sorted keys or add //lint:allow maporder", exprStr(l))
+			continue
+		}
+		if i < len(s.Rhs) && c.isSortedAppend(s, l, s.Rhs[i]) {
+			continue
+		}
+		c.report(s, "assignment to %s inside map range depends on iteration order; iterate sorted keys or add //lint:allow maporder", exprStr(l))
+	}
+}
+
+// isSortedAppend accepts the canonical collect-then-sort shape: the loop
+// appends to an outer slice that a sort call normalizes after the loop.
+func (c *rangeCtx) isSortedAppend(s *ast.AssignStmt, lhs, rhs ast.Expr) bool {
+	call, ok := stripParens(rhs).(*ast.CallExpr)
+	if !ok || !isBuiltinCall(c.pass, call, "append") {
+		return false
+	}
+	fn := enclosingFunc(c.stack)
+	if fn == nil {
+		return false
+	}
+	return sortCallAfter(c.pass, fn, c.rs.End(), lhs)
+}
+
+// isMinMaxFold recognizes `if x > best { best = x }` (any comparison
+// direction): the fold's fixpoint is order-independent as long as the
+// assigned value is one of the compared operands.
+func (c *rangeCtx) isMinMaxFold(s *ast.IfStmt) bool {
+	cmp, ok := stripParens(s.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return false
+	}
+	if s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	asn, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asn.Tok != token.ASSIGN || len(asn.Lhs) != 1 || len(asn.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := exprStr(asn.Lhs[0]), exprStr(asn.Rhs[0])
+	x, y := exprStr(stripParens(cmp.X)), exprStr(stripParens(cmp.Y))
+	return (lhs == x && rhs == y) || (lhs == y && rhs == x)
+}
+
+func (c *rangeCtx) classifyCall(s *ast.ExprStmt) {
+	call, ok := stripParens(s.X).(*ast.CallExpr)
+	if !ok {
+		c.report(s, "statement inside map range may depend on iteration order; iterate sorted keys or add //lint:allow maporder")
+		return
+	}
+	for _, name := range []string{"delete", "clear", "panic", "copy"} {
+		if isBuiltinCall(c.pass, call, name) {
+			return
+		}
+	}
+	c.report(s, "call %s inside map range runs in map iteration order; iterate sorted keys or add //lint:allow maporder", exprStr(call.Fun))
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// enclosingFunc returns the innermost function body on the ancestor stack.
+func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// sortCallAfter reports whether a recognized sort call normalizes slice
+// after position `after` in body: sort.Strings/Ints/Float64s/Slice/
+// SliceStable/Sort or slices.Sort/SortFunc/SortStableFunc.
+func sortCallAfter(pass *analysis.Pass, body *ast.BlockStmt, after token.Pos, slice ast.Expr) bool {
+	sliceRoot := rootIdent(slice)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after || len(call.Args) == 0 {
+			return true
+		}
+		fn := typeFuncOf(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			default:
+				return true
+			}
+		case "slices":
+			switch fn.Name() {
+			case "Sort", "SortFunc", "SortStableFunc":
+			default:
+				return true
+			}
+		default:
+			return true
+		}
+		arg := stripParens(call.Args[0])
+		if exprStr(arg) == exprStr(slice) {
+			found = true
+		} else if r := rootIdent(arg); r != nil && sliceRoot != nil && r.Name == sliceRoot.Name {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// Nondeterminism flags constructs that make scoring or estimation results
+// depend on anything other than the input and the seed: wall-clock reads
+// (time.Now and friends), the unseeded global math/rand source, and
+// goroutine bodies that accumulate into shared variables so the result
+// depends on goroutine scheduling. The deterministic parallel pattern —
+// each goroutine writing its own indexed slot, as in XBUILD's scoreAll and
+// the batch estimator — is accepted, as are goroutine bodies that take a
+// lock before writing.
+var Nondeterminism = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbids time.Now, unseeded math/rand and scheduling-dependent accumulation in estimation paths",
+	Run:  runNondeterminism,
+}
+
+// seededRandConstructors are the math/rand entry points that produce an
+// explicitly seeded source; everything else at package level draws from the
+// global, unseeded source.
+var seededRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runNondeterminism(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineBody(pass, lit)
+				}
+			}
+		})
+	}
+	return nil, nil
+}
+
+func checkNondetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := typeFuncOf(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s makes results depend on the wall clock; thread the value in as an input or add //lint:allow nondeterminism", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // method on an explicitly constructed *Rand/*Zipf
+		}
+		if seededRandConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(), "rand.%s draws from the global unseeded source; use rand.New(rand.NewSource(seed)) or add //lint:allow nondeterminism", fn.Name())
+	}
+}
+
+// checkGoroutineBody flags shared-state accumulation inside a goroutine
+// launched as a closure. Writes to variables declared outside the closure
+// are ordering-dependent unless they land in distinct indexed slots
+// (out[i] = ...) or the body synchronizes with a lock.
+func checkGoroutineBody(pass *analysis.Pass, lit *ast.FuncLit) {
+	if acquiresLock(lit.Body) {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested closures are not necessarily concurrent
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				checkSharedWrite(pass, lit, l, n.Tok)
+			}
+		case *ast.IncDecStmt:
+			checkSharedWrite(pass, lit, n.X, n.Tok)
+		}
+		return true
+	})
+}
+
+func checkSharedWrite(pass *analysis.Pass, lit *ast.FuncLit, lvalue ast.Expr, tok token.Token) {
+	if tok == token.DEFINE {
+		return
+	}
+	if declaredWithin(pass, lvalue, lit.Pos(), lit.End()) {
+		return
+	}
+	if _, ok := stripParens(lvalue).(*ast.IndexExpr); ok {
+		// The deterministic fan-out pattern: each goroutine owns its
+		// index, so the final contents are schedule-independent.
+		return
+	}
+	pass.Reportf(lvalue.Pos(), "write to shared %s inside goroutine depends on scheduling; write an indexed slot per goroutine or add //lint:allow nondeterminism", exprStr(lvalue))
+}
+
+// acquiresLock reports whether the body calls a Lock method, which we take
+// as evidence the writes are deliberately synchronized.
+func acquiresLock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// Finding is one unsuppressed diagnostic, ready to print.
+type Finding struct {
+	// Position is the finding's file:line:col.
+	Position string
+	// File, Line, Col order findings deterministically.
+	File      string
+	Line, Col int
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the problem.
+	Message string
+}
+
+// Run loads the packages matching patterns under dir, applies every
+// analyzer in scope for each package, filters //lint:allow suppressions,
+// and returns the surviving findings sorted by position. Malformed
+// suppression directives are themselves findings, so a typo cannot silently
+// disable a check.
+func Run(dir string, patterns ...string) ([]Finding, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, RunOnPackage(pkg)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// RunOnPackage applies every in-scope analyzer to one loaded package and
+// returns its unsuppressed findings, sorted by position. Analyzer errors
+// surface as findings at the package level rather than aborting the run.
+func RunOnPackage(pkg *analysis.Package) []Finding {
+	var findings []Finding
+	sup := buildSuppressions(pkg.Fset, pkg.Files)
+	for _, m := range sup.malformed {
+		p := pkg.Fset.Position(m.pos)
+		findings = append(findings, Finding{
+			Position: p.String(),
+			File:     p.Filename, Line: p.Line, Col: p.Column,
+			Analyzer: "lint",
+			Message:  fmt.Sprintf("malformed suppression %q: want //lint:allow <analyzer> <reason>", m.text),
+		})
+	}
+	for _, a := range Analyzers {
+		if !analyzerApplies(a, pkg.ImportPath) {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			if sup.allowed(pkg.Fset, d.Pos, name) {
+				return
+			}
+			p := pkg.Fset.Position(d.Pos)
+			findings = append(findings, Finding{
+				Position: p.String(),
+				File:     p.Filename, Line: p.Line, Col: p.Column,
+				Analyzer: name,
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			findings = append(findings, Finding{
+				Position: pkg.ImportPath,
+				File:     pkg.ImportPath,
+				Analyzer: name,
+				Message:  fmt.Sprintf("analyzer error: %v", err),
+			})
+		}
+	}
+	sortFindings(findings)
+	return findings
+}
+
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Print writes findings one per line in the conventional
+// file:line:col: message [analyzer] shape.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s [%s]\n", f.Position, f.Message, f.Analyzer)
+	}
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// suppressionIndex records which (file, line, analyzer) triples carry a
+// //lint:allow directive. A directive suppresses findings on its own line
+// and on the line directly below it (the "comment above the statement"
+// style), matching staticcheck's //lint:ignore placement rules.
+type suppressionIndex struct {
+	// byLine maps "file:line:analyzer" to the directive's reason.
+	byLine map[string]string
+	// malformed are directives missing an analyzer name or a reason; the
+	// runner reports them so a typo cannot silently disable a check.
+	malformed []malformedDirective
+}
+
+type malformedDirective struct {
+	pos  token.Pos
+	text string
+}
+
+// buildSuppressions scans a package's comments for //lint:allow directives.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex {
+	idx := &suppressionIndex{byLine: make(map[string]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					idx.malformed = append(idx.malformed, malformedDirective{pos: c.Pos(), text: c.Text})
+					continue
+				}
+				analyzer, reason := fields[0], strings.Join(fields[1:], " ")
+				pos := fset.Position(c.Pos())
+				idx.byLine[suppressKey(pos.Filename, pos.Line, analyzer)] = reason
+			}
+		}
+	}
+	return idx
+}
+
+func suppressKey(file string, line int, analyzer string) string {
+	return file + ":" + strconv.Itoa(line) + ":" + analyzer
+}
+
+// allowed reports whether a finding from analyzer at position pos is
+// suppressed by a directive on the same line or the line above.
+func (idx *suppressionIndex) allowed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	if _, ok := idx.byLine[suppressKey(p.Filename, p.Line, analyzer)]; ok {
+		return true
+	}
+	_, ok := idx.byLine[suppressKey(p.Filename, p.Line-1, analyzer)]
+	return ok
+}

@@ -1,0 +1,122 @@
+// Fixture for the divguard analyzer: flagged cases carry a want comment,
+// everything else must be accepted.
+package divguard
+
+import "math"
+
+func unguarded(x, y float64) float64 {
+	return x / y // want "possibly-zero denominator y"
+}
+
+func constDenominator(x float64) float64 {
+	return x / 2 // ok: non-zero constant
+}
+
+func earlyReturn(x, d float64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return x / d // ok: early-return guard
+}
+
+func earlyContinue(xs []float64, d float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		if d == 0 {
+			continue
+		}
+		sum += x / d // ok: guarded by continue
+	}
+	return sum
+}
+
+func conversionGuard(x float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return x / float64(n) // ok: guard tests the unconverted value
+}
+
+func lenGuard(x float64, vals []int64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return x / float64(len(vals)) // ok: guard on len
+}
+
+func enclosingIf(x, d float64) float64 {
+	r := 0.0
+	if d > 0 {
+		r = x / d // ok: branch condition implies non-zero
+	}
+	return r
+}
+
+func elseBranch(x, d float64) float64 {
+	if d == 0 {
+		return 1
+	} else {
+		return x / d // ok: else branch of an == 0 test
+	}
+}
+
+func conjunction(x, d float64, on bool) float64 {
+	if on && d != 0 {
+		return x / d // ok: one conjunct implies non-zero
+	}
+	return 0
+}
+
+func orChain(x float64, total int, hi, lo int64) float64 {
+	if total == 0 || hi < lo {
+		return 0
+	}
+	return x / float64(total) // ok: a false || falsifies every disjunct
+}
+
+func reassign(x, d float64) float64 {
+	if d <= 0 {
+		d = 1
+	}
+	return x / d // ok: guard-by-reassign pins d above zero
+}
+
+func staleGuard(x, d, other float64) float64 {
+	if d == 0 {
+		return 0
+	}
+	d = other
+	return x / d // want "possibly-zero denominator d"
+}
+
+func quoAssign(x, y float64) float64 {
+	x /= y // want "possibly-zero denominator y"
+	return x
+}
+
+func closureEscapesGuard(x, d float64) func() float64 {
+	if d == 0 {
+		return nil
+	}
+	return func() float64 {
+		// The guard is outside the closure; conservatively flagged.
+		return x / d // want "possibly-zero denominator d"
+	}
+}
+
+func maxDenominator(x, d float64) float64 {
+	return x / math.Max(d, 1) // ok: pinned above zero
+}
+
+func loopCond(x, d float64) float64 {
+	for d > 1 {
+		x /= d // ok: loop condition implies non-zero
+		d--
+	}
+	return x
+}
+
+func suppressed(x, y float64) float64 {
+	//lint:allow divguard fixture demonstrates an accepted exception
+	return x / y
+}

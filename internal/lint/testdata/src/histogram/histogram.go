@@ -1,0 +1,12 @@
+// Helper fixture: a stand-in for internal/histogram so the sketchmutate
+// fixture can exercise the cross-package histogram-state rule.
+package histogram
+
+// Value is a minimal exported histogram whose fields are protected from
+// writes outside this package.
+type Value struct {
+	Total int
+}
+
+// Bump mutates from inside the owning package, which is always allowed.
+func (v *Value) Bump() { v.Total++ }

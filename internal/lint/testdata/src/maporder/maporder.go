@@ -1,0 +1,116 @@
+// Fixture for the maporder analyzer: flagged cases carry a want comment,
+// everything else must be accepted.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func floatAccumulate(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "order-sensitive accumulation into sum"
+	}
+	return sum
+}
+
+func intAccumulate(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // ok: integer addition is exact and commutative
+	}
+	return n
+}
+
+func keyedWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2 // ok: each entry lands in its own slot
+	}
+	return out
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "assignment to keys inside map range"
+	}
+	return keys
+}
+
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: normalized by the sort below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func maxFold(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v // ok: min/max fold converges regardless of order
+		}
+	}
+	return best
+}
+
+func deleteEntries(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k) // ok: delete during range is order-insensitive
+		}
+	}
+}
+
+func printEntries(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "call fmt.Println inside map range"
+	}
+}
+
+func fixedSlot(m map[string]int, arr []int) {
+	for _, v := range m {
+		arr[0] = v // want "write to fixed element"
+	}
+}
+
+func orderDependentReturn(m map[string]int) string {
+	for k, v := range m {
+		if v > 10 {
+			return k // want "return of map-key-derived value"
+		}
+	}
+	return ""
+}
+
+func suppressedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow maporder the caller sorts these keys itself
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRange(vals []float64) float64 {
+	sum := 0.0
+	for _, v := range vals {
+		sum += v // ok: slice iteration order is fixed
+	}
+	return sum
+}
+
+func localWork(m map[string]int) int {
+	worst := 0
+	for _, v := range m {
+		scratch := v * v // ok: loop-local state
+		if scratch > worst {
+			worst = scratch
+		}
+	}
+	return worst
+}

@@ -1,0 +1,76 @@
+// Fixture for the nondeterminism analyzer: flagged cases carry a want
+// comment, everything else must be accepted.
+package nondet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now makes results depend on the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since makes results depend on the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global unseeded source"
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // ok: explicitly seeded
+	return rng.Intn(10)                   // ok: method on the seeded source
+}
+
+func racyAccumulate(vals []float64) float64 {
+	total := 0.0
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			total += v // want "write to shared total inside goroutine"
+		}(v)
+	}
+	wg.Wait()
+	return total
+}
+
+func indexedFanOut(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	var wg sync.WaitGroup
+	for i, v := range vals {
+		wg.Add(1)
+		go func(i int, v float64) {
+			defer wg.Done()
+			out[i] = v * 2 // ok: each goroutine owns its slot
+		}(i, v)
+	}
+	wg.Wait()
+	return out
+}
+
+func lockedAccumulate(vals []float64) float64 {
+	total := 0.0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			mu.Lock()
+			total += v // ok: lock-synchronized
+			mu.Unlock()
+		}(v)
+	}
+	wg.Wait()
+	return total
+}
+
+func suppressedClock() time.Time {
+	//lint:allow nondeterminism fixture demonstrates an accepted exception
+	return time.Now()
+}

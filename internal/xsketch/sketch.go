@@ -211,6 +211,40 @@ func (sk *Sketch) RebuildNode(id graphsyn.NodeID) {
 	sk.rebuildHistograms(id, s)
 }
 
+// SetBuckets changes a node's edge-histogram bucket budget and rebuilds the
+// node so the new resolution takes effect and the estimator cache is
+// invalidated. It reports whether the node has a summary. Callers must not
+// set NodeSummary.Buckets directly (the sketchmutate analyzer enforces
+// this): a bare field write leaves the histogram and cache stale.
+func (sk *Sketch) SetBuckets(id graphsyn.NodeID, buckets int) bool {
+	s := sk.Summaries[id]
+	if s == nil {
+		return false
+	}
+	s.Buckets = buckets
+	sk.RebuildNode(id)
+	return true
+}
+
+// AddScopeEdge appends an extra scope edge to a node's summary and rebuilds
+// the node, reporting whether the edge survived scope validation. Like
+// SetBuckets, this is the approved route: appending to ExtraScope directly
+// bypasses histogram rebuild and cache invalidation.
+func (sk *Sketch) AddScopeEdge(id graphsyn.NodeID, e ScopeEdge) bool {
+	s := sk.Summaries[id]
+	if s == nil {
+		return false
+	}
+	s.ExtraScope = append(s.ExtraScope, e)
+	sk.RebuildNode(id)
+	for _, kept := range sk.Summaries[id].ExtraScope {
+		if kept == e {
+			return true
+		}
+	}
+	return false
+}
+
 // defaultScope returns the forward counts to F-stable children, the
 // paper's initial-synopsis scope, in ascending child-ID order.
 func (sk *Sketch) defaultScope(id graphsyn.NodeID) []ScopeEdge {

@@ -80,7 +80,14 @@ func (vd *ValueDim) overlap(coord float64, pred *pathexpr.ValuePred) float64 {
 	if ohi < olo {
 		return 0
 	}
-	return float64(ohi-olo+1) / float64(hi-lo+1)
+	// A dimension whose bin range is inverted (possible only through a
+	// corrupt serialized sketch) must not turn into a NaN or negative
+	// selectivity here.
+	den := hi - lo + 1
+	if den <= 0 {
+		return 0
+	}
+	return float64(ohi-olo+1) / float64(den)
 }
 
 // newValueDim builds a ValueDim with equi-depth bins over the values
@@ -129,8 +136,19 @@ func (sk *Sketch) newValueDim(source graphsyn.NodeID, bins int) *ValueDim {
 // its source must be the node itself or one of its children, and must
 // still carry values.
 func (sk *Sketch) valueDimValid(id graphsyn.NodeID, vd *ValueDim) bool {
-	if len(vd.Bounds) == 0 {
+	if len(vd.Bounds) == 0 || len(vd.Los) != len(vd.Bounds) {
 		return false
+	}
+	// Bin shape invariants: each bin is a non-empty range and bounds grow
+	// strictly, so binRange/overlap never see an inverted bin. Serialized
+	// sketches are the only source of shapes that violate this.
+	for i := range vd.Bounds {
+		if vd.Los[i] > vd.Bounds[i] {
+			return false
+		}
+		if i > 0 && vd.Bounds[i-1] >= vd.Bounds[i] {
+			return false
+		}
 	}
 	if vd.Source != id {
 		found := false

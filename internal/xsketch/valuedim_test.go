@@ -231,3 +231,56 @@ func TestWaveletValueSummaries(t *testing.T) {
 		t.Fatalf("wavelet year>2000 = %v, want ~2", got)
 	}
 }
+
+// TestValueDimOverlapOverflowedSpan is the divguard regression: a bin
+// spanning the full int64 range makes hi-lo+1 overflow to zero, and the
+// quotient in overlap must come out 0, never NaN (pre-fix it was 0/0).
+func TestValueDimOverlapOverflowedSpan(t *testing.T) {
+	vd := &ValueDim{
+		Source: 0,
+		Lo:     math.MinInt64,
+		Bounds: []int64{math.MaxInt64},
+		Los:    []int64{math.MinInt64},
+	}
+	pred := pathexpr.AnyValue()
+	got := vd.overlap(1, &pred)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("overlap on overflowed span = %v, want finite", got)
+	}
+	if got != 0 {
+		t.Fatalf("overlap on degenerate span = %v, want 0", got)
+	}
+}
+
+// TestValueDimValidRejectsCorruptShapes pins the strengthened shape checks:
+// a dimension arriving from a corrupt serialized sketch with mismatched or
+// inverted bins must be rejected before binRange/overlap can see it.
+func TestValueDimValidRejectsCorruptShapes(t *testing.T) {
+	d := typedDoc()
+	sk := New(d, DefaultConfig())
+	tag, ok := d.LookupTag("type")
+	if !ok {
+		t.Fatal("no type tag")
+	}
+	ids := sk.Syn.NodesByTag(tag)
+	if len(ids) == 0 {
+		t.Fatal("no type nodes")
+	}
+	id := ids[0]
+
+	valid := &ValueDim{Source: id, Lo: 0, Bounds: []int64{4, 9}, Los: []int64{0, 5}}
+	if !sk.valueDimValid(id, valid) {
+		t.Fatal("well-formed dimension rejected")
+	}
+	corrupt := []*ValueDim{
+		{Source: id, Bounds: []int64{4, 9}, Los: []int64{0}},    // length mismatch
+		{Source: id, Bounds: []int64{1}, Los: []int64{5}},       // inverted bin
+		{Source: id, Bounds: []int64{4, 4}, Los: []int64{0, 4}}, // non-increasing bounds
+		{Source: id, Bounds: []int64{9, 4}, Los: []int64{0, 0}}, // decreasing bounds
+	}
+	for i, vd := range corrupt {
+		if sk.valueDimValid(id, vd) {
+			t.Errorf("corrupt dimension %d accepted: %+v", i, vd)
+		}
+	}
+}
