@@ -14,8 +14,9 @@
 //
 // The package re-exports the library's core types as aliases, so the full
 // surface of the implementation packages (estimation internals, refinement
-// operations, dataset generators, workload generation, metrics) is
-// reachable from here without importing internal paths.
+// operations, dataset generators, workload generation, metrics, the HTTP
+// estimation service) is reachable from here without importing internal
+// paths.
 package xsketch
 
 import (
@@ -26,6 +27,7 @@ import (
 	"xsketch/internal/eval"
 	"xsketch/internal/graphsyn"
 	"xsketch/internal/pathexpr"
+	"xsketch/internal/serve"
 	"xsketch/internal/twig"
 	"xsketch/internal/workload"
 	"xsketch/internal/xmlgen"
@@ -66,6 +68,9 @@ type (
 	// EstimatorStats reports the estimation cache's lifetime counters
 	// (Sketch.EstimatorStats).
 	EstimatorStats = core.EstimatorStats
+	// EstimatorCacheView is a race-safe handle for polling a sketch's
+	// estimator-cache counters (Sketch.EstimatorCache().Snapshot()).
+	EstimatorCacheView = core.EstimatorCacheView
 	// BuildOptions configures the XBUILD construction algorithm.
 	BuildOptions = build.Options
 	// Builder runs XBUILD incrementally (budget sweeps, tracing).
@@ -183,3 +188,22 @@ func SaveSketch(w io.Writer, sk *Sketch) error { return core.Save(w, sk) }
 // LoadSketch restores a synopsis persisted by SaveSketch, rebinding it to
 // the document it was built from.
 func LoadSketch(r io.Reader, d *Document) (*Sketch, error) { return core.Load(r, d) }
+
+// Serving types: the networked estimation service behind cmd/xserve (see
+// SERVING.md for endpoints and metrics).
+type (
+	// Server is the HTTP estimation service: hardened handlers over a
+	// fixed set of sketches, with metrics, logs and pprof built in.
+	Server = serve.Server
+	// ServerConfig tunes the service's hardening knobs (concurrency cap,
+	// request timeout, body and batch limits).
+	ServerConfig = serve.Config
+	// ServedSketch is one named synopsis offered by a Server.
+	ServedSketch = serve.Sketch
+)
+
+// NewServer builds an estimation server over the given sketches; mount
+// Server.Handler() on any http.Server.
+func NewServer(cfg ServerConfig, sketches []ServedSketch) (*Server, error) {
+	return serve.New(cfg, sketches)
+}

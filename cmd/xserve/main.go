@@ -1,0 +1,247 @@
+// Command xserve is the networked estimation service: it loads (or
+// builds) one or more Twig XSKETCH synopses at startup and serves twig
+// selectivity estimates over HTTP, with Prometheus metrics, structured
+// JSON logs and pprof built in. See SERVING.md for the full endpoint and
+// metrics reference.
+//
+// Usage:
+//
+//	xserve -listen :8080 -sketch imdb
+//	xserve -sketch imdb=dataset:imdb,scale=0.05,budget=16384 \
+//	       -sketch docs=xml:doc.xml,synopsis=doc.sketch
+//
+// Each repeatable -sketch flag is name=source[,key=value...]: the source
+// is dataset:<xmark|imdb|sprot|parts> or xml:<file>, the options are
+// scale, seed, budget (build a synopsis with XBUILD) and synopsis (load
+// one persisted by `xbuild -o` instead of building). A bare name is
+// shorthand for a same-named dataset with default options.
+//
+// Endpoints: POST /estimate, POST /estimate/batch, GET /sketches,
+// GET /healthz, GET /metrics, /debug/pprof (disable with -pprof=false).
+// SIGINT/SIGTERM drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"xsketch/internal/build"
+	"xsketch/internal/cli"
+	"xsketch/internal/obs"
+	"xsketch/internal/serve"
+	core "xsketch/internal/xsketch"
+)
+
+// sketchSpec is one parsed -sketch flag.
+type sketchSpec struct {
+	name     string
+	dataset  string // dataset:<name> source
+	xmlPath  string // xml:<path> source
+	scale    float64
+	seed     int64
+	budget   int
+	synopsis string // load instead of build when set
+}
+
+// sketchFlags collects repeated -sketch values.
+type sketchFlags []sketchSpec
+
+func (f *sketchFlags) String() string {
+	names := make([]string, len(*f))
+	for i, s := range *f {
+		names[i] = s.name
+	}
+	return strings.Join(names, ",")
+}
+
+func (f *sketchFlags) Set(v string) error {
+	spec, err := parseSketchSpec(v)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, spec)
+	return nil
+}
+
+// parseSketchSpec parses name=source[,key=value...]; a bare name is
+// shorthand for name=dataset:name.
+func parseSketchSpec(v string) (sketchSpec, error) {
+	spec := sketchSpec{scale: 0.05, seed: 1, budget: 16 * 1024}
+	name, rest, ok := strings.Cut(v, "=")
+	if name == "" {
+		return spec, fmt.Errorf("sketch spec %q: empty name", v)
+	}
+	spec.name = name
+	if !ok {
+		spec.dataset = name
+		return spec, nil
+	}
+	parts := strings.Split(rest, ",")
+	switch {
+	case strings.HasPrefix(parts[0], "dataset:"):
+		spec.dataset = strings.TrimPrefix(parts[0], "dataset:")
+	case strings.HasPrefix(parts[0], "xml:"):
+		spec.xmlPath = strings.TrimPrefix(parts[0], "xml:")
+	default:
+		return spec, fmt.Errorf("sketch spec %q: source must be dataset:<name> or xml:<path>", v)
+	}
+	for _, p := range parts[1:] {
+		k, val, ok := strings.Cut(p, "=")
+		if !ok {
+			return spec, fmt.Errorf("sketch spec %q: option %q is not key=value", v, p)
+		}
+		var err error
+		switch k {
+		case "scale":
+			spec.scale, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			spec.seed, err = strconv.ParseInt(val, 10, 64)
+		case "budget":
+			spec.budget, err = strconv.Atoi(val)
+		case "synopsis":
+			spec.synopsis = val
+		default:
+			return spec, fmt.Errorf("sketch spec %q: unknown option %q", v, k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("sketch spec %q: option %q: %v", v, p, err)
+		}
+	}
+	return spec, nil
+}
+
+// loadSketch materializes one spec: generate or parse the document, then
+// build with XBUILD or load a persisted synopsis bound to it.
+func loadSketch(spec sketchSpec, logger *obs.Logger) (serve.Sketch, error) {
+	doc, err := cli.LoadDoc(spec.xmlPath, spec.dataset, spec.scale, spec.seed)
+	if err != nil {
+		return serve.Sketch{}, fmt.Errorf("sketch %s: %v", spec.name, err)
+	}
+	var sk *core.Sketch
+	source := ""
+	if spec.synopsis != "" {
+		f, err := os.Open(spec.synopsis)
+		if err != nil {
+			return serve.Sketch{}, fmt.Errorf("sketch %s: %v", spec.name, err)
+		}
+		sk, err = core.Load(f, doc)
+		f.Close()
+		if err != nil {
+			return serve.Sketch{}, fmt.Errorf("sketch %s: loading synopsis: %v", spec.name, err)
+		}
+		source = fmt.Sprintf("synopsis:%s", spec.synopsis)
+	} else {
+		opts := build.DefaultOptions(spec.budget)
+		opts.Seed = spec.seed
+		sk = build.XBuild(doc, opts)
+		source = fmt.Sprintf("budget=%d seed=%d", spec.budget, spec.seed)
+	}
+	if spec.dataset != "" {
+		source = fmt.Sprintf("dataset:%s scale=%g %s", spec.dataset, spec.scale, source)
+	} else {
+		source = fmt.Sprintf("xml:%s %s", spec.xmlPath, source)
+	}
+	logger.Info("sketch loaded",
+		"sketch", spec.name,
+		"source", source,
+		"nodes", sk.Syn.NumNodes(),
+		"edges", sk.Syn.NumEdges(),
+		"size_bytes", sk.SizeBytes(),
+	)
+	return serve.Sketch{Name: spec.name, Source: source, Sketch: sk}, nil
+}
+
+func main() {
+	var sketches sketchFlags
+	var (
+		listen        = flag.String("listen", ":8080", "address to serve on")
+		timeout       = flag.Duration("timeout", 10*time.Second, "per-request estimation timeout")
+		maxConcurrent = flag.Int("max-concurrent", 0, "estimate requests admitted at once before shedding with 429 (0 = 2*GOMAXPROCS)")
+		maxBody       = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		maxBatch      = flag.Int("max-batch", 4096, "max queries per batch request")
+		workers       = flag.Int("workers", 0, "batch estimation workers (0 = GOMAXPROCS)")
+		pprofOn       = flag.Bool("pprof", true, "mount /debug/pprof")
+		logMode       = flag.String("log", "json", "request logging: json (stderr) or off")
+		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
+	)
+	flag.Var(&sketches, "sketch", "sketch to serve: name=dataset:<name>|xml:<path>[,scale=F][,seed=N][,budget=N][,synopsis=FILE] (repeatable; bare NAME = dataset shorthand)")
+	flag.Parse()
+
+	var logger *obs.Logger
+	switch *logMode {
+	case "json":
+		logger = obs.NewLogger(os.Stderr, "component", "xserve")
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "-log must be json or off, got %q\n", *logMode)
+		os.Exit(2)
+	}
+
+	if len(sketches) == 0 {
+		fmt.Fprintln(os.Stderr, "at least one -sketch is required, e.g. -sketch imdb")
+		os.Exit(2)
+	}
+	served := make([]serve.Sketch, len(sketches))
+	for i, spec := range sketches {
+		sk, err := loadSketch(spec, logger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		served[i] = sk
+	}
+
+	s, err := serve.New(serve.Config{
+		MaxConcurrent:   *maxConcurrent,
+		RequestTimeout:  *timeout,
+		MaxBodyBytes:    *maxBody,
+		MaxBatchQueries: *maxBatch,
+		BatchWorkers:    *workers,
+		EnablePprof:     *pprofOn,
+		Logger:          logger,
+	}, served)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("listening", "addr", *listen, "sketches", s.Names())
+	fmt.Fprintf(os.Stderr, "xserve listening on %s, serving %v\n", *listen, s.Names())
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop advertising healthy, then let in-flight
+	// estimates finish under the drain budget.
+	s.SetDraining(true)
+	logger.Info("draining", "timeout", drainTimeout.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+		os.Exit(1)
+	}
+	logger.Info("stopped")
+}

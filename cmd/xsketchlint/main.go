@@ -1,9 +1,10 @@
 // Command xsketchlint runs the repo's invariant analyzers (divguard,
-// maporder, sketchmutate, nondeterminism) over Go packages.
+// maporder, sketchmutate, nondeterminism, pkgdoc) over Go packages.
 //
 // Standalone use, from anywhere in the module:
 //
 //	go run ./cmd/xsketchlint ./...
+//	go run ./cmd/xsketchlint -only pkgdoc ./...
 //
 // It exits 1 and prints file:line:col: message [analyzer] lines when
 // unsuppressed findings exist, 0 when clean. It also speaks enough of the
@@ -38,8 +39,9 @@ func main() {
 		return
 	}
 	version := flag.String("V", "", "print version and exit (vet protocol)")
+	only := flag.String("only", "", "comma-separated analyzer names to report (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xsketchlint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: xsketchlint [-only analyzers] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -84,6 +86,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *only != "" {
+		// Malformed-suppression findings (analyzer "lint") always survive
+		// the filter: a broken directive must not hide behind -only.
+		keep := map[string]bool{"lint": true}
+		known := make(map[string]bool, len(lint.Analyzers))
+		for _, a := range lint.Analyzers {
+			known[a.Name] = true
+		}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "xsketchlint: unknown analyzer %q in -only\n", name)
+				os.Exit(2)
+			}
+			keep[name] = true
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if keep[f.Analyzer] {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
 	}
 	lint.Print(os.Stdout, findings)
 	if len(findings) > 0 {

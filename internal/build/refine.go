@@ -25,6 +25,7 @@ const (
 	OpValueExpand
 )
 
+// String names the operation the way experiment logs print it.
 func (o Op) String() string {
 	switch o {
 	case OpBStabilize:

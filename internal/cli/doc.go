@@ -1,0 +1,2 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli

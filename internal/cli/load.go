@@ -1,4 +1,3 @@
-// Package cli holds small helpers shared by the command-line tools.
 package cli
 
 import (

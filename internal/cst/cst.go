@@ -1,23 +1,3 @@
-// Package cst reimplements the Correlated Suffix Trees of Chen et al.
-// ("Counting Twig Matches in a Tree", ICDE 2001), the baseline of the
-// paper's Figure 9(c). No open-source artifact of CSTs exists; this
-// implementation follows the published description:
-//
-//   - a trie over label paths (anchored root paths plus bounded-length
-//     path suffixes) with per-node occurrence counts;
-//   - set hashing: each trie node carries a min-hash signature of the set
-//     of parents of its matching elements, used to correlate sibling
-//     branches of a twig (the "MOSH" family of estimators; we implement the
-//     P-MOSH flavour the paper reports as most accurate);
-//   - greedy pruning of low-frequency trie nodes down to a space budget,
-//     with pruned mass pooled into per-parent star counts used as a uniform
-//     fallback — exactly the rigidity the paper contrasts with XBUILD's
-//     error-driven refinement.
-//
-// As in the paper's comparison, the CST is built on path structure only
-// (element values ignored) and estimates twig queries with simple path
-// expressions; unsupported features (value predicates, descendant steps
-// below the root) degrade gracefully by ignoring the predicate.
 package cst
 
 import (

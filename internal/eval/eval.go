@@ -1,30 +1,3 @@
-// Package eval implements exact evaluation of path expressions and twig
-// queries over xmltree documents. It provides the ground-truth selectivities
-// against which synopsis estimates are scored, and the reference evaluator
-// used by workload generation.
-//
-// Conventions:
-//
-//   - A path is evaluated from a context element. A child-axis step matches
-//     the context's children with the step label; a descendant-axis step
-//     matches descendants at any depth >= 1.
-//   - A twig query's root path is evaluated from the document root element,
-//     so "author" denotes author children of the root while "//author"
-//     denotes author elements anywhere. (The paper writes "t0 in A" for
-//     documents whose authors sit directly under the root, where the two
-//     coincide.)
-//   - A step's value predicate requires the reached element to carry a value
-//     inside the range; a branching predicate requires at least one match of
-//     the nested relative path.
-//
-// Selectivity is computed with the product-of-children dynamic program: for
-// twig node t matched at element e,
-//
-//	count(t, e) = Σ_{e' ∈ P_t(e)} Π_{c ∈ children(t)} count(c, e')
-//
-// which counts exactly the binding tuples of the paper's Section 2. On
-// tree-structured data path results are sets (deduplication is only needed
-// when descendant steps can stack), which the evaluator handles.
 package eval
 
 import (

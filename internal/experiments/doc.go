@@ -1,0 +1,19 @@
+// Package experiments regenerates every table and figure of the paper's
+// experimental study (Section 6) over the synthetic dataset stand-ins:
+//
+//	Table 1    — dataset characteristics
+//	Table 2    — workload characteristics
+//	Figure 9a  — error vs. synopsis size, P workload (XMark, IMDB)
+//	Figure 9b  — error vs. synopsis size, P+V workload (XMark, IMDB)
+//	Figure 9c  — CST/XSKETCH error ratio, simple paths (all datasets)
+//
+// plus the two experiments the paper reports in prose (near-zero estimates
+// on negative workloads; Twig vs. Structural XSKETCHes on single paths) and
+// the design-choice ablations listed in DESIGN.md.
+//
+// Scale and budgets are configurable: Options.Scale = 1 reproduces the
+// paper's dataset sizes; the benchmark harness uses smaller scales so the
+// full suite runs in minutes. Budgets sweep multiples of each dataset's
+// coarsest-synopsis size, mirroring the paper's x-axes that start at the
+// label split graph.
+package experiments

@@ -1,0 +1,17 @@
+// Package histogram implements the distribution summaries used by Twig
+// XSKETCH synopses:
+//
+//   - Sparse: an exact multidimensional distribution of integer count
+//     vectors with fractional frequencies (the paper's edge distribution
+//     f_i(C1, ..., Ck)).
+//   - Histogram: a compressed approximation consisting of weighted centroid
+//     buckets, built by an MHIST-style greedy splitter (the paper's
+//     edge-histogram H_i(C1, ..., Ck)).
+//   - ValueHistogram: a one-dimensional equi-depth histogram over element
+//     values supporting range-selectivity estimates (the paper's H(v)).
+//
+// Edge distributions are "essentially defined over a space of integer edge
+// counts" (Section 3.2) and therefore compress very well with standard
+// multidimensional methods; the centroid-bucket representation keeps the
+// estimation framework's marginals and conditionals cheap.
+package histogram

@@ -1,13 +1,3 @@
-// Package analysis is a minimal, dependency-free stand-in for
-// golang.org/x/tools/go/analysis, sized for this repository's needs.
-//
-// The container this project builds in has no module proxy access, so the
-// canonical x/tools analysis framework cannot be vendored or fetched. This
-// package reimplements the small slice the xsketchlint analyzers need —
-// the Analyzer/Pass/Diagnostic triple plus a package loader built from
-// `go list -export` and go/types — with deliberately compatible shapes, so
-// migrating to x/tools (should the dependency become available) is a
-// mechanical import swap, not a rewrite.
 package analysis
 
 import (

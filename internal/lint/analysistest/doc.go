@@ -1,0 +1,17 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations embedded in the fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest (see the package
+// comment on internal/lint/analysis for why this is reimplemented).
+//
+// A fixture lives in testdata/src/<pkg>/ next to the test. Expected
+// diagnostics are written as trailing comments on the offending line:
+//
+//	x := a / b // want "possibly-zero denominator"
+//
+// The quoted string is a regular expression matched against the diagnostic
+// message; several `// want` comments on one line expect several
+// diagnostics. Lines without a want comment expect none, so fixtures cover
+// flagged and allowed cases side by side. //lint:allow suppressions are
+// honored the same way the runner honors them, letting fixtures assert that
+// a suppressed finding really is silent.
+package analysistest

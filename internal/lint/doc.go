@@ -1,0 +1,13 @@
+// Package lint is the xsketchlint analyzer suite: repo-specific static
+// analyses that mechanically enforce the estimator's NaN-safety (divguard),
+// per-seed determinism (maporder, nondeterminism) and cache-invalidation
+// (sketchmutate) invariants. See DESIGN.md, "Invariants and static
+// analysis".
+//
+// Intentional exceptions are suppressed in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it; the reason is
+// mandatory so every exception is visible and justified in review.
+package lint

@@ -1,15 +1,3 @@
-// Package lint is the xsketchlint analyzer suite: repo-specific static
-// analyses that mechanically enforce the estimator's NaN-safety (divguard),
-// per-seed determinism (maporder, nondeterminism) and cache-invalidation
-// (sketchmutate) invariants. See DESIGN.md, "Invariants and static
-// analysis".
-//
-// Intentional exceptions are suppressed in source with
-//
-//	//lint:allow <analyzer> <reason>
-//
-// on the flagged line or the line directly above it; the reason is
-// mandatory so every exception is visible and justified in review.
 package lint
 
 import "xsketch/internal/lint/analysis"
@@ -20,6 +8,7 @@ var Analyzers = []*analysis.Analyzer{
 	MapOrder,
 	SketchMutate,
 	Nondeterminism,
+	PkgDoc,
 }
 
 // targets maps each analyzer to the import-path suffixes it runs on; a nil
@@ -44,6 +33,7 @@ var targets = map[string][]string{
 		"internal/eval",
 	},
 	"sketchmutate": nil,
+	"pkgdoc":       nil,
 	"nondeterminism": {
 		"internal/xsketch",
 		"internal/histogram",

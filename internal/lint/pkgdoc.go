@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// PkgDoc enforces the documentation floor: every package carries a package
+// comment, and every exported top-level identifier — functions, methods on
+// exported receivers, types, consts and vars — carries a doc comment. It
+// is the mechanical half of the repo's documentation pass; prose quality
+// stays with review, but absence is caught here and in CI.
+var PkgDoc = &analysis.Analyzer{
+	Name: "pkgdoc",
+	Doc:  "requires package comments and doc comments on exported identifiers",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(pass *analysis.Pass) (interface{}, error) {
+	// The package comment may sit on any file (conventionally doc.go).
+	// When missing, anchor the diagnostic to the lexically first file so
+	// the finding's position is stable across runs.
+	hasDoc := false
+	primary := pass.Files[0]
+	for _, f := range pass.Files {
+		if f.Doc != nil {
+			hasDoc = true
+		}
+		if pass.Fset.Position(f.Package).Filename < pass.Fset.Position(primary.Package).Filename {
+			primary = f
+		}
+	}
+	if !hasDoc {
+		pass.Reportf(primary.Package, "package %s has no package comment; add one (conventionally in doc.go)", pass.Pkg.Name())
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				checkGenDoc(pass, d)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkFuncDoc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	if d.Recv == nil {
+		pass.Reportf(d.Name.Pos(), "exported function %s has no doc comment", d.Name.Name)
+		return
+	}
+	// Methods on unexported receivers are unreachable outside the package,
+	// so their documentation is the package's own business.
+	if recvExported(d.Recv) {
+		pass.Reportf(d.Name.Pos(), "exported method %s has no doc comment", d.Name.Name)
+	}
+}
+
+// checkGenDoc flags undocumented exported names in type, const and var
+// declarations. A doc comment on the grouped declaration covers every spec
+// in the group.
+func checkGenDoc(pass *analysis.Pass, d *ast.GenDecl) {
+	if d.Tok == token.IMPORT || d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && sp.Doc == nil {
+				pass.Reportf(sp.Name.Pos(), "exported type %s has no doc comment", sp.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if sp.Doc != nil {
+				continue
+			}
+			kind := "const"
+			if d.Tok == token.VAR {
+				kind = "var"
+			}
+			for _, n := range sp.Names {
+				if n.IsExported() {
+					pass.Reportf(n.Pos(), "exported %s %s has no doc comment", kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// recvExported reports whether a method receiver's base type name is
+// exported, unwrapping pointers and type-parameter instantiations.
+func recvExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package pkgdoc is a fixture with a package comment, exercising the
+// exported-identifier checks.
+package pkgdoc
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {} // want "exported function Undocumented has no doc comment"
+
+func unexported() {} // fine: not exported
+
+// T is documented.
+type T struct{}
+
+// Method is documented.
+func (T) Method() {}
+
+func (T) Bare() {} // want "exported method Bare has no doc comment"
+
+type hidden struct{}
+
+func (hidden) Exported() {} // fine: receiver type is unexported
+
+type U struct{} // want "exported type U has no doc comment"
+
+// V is documented at the spec.
+type V struct{}
+
+// Grouped doc comments cover every spec in the group.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const Lone = 3 // want "exported const Lone has no doc comment"
+
+func Suppressed() {} //lint:allow pkgdoc fixture demonstrates suppression
+
+var Loose int // want "exported var Loose has no doc comment"
+
+// Documented var.
+var Fine int
+
+func init() { unexported() }

@@ -1,0 +1,4 @@
+package pkgdocmissing // want "package pkgdocmissing has no package comment"
+
+// F is documented, so only the package comment is missing.
+func F() {}

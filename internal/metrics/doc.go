@@ -1,0 +1,7 @@
+// Package metrics implements the paper's evaluation metric (Section 6.1):
+// the average absolute relative error with a sanity bound. For a query with
+// true count c and estimate r the error is |r - c| / max(s, c), where the
+// sanity bound s is the 10th percentile of the true counts of the workload
+// — avoiding artificially high percentages on low-count twigs and defining
+// the metric for negative queries (c = 0).
+package metrics

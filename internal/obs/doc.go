@@ -1,0 +1,17 @@
+// Package obs is the observability layer shared by the long-running
+// entry points (most prominently cmd/xserve via internal/serve): a small,
+// dependency-free metrics registry rendering the Prometheus text
+// exposition format, plus structured JSON logging with trace IDs.
+//
+// The registry supports four series shapes: Counter / CounterVec
+// (monotone, atomic), Gauge (atomic float), Histogram (fixed buckets with
+// atomic counts, cumulative `_bucket`/`_sum`/`_count` rendering and
+// server-side Quantile estimation), and FuncFamily (values sampled from a
+// callback at scrape time — the shape used to poll a Sketch's
+// EstimatorStats without the server owning the counters).
+//
+// Everything here is safe for concurrent use and deliberately tiny: the
+// repo's north star is a stdlib-only production service, so this package
+// implements just enough of the Prometheus data model for the SERVING.md
+// metrics catalog, not a general client library.
+package obs

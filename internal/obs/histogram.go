@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets spans 100µs to 10s, the useful range for twig
+// estimation latencies: sub-millisecond for cached single queries up to
+// seconds for cold paper-scale batches.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// A Histogram counts observations into fixed buckets and tracks their sum,
+// rendering as a Prometheus histogram (cumulative `_bucket` series plus
+// `_sum` and `_count`). All updates are atomic; Observe never allocates.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of each bucket, ascending; an
+	// implicit +Inf bucket follows.
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, non-cumulative
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// NewHistogram registers a histogram family with the given ascending
+// bucket upper bounds (nil selects DefaultLatencyBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not ascending for " + name)
+		}
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	f := r.addFamily(name, help, "histogram")
+	f.add("", h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts by
+// linear interpolation inside the selected bucket, the same estimate
+// Prometheus's histogram_quantile computes server-side. It returns 0 when
+// nothing has been observed; samples landing in the +Inf bucket clamp to
+// the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c < rank || c == 0 {
+			cum += c
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*((rank-cum)/c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) writeSeries(w io.Writer, name, labels string) {
+	// Histograms render unlabeled in this registry, so the cumulative
+	// bucket series only carry the `le` label.
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatValue(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}

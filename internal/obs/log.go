@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// A Logger writes structured JSON log lines: one object per line with
+// fixed "ts", "level" and "msg" keys followed by the caller's key/value
+// pairs in argument order (the encoder preserves ordering, unlike
+// marshaling a map). A nil Logger discards everything, so call sites never
+// need a nil check.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+	// base fields are appended to every line (e.g. component=xserve).
+	base []any
+}
+
+// NewLogger returns a logger writing to w with the given base key/value
+// pairs. A nil writer yields a logger that discards everything.
+func NewLogger(w io.Writer, baseKV ...any) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w, base: baseKV}
+}
+
+// With returns a child logger whose lines carry the additional key/value
+// pairs (typically a per-request trace ID).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{w: l.w, base: append(append([]any(nil), l.base...), kv...)}
+}
+
+// Info logs at level info.
+func (l *Logger) Info(msg string, kv ...any) { l.log("info", msg, kv) }
+
+// Error logs at level error.
+func (l *Logger) Error(msg string, kv ...any) { l.log("error", msg, kv) }
+
+func (l *Logger) log(level, msg string, kv []any) {
+	if l == nil {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":`...)
+	buf = appendJSON(buf, time.Now().UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"level":`...)
+	buf = appendJSON(buf, level)
+	buf = append(buf, `,"msg":`...)
+	buf = appendJSON(buf, msg)
+	buf = appendKV(buf, l.base)
+	buf = appendKV(buf, kv)
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(buf)
+}
+
+// appendKV appends ,"k":v pairs; a trailing odd value is paired with the
+// key "extra" rather than dropped.
+func appendKV(buf []byte, kv []any) []byte {
+	for i := 0; i+1 < len(kv); i += 2 {
+		buf = append(buf, ',')
+		buf = appendJSON(buf, fmt.Sprint(kv[i]))
+		buf = append(buf, ':')
+		buf = appendJSON(buf, kv[i+1])
+	}
+	if len(kv)%2 != 0 {
+		buf = append(buf, `,"extra":`...)
+		buf = appendJSON(buf, kv[len(kv)-1])
+	}
+	return buf
+}
+
+// appendJSON appends v's JSON encoding; values json cannot encode (e.g.
+// channels) degrade to their fmt rendering instead of dropping the line.
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}
+
+// NewTraceID returns a 16-byte random trace ID in hex, suitable for
+// correlating a request's log lines and response header.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; degrade to a
+		// fixed ID rather than panicking in the serving path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

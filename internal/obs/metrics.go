@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Registry holds metric families and renders them in the Prometheus text
+// exposition format. Families render in registration order; series within a
+// family render sorted by label string, so two scrapes of an unchanged
+// registry produce byte-identical output (modulo the counter values).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// family is one named metric family: HELP/TYPE header plus its series.
+type family struct {
+	name, help, typ string
+	mu              sync.Mutex
+	series          map[string]seriesWriter // keyed by rendered label string
+}
+
+// seriesWriter renders one series (one or more exposition lines).
+type seriesWriter interface {
+	writeSeries(w io.Writer, name, labels string)
+}
+
+func (r *Registry) addFamily(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic("obs: duplicate metric family " + name)
+	}
+	r.names[name] = true
+	f := &family{name: name, help: help, typ: typ, series: make(map[string]seriesWriter)}
+	r.families = append(r.families, f)
+	return f
+}
+
+func (f *family) add(labels string, s seriesWriter) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[labels]; ok {
+		panic("obs: duplicate series " + f.name + labels)
+	}
+	f.series[labels] = s
+}
+
+// WriteTo renders every family in the Prometheus text format. It always
+// returns a nil error (the signature matches io.WriterTo uses); write errors
+// surface through the underlying writer's state.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	cw := &countWriter{w: w}
+	for _, f := range families {
+		fmt.Fprintf(cw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.typ)
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]seriesWriter, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		for i, s := range series {
+			s.writeSeries(cw, f.name, keys[i])
+		}
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// Labels renders key/value pairs as a Prometheus label set, e.g.
+// Labels("sketch", "imdb") == `{sketch="imdb"}`. Pairs must alternate
+// key, value; values are escaped. An empty pair list renders as "".
+func Labels(pairs ...string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: odd label pair count")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	// 'g' with precision -1 is the shortest representation that parses
+	// back to the same float64, so scrapes never lose precision.
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// A Counter is a monotonically increasing sample backed by an atomic.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which must be non-negative to keep the counter monotone).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) writeSeries(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// NewCounter registers an unlabeled counter family with a single series.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.addFamily(name, help, "counter")
+	c := &Counter{}
+	f.add("", c)
+	return c
+}
+
+// A CounterVec is a counter family with one series per label set.
+type CounterVec struct {
+	f    *family
+	keys []string
+	mu   sync.Mutex
+	got  map[string]*Counter
+}
+
+// NewCounterVec registers a counter family whose series are distinguished
+// by the given label keys.
+func (r *Registry) NewCounterVec(name, help string, keys ...string) *CounterVec {
+	return &CounterVec{f: r.addFamily(name, help, "counter"), keys: keys, got: make(map[string]*Counter)}
+}
+
+// With returns the counter for the given label values (one per key),
+// creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.keys) {
+		panic("obs: label value count mismatch for " + v.f.name)
+	}
+	pairs := make([]string, 0, 2*len(values))
+	for i, k := range v.keys {
+		pairs = append(pairs, k, values[i])
+	}
+	ls := Labels(pairs...)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.got[ls]
+	if !ok {
+		c = &Counter{}
+		v.got[ls] = c
+		v.f.add(ls, c)
+	}
+	return c
+}
+
+// A Gauge is a sample that can go up and down, stored as atomic float bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) writeSeries(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatValue(g.Value()))
+}
+
+// NewGauge registers an unlabeled gauge family with a single series.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.addFamily(name, help, "gauge")
+	g := &Gauge{}
+	f.add("", g)
+	return g
+}
+
+// funcSeries samples a callback at scrape time.
+type funcSeries func() float64
+
+func (fn funcSeries) writeSeries(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatValue(fn()))
+}
+
+// A FuncFamily is a metric family whose series values are read from
+// callbacks at scrape time — the natural shape for polling an external
+// counter block such as xsketch's EstimatorStats.
+type FuncFamily struct {
+	f *family
+}
+
+// NewFuncFamily registers a callback-backed family. typ is the Prometheus
+// type to advertise ("counter" for monotone sources, "gauge" otherwise).
+func (r *Registry) NewFuncFamily(name, help, typ string) *FuncFamily {
+	return &FuncFamily{f: r.addFamily(name, help, typ)}
+}
+
+// Attach adds one series whose value is fn(), labeled by the given
+// key/value pairs (alternating, possibly empty).
+func (ff *FuncFamily) Attach(fn func() float64, labelPairs ...string) {
+	ff.f.add(Labels(labelPairs...), funcSeries(fn))
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("x_total", "a counter")
+	g := r.NewGauge("x_gauge", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(2.5)
+	g.Add(-1)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+	var b bytes.Buffer
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP x_total a counter\n", "# TYPE x_total counter\n", "x_total 5\n",
+		"# TYPE x_gauge gauge\n", "x_gauge 1.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("req_total", "requests", "path", "code")
+	v.With("/estimate", "200").Add(3)
+	v.With("/estimate", "400").Inc()
+	if got := v.With("/estimate", "200"); got.Value() != 3 {
+		t.Fatalf("With returned a fresh counter, value %d", got.Value())
+	}
+	var b bytes.Buffer
+	r.WriteTo(&b)
+	out := b.String()
+	if !strings.Contains(out, `req_total{path="/estimate",code="200"} 3`) {
+		t.Errorf("missing labeled series:\n%s", out)
+	}
+	if !strings.Contains(out, `req_total{path="/estimate",code="400"} 1`) {
+		t.Errorf("missing labeled series:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := Labels("k", "a\"b\\c\nd")
+	want := `{k="a\"b\\c\nd"}`
+	if got != want {
+		t.Fatalf("Labels = %s, want %s", got, want)
+	}
+}
+
+func TestFuncFamily(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	ff := r.NewFuncFamily("poll_total", "polled", "counter")
+	ff.Attach(func() float64 { return n }, "sketch", "imdb")
+	var b bytes.Buffer
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), `poll_total{sketch="imdb"} 7`) {
+		t.Fatalf("missing func series:\n%s", b.String())
+	}
+	n = 8
+	b.Reset()
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), `poll_total{sketch="imdb"} 8`) {
+		t.Fatalf("func series not re-sampled:\n%s", b.String())
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b bytes.Buffer
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_seconds", "q", []float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %v, want 0", h.Quantile(0.5))
+	}
+	// 100 samples uniform in (0,1]: every quantile interpolates inside the
+	// first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-0.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.5 (rank interpolation in [0,1])", q)
+	}
+	// Push 100 samples beyond the last bound: high quantiles clamp to the
+	// largest finite bound.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	if q := h.Quantile(0.99); q != 4 {
+		t.Fatalf("p99 = %v, want clamp to 4", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("c_seconds", "c", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Sum() != 4000 {
+		t.Fatalf("count=%d sum=%v, want 8000/4000", h.Count(), h.Sum())
+	}
+}
+
+func TestLoggerJSONLines(t *testing.T) {
+	var b bytes.Buffer
+	l := NewLogger(&b, "component", "xserve")
+	l.With("trace_id", "abc").Info("estimate done", "sketch", "imdb", "estimate", 12.5)
+	l.Error("boom", "code", 500)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v\n%s", err, lines[0])
+	}
+	if first["level"] != "info" || first["component"] != "xserve" ||
+		first["trace_id"] != "abc" || first["estimate"] != 12.5 {
+		t.Fatalf("unexpected fields: %v", first)
+	}
+	// Fixed keys come first and caller keys preserve order.
+	if !strings.HasPrefix(lines[0], `{"ts":`) {
+		t.Fatalf("ts not first: %s", lines[0])
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if second["level"] != "error" {
+		t.Fatalf("level = %v", second["level"])
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("ignored")
+	l.With("k", "v").Error("also ignored")
+	if got := NewLogger(nil); got != nil {
+		t.Fatalf("NewLogger(nil) = %v, want nil", got)
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 32 || a == b {
+		t.Fatalf("trace ids %q %q", a, b)
+	}
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"xsketch/internal/twig"
+)
+
+// estimateRequest is the body of POST /estimate.
+type estimateRequest struct {
+	// Sketch names the synopsis to estimate against; optional when the
+	// server serves exactly one.
+	Sketch string `json:"sketch"`
+	// Query is a twig query in the paper's for-clause notation.
+	Query string `json:"query"`
+}
+
+// estimateResponse is the body of a successful POST /estimate.
+type estimateResponse struct {
+	Sketch         string  `json:"sketch"`
+	Query          string  `json:"query"`
+	Estimate       float64 `json:"estimate"`
+	Truncated      bool    `json:"truncated"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	TraceID        string  `json:"trace_id"`
+}
+
+// batchRequest is the body of POST /estimate/batch.
+type batchRequest struct {
+	Sketch  string   `json:"sketch"`
+	Queries []string `json:"queries"`
+	// Workers overrides the server's batch worker count for this request
+	// (clamped to the server setting as an upper bound; 0 keeps it).
+	Workers int `json:"workers"`
+}
+
+// batchResponse is the body of a successful POST /estimate/batch.
+type batchResponse struct {
+	Sketch         string        `json:"sketch"`
+	Count          int           `json:"count"`
+	Results        []batchResult `json:"results"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	TraceID        string        `json:"trace_id"`
+}
+
+// batchResult is one query's outcome inside a batch response, in request
+// order.
+type batchResult struct {
+	Estimate  float64 `json:"estimate"`
+	Truncated bool    `json:"truncated"`
+}
+
+// errorResponse is the body of every non-2xx JSON answer.
+type errorResponse struct {
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	tid := traceID(r)
+	var req estimateRequest
+	if !s.decodeBody(w, r, tid, &req) {
+		return
+	}
+	e, err := s.lookup(req.Sketch)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, tid, err)
+		return
+	}
+	q, err := twig.Parse(req.Query)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, tid, fmt.Errorf("malformed twig query: %w", err))
+		return
+	}
+	if !s.admit(w, tid) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	start := time.Now()
+	res, err := e.Sketch.Sketch.EstimateQueryContext(ctx, q)
+	if err != nil {
+		s.writeEstimateError(w, tid, err)
+		return
+	}
+	elapsed := time.Since(start)
+	s.m.estLatency.Observe(elapsed.Seconds())
+	if res.Truncated {
+		s.m.truncated.With(e.Name).Inc()
+	}
+	s.writeJSON(w, http.StatusOK, estimateResponse{
+		Sketch:         e.Name,
+		Query:          q.String(),
+		Estimate:       res.Estimate,
+		Truncated:      res.Truncated,
+		ElapsedSeconds: elapsed.Seconds(),
+		TraceID:        tid,
+	})
+}
+
+func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	tid := traceID(r)
+	var req batchRequest
+	if !s.decodeBody(w, r, tid, &req) {
+		return
+	}
+	e, err := s.lookup(req.Sketch)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, tid, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, tid, errors.New("empty batch"))
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchQueries {
+		s.writeError(w, http.StatusRequestEntityTooLarge, tid,
+			fmt.Errorf("batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatchQueries))
+		return
+	}
+	queries := make([]*twig.Query, len(req.Queries))
+	for i, qs := range req.Queries {
+		q, err := twig.Parse(qs)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, tid, fmt.Errorf("malformed twig query %d: %w", i, err))
+			return
+		}
+		queries[i] = q
+	}
+	workers := s.cfg.BatchWorkers
+	if req.Workers > 0 && (workers <= 0 || req.Workers < workers) {
+		workers = req.Workers
+	}
+	if !s.admit(w, tid) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	start := time.Now()
+	results, err := e.Sketch.Sketch.EstimateBatchContext(ctx, queries, workers)
+	if err != nil {
+		s.writeEstimateError(w, tid, err)
+		return
+	}
+	elapsed := time.Since(start)
+	s.m.batchLat.Observe(elapsed.Seconds())
+	s.m.batchSize.Add(uint64(len(queries)))
+	out := make([]batchResult, len(results))
+	for i, res := range results {
+		out[i] = batchResult{Estimate: res.Estimate, Truncated: res.Truncated}
+		if res.Truncated {
+			s.m.truncated.With(e.Name).Inc()
+		}
+	}
+	s.writeJSON(w, http.StatusOK, batchResponse{
+		Sketch:         e.Name,
+		Count:          len(out),
+		Results:        out,
+		ElapsedSeconds: elapsed.Seconds(),
+		TraceID:        tid,
+	})
+}
+
+// sketchInfo is one entry of the GET /sketches listing.
+type sketchInfo struct {
+	Name      string        `json:"name"`
+	Source    string        `json:"source,omitempty"`
+	Nodes     int           `json:"nodes"`
+	Edges     int           `json:"edges"`
+	SizeBytes int           `json:"size_bytes"`
+	Estimator estimatorInfo `json:"estimator"`
+}
+
+// estimatorInfo is a sketch's estimation-cache snapshot in JSON form.
+type estimatorInfo struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func (s *Server) handleSketches(w http.ResponseWriter, r *http.Request) {
+	out := make([]sketchInfo, 0, len(s.names))
+	for _, name := range s.names {
+		e := s.entries[name]
+		st := e.view.Snapshot()
+		out = append(out, sketchInfo{
+			Name:      e.Name,
+			Source:    e.Source,
+			Nodes:     e.nodes,
+			Edges:     e.edges,
+			SizeBytes: e.sizeBytes,
+			Estimator: estimatorInfo{
+				Hits:      st.Hits,
+				Misses:    st.Misses,
+				Evictions: st.Evictions,
+				HitRate:   st.HitRate(),
+			},
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Sketches      int     `json:"sketches"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthResponse{
+		Status:        "ok",
+		Sketches:      len(s.entries),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteTo(w)
+}
+
+// admit takes a concurrency slot, answering 429 (with Retry-After) and
+// counting the shed when the server is saturated. It never queues: under
+// overload the cheap rejection keeps tail latency of admitted requests
+// intact instead of letting a queue grow without bound.
+func (s *Server) admit(w http.ResponseWriter, tid string) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.m.inFlight.Add(1)
+		if s.testHookEstimate != nil {
+			s.testHookEstimate()
+		}
+		return true
+	default:
+		s.m.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, tid,
+			fmt.Errorf("server at concurrency limit %d", s.cfg.MaxConcurrent))
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.m.inFlight.Add(-1)
+	<-s.sem
+}
+
+// decodeBody parses a size-limited JSON body, answering 413 for oversized
+// and 400 for malformed input. It reports whether the caller may proceed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, tid string, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, tid,
+				fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, tid, fmt.Errorf("malformed request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeEstimateError maps estimation-context errors to status codes: a
+// deadline is the per-request timeout (504), anything else means the
+// client went away or the server is shutting down (503).
+func (s *Server) writeEstimateError(w http.ResponseWriter, tid string, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.m.timeouts.Inc()
+		s.writeError(w, http.StatusGatewayTimeout, tid,
+			fmt.Errorf("estimate exceeded request timeout %s", s.cfg.RequestTimeout))
+		return
+	}
+	s.writeError(w, http.StatusServiceUnavailable, tid, fmt.Errorf("estimate cancelled: %w", err))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, tid string, err error) {
+	s.writeJSON(w, code, errorResponse{Error: err.Error(), TraceID: tid})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"runtime"
+	"time"
+
+	"xsketch/internal/obs"
+)
+
+// metrics bundles the server's instrument handles. Every series rendered
+// at /metrics is declared here and documented in SERVING.md's catalog; the
+// metrics-endpoint test cross-checks the documented names.
+type metrics struct {
+	requests   *obs.CounterVec // xserve_requests_total{path,code}
+	inFlight   *obs.Gauge      // xserve_in_flight_requests
+	shed       *obs.Counter    // xserve_requests_shed_total
+	timeouts   *obs.Counter    // xserve_request_timeouts_total
+	estLatency *obs.Histogram  // xserve_estimate_latency_seconds
+	batchLat   *obs.Histogram  // xserve_batch_latency_seconds
+	batchSize  *obs.Counter    // xserve_batch_queries_total
+	truncated  *obs.CounterVec // xserve_sketch_truncated_total{sketch}
+}
+
+// newMetrics registers every family on the server's registry. Per-sketch
+// cache counters are func-backed: each scrape snapshots the sketch's live
+// EstimatorStats through its race-safe cache view, so the server never
+// owns (or lags) the counters it reports.
+func newMetrics(reg *obs.Registry, s *Server) *metrics {
+	m := &metrics{
+		requests: reg.NewCounterVec("xserve_requests_total",
+			"HTTP requests by path and status code.", "path", "code"),
+		inFlight: reg.NewGauge("xserve_in_flight_requests",
+			"Estimate requests currently admitted (holding a concurrency slot)."),
+		shed: reg.NewCounter("xserve_requests_shed_total",
+			"Estimate requests rejected with 429 at the concurrency cap."),
+		timeouts: reg.NewCounter("xserve_request_timeouts_total",
+			"Estimate requests cancelled by the per-request timeout (504)."),
+		estLatency: reg.NewHistogram("xserve_estimate_latency_seconds",
+			"Latency of successful single-query estimations.", nil),
+		batchLat: reg.NewHistogram("xserve_batch_latency_seconds",
+			"Latency of successful batch estimations.", nil),
+		batchSize: reg.NewCounter("xserve_batch_queries_total",
+			"Queries received across batch requests."),
+		truncated: reg.NewCounterVec("xserve_sketch_truncated_total",
+			"Estimates whose embedding enumeration hit MaxEmbeddings.", "sketch"),
+	}
+
+	quant := reg.NewFuncFamily("xserve_estimate_latency_quantile_seconds",
+		"Estimate-latency quantiles interpolated from the histogram buckets.", "gauge")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}} {
+		q := q
+		quant.Attach(func() float64 { return m.estLatency.Quantile(q.v) }, "quantile", q.label)
+	}
+
+	hits := reg.NewFuncFamily("xserve_sketch_cache_hits_total",
+		"Estimator-cache hits per served sketch (lifetime of the sketch).", "counter")
+	misses := reg.NewFuncFamily("xserve_sketch_cache_misses_total",
+		"Estimator-cache misses per served sketch.", "counter")
+	evictions := reg.NewFuncFamily("xserve_sketch_cache_evictions_total",
+		"Estimator-cache entries dropped by invalidation per served sketch.", "counter")
+	ratio := reg.NewFuncFamily("xserve_sketch_cache_hit_ratio",
+		"Estimator-cache hits / lookups per served sketch.", "gauge")
+	size := reg.NewFuncFamily("xserve_sketch_size_bytes",
+		"Stored synopsis size per served sketch.", "gauge")
+	for _, name := range s.names {
+		e := s.entries[name]
+		hits.Attach(func() float64 { return float64(e.view.Snapshot().Hits) }, "sketch", name)
+		misses.Attach(func() float64 { return float64(e.view.Snapshot().Misses) }, "sketch", name)
+		evictions.Attach(func() float64 { return float64(e.view.Snapshot().Evictions) }, "sketch", name)
+		ratio.Attach(func() float64 { return e.view.Snapshot().HitRate() }, "sketch", name)
+		size.Attach(func() float64 { return float64(e.sizeBytes) }, "sketch", name)
+	}
+
+	reg.NewFuncFamily("xserve_goroutines",
+		"Goroutines in the serving process.", "gauge").
+		Attach(func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.NewFuncFamily("xserve_uptime_seconds",
+		"Seconds since the server started.", "gauge").
+		Attach(func() float64 { return time.Since(s.start).Seconds() })
+
+	return m
+}

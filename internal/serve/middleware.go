@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"xsketch/internal/obs"
+)
+
+// traceIDHeader carries the request's trace ID in both directions: clients
+// may supply one for cross-service correlation, and every response echoes
+// the ID that tagged the server's log lines.
+const traceIDHeader = "X-Trace-Id"
+
+type traceKey struct{}
+
+// traceID reads the request's assigned trace ID (set by instrument).
+func traceID(r *http.Request) string {
+	if id, ok := r.Context().Value(traceKey{}).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-request observability chain:
+// trace-ID assignment (honoring a client-supplied header), request
+// counting by path and status, and one structured JSON log line.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tid := r.Header.Get(traceIDHeader)
+		if tid == "" {
+			tid = obs.NewTraceID()
+		}
+		w.Header().Set(traceIDHeader, tid)
+		r = r.WithContext(context.WithValue(r.Context(), traceKey{}, tid))
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sr, r)
+		elapsed := time.Since(start)
+		s.m.requests.With(path, strconv.Itoa(sr.code)).Inc()
+		s.log.Info("request",
+			"trace_id", tid,
+			"method", r.Method,
+			"path", path,
+			"status", sr.code,
+			"elapsed_seconds", elapsed.Seconds(),
+			"remote", r.RemoteAddr,
+		)
+	}
+}

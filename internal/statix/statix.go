@@ -1,29 +1,3 @@
-// Package statix implements a simplified version of StatiX (Freire,
-// Haritsa, Ramanath, Roy, Siméon: "StatiX: Making XML Count", SIGMOD
-// 2002), the other twig-selectivity proposal the paper's related work
-// discusses ("StatiX captures the underlying path distribution with
-// one-dimensional histograms on element ids"). The paper compares only
-// against CSTs; this baseline is provided as an extension experiment.
-//
-// Model (following the published description, without XML-Schema types —
-// tags play the role of types, as in the paper's own summary of StatiX):
-//
-//   - Every element receives a type-local ID: its index among the elements
-//     of its tag, in document order. Document order makes the children of
-//     one parent contiguous in the child type's ID space.
-//   - For every synopsis edge (parentTag -> childTag), a one-dimensional
-//     equi-width histogram over the PARENT type's ID space records how
-//     many childTag children the parents in each ID bucket have, plus how
-//     many of those parents have at least one such child.
-//   - Twig estimation walks the query top-down. At a branching node, the
-//     per-bucket child averages of the sibling edges are multiplied inside
-//     each bucket before summing — bucket-level correlation, the mechanism
-//     StatiX uses to beat pure independence. Deeper levels compose through
-//     per-edge averages (cross-level correlation is lost, as in the
-//     original unless the schema is refined).
-//
-// Value predicates are ignored (the comparison workload contains none) and
-// a descendant step at the query root falls back to the global tag count.
 package statix
 
 import (

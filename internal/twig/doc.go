@@ -1,0 +1,12 @@
+// Package twig implements the paper's twig query model (Section 2): a
+// node-labeled tree T_Q(V_Q, E_Q) where each node t_i carries a path
+// expression P_i describing the structural relationship between its elements
+// and those of its parent node. The result of a twig query is the set of
+// binding tuples assigning one document element to every twig node; the
+// query's selectivity is the number of such tuples.
+//
+// Queries can be built programmatically or parsed from the XQuery-style
+// for-clause notation the paper uses:
+//
+//	for t0 in //movie[type=5], t1 in t0/actor, t2 in t0/producer
+package twig

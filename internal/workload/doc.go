@@ -1,0 +1,16 @@
+// Package workload generates the query workloads of the paper's
+// experimental study (Section 6.1): "positive" twig queries sampled from
+// the document so that their selectivity is non-zero, with 4-8 twig nodes
+// per query, in four flavours:
+//
+//   - P: paths with branching predicates (Figure 9(a)),
+//   - P+V: half the queries additionally carry one or two value predicates
+//     covering a random 10% range of the value domain (Figure 9(b)),
+//   - Simple: simple path expressions only, for the CST comparison
+//     (Figure 9(c)),
+//   - Negative: structurally plausible queries with zero selectivity.
+//
+// Positivity is guaranteed by construction: every twig node is grown from a
+// concrete witness element of the document, so the witnesses themselves
+// form a binding tuple.
+package workload

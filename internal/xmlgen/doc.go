@@ -1,0 +1,19 @@
+// Package xmlgen generates the synthetic stand-ins for the paper's three
+// experimental datasets (Table 1):
+//
+//   - XMark: the auction-site benchmark document. The paper notes it "is
+//     generated from uniform distributions and is thus more regular in
+//     structure"; our generator draws every fanout uniformly from fixed
+//     ranges.
+//   - IMDB: real-life movie data with strong skew and cross-edge
+//     correlations (the paper's motivating example: the number of actors
+//     and producers per movie depends on its type). Our generator plants
+//     exactly such correlations using Zipf-distributed fanouts keyed by a
+//     genre attribute.
+//   - SwissProt: protein annotations; moderately regular with a long tail
+//     of reference counts.
+//
+// Generators are deterministic given a seed, and scale linearly with the
+// Scale parameter: Scale = 1 targets the paper's element counts (roughly
+// 103k / 103k / 70k elements).
+package xmlgen

@@ -1,0 +1,14 @@
+// Package xmltree provides the XML data model used throughout the library.
+//
+// Following the paper's preliminaries (Section 2), an XML document is modeled
+// as a tree T(V, E) where each node corresponds to an element (we fold
+// attributes into elements, as the paper's synopsis model treats them
+// uniformly) and an edge represents containment. Leaf elements may carry an
+// integer value; the paper's value predicates are ranges over integers.
+//
+// Documents are stored in a flat arena: node identity is an int32 index into
+// Document.Nodes, parents and children are index links, and tags are interned
+// into small integer TagIDs. This keeps a 100k-element document within a few
+// megabytes and makes synopsis construction (which partitions elements into
+// extents of node IDs) cheap.
+package xmltree

@@ -1,0 +1,92 @@
+package xsketch
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"xsketch/internal/twig"
+)
+
+// This file adds context-aware entry points to the estimation engine, for
+// callers in a serving path (internal/serve) that must bound request
+// latency. Cancellation is cooperative: the estimator checks the context
+// between embeddings — the natural unit of work — so a cancelled estimate
+// returns promptly without threading the context through the recursive
+// TREEPARSE evaluation. When the context is never cancelled, the computed
+// values are bit-identical to EstimateQueryResult: the same embeddings are
+// enumerated and the identical per-embedding code runs.
+
+// EstimateQueryContext estimates a twig query like EstimateQueryResult,
+// aborting with ctx.Err() as soon as cancellation is observed (before
+// enumeration and between embeddings). On error the returned result is the
+// zero value and must be discarded.
+func (sk *Sketch) EstimateQueryContext(ctx context.Context, q *twig.Query) (EstimateResult, error) {
+	if err := ctx.Err(); err != nil {
+		return EstimateResult{}, err
+	}
+	ems, truncated := sk.EmbeddingsTruncated(q)
+	total := 0.0
+	for _, em := range ems {
+		if err := ctx.Err(); err != nil {
+			return EstimateResult{}, err
+		}
+		total += sk.EstimateEmbedding(em)
+	}
+	return EstimateResult{Estimate: total, Truncated: truncated}, nil
+}
+
+// EstimateBatchContext runs EstimateBatch under a context: the worker pool
+// stops pulling queries once cancellation is observed and the call returns
+// ctx.Err(). On success the results are bit-identical to EstimateBatch
+// (and therefore to sequential EstimateQuery calls) for any worker count.
+// On error the partially filled slice is returned so callers can report
+// progress, with untouched entries left at their zero value.
+func (sk *Sketch) EstimateBatchContext(ctx context.Context, queries []*twig.Query, workers int) ([]EstimateResult, error) {
+	out := make([]EstimateResult, len(queries))
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			r, err := sk.EstimateQueryContext(ctx, q)
+			if err != nil {
+				return out, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r, err := sk.EstimateQueryContext(ctx, queries[i])
+				if err != nil {
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+feed:
+	for i := range queries {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out, ctx.Err()
+}

@@ -1,0 +1,100 @@
+package xsketch
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"xsketch/internal/twig"
+)
+
+func TestEstimateQueryContextMatchesPlain(t *testing.T) {
+	d, qs := xmarkQueries(30)
+	ctxSk := New(d, DefaultConfig())
+	plain := New(d, DefaultConfig())
+	for i, q := range qs {
+		got, err := ctxSk.EstimateQueryContext(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want := plain.EstimateQueryResult(q)
+		if math.Float64bits(got.Estimate) != math.Float64bits(want.Estimate) || got.Truncated != want.Truncated {
+			t.Errorf("query %d: context %+v != plain %+v", i, got, want)
+		}
+	}
+}
+
+func TestEstimateQueryContextCancelled(t *testing.T) {
+	sk := bibSketch(t)
+	q := twig.MustParse("t0 in author, t1 in t0//title")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sk.EstimateQueryContext(ctx, q)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != (EstimateResult{}) {
+		t.Fatalf("cancelled estimate returned %+v, want zero", res)
+	}
+}
+
+func TestEstimateBatchContextMatchesBatch(t *testing.T) {
+	d, qs := xmarkQueries(40)
+	for _, workers := range []int{1, 4} {
+		a := New(d, DefaultConfig())
+		b := New(d, DefaultConfig())
+		got, err := a.EstimateBatchContext(context.Background(), qs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := b.EstimateBatch(qs, workers)
+		for i := range qs {
+			if math.Float64bits(got[i].Estimate) != math.Float64bits(want[i].Estimate) {
+				t.Errorf("workers=%d query %d: %v != %v", workers, i, got[i].Estimate, want[i].Estimate)
+			}
+		}
+	}
+}
+
+func TestEstimateBatchContextCancelled(t *testing.T) {
+	d, qs := xmarkQueries(20)
+	sk := New(d, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sk.EstimateBatchContext(ctx, qs, 4)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(res), len(qs))
+	}
+}
+
+func TestEstimatorCacheViewSnapshot(t *testing.T) {
+	sk := bibSketch(t)
+	view := sk.EstimatorCache()
+	before := view.Snapshot()
+	q := twig.MustParse("t0 in author, t1 in t0/name")
+	sk.EstimateQuery(q)
+	sk.EstimateQuery(q)
+	after := view.Snapshot()
+	if after.Misses <= before.Misses || after.Hits <= before.Hits {
+		t.Fatalf("snapshot did not advance: before %+v after %+v", before, after)
+	}
+	if got, want := after, sk.EstimatorStats(); got != want {
+		t.Fatalf("view snapshot %+v != EstimatorStats %+v", got, want)
+	}
+	delta := after.Sub(before)
+	if delta.Hits != after.Hits-before.Hits {
+		t.Fatalf("Sub delta %+v", delta)
+	}
+	if hr := after.HitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate %v, want in (0,1)", hr)
+	}
+	if (EstimatorStats{}).HitRate() != 0 {
+		t.Fatal("zero-lookup hit rate should be 0")
+	}
+	if n := after.Lookups(); n != after.Hits+after.Misses {
+		t.Fatalf("Lookups = %d", n)
+	}
+}

@@ -1,0 +1,11 @@
+// Package xsketch implements the paper's core contribution: Twig XSKETCH
+// synopses (Definition 3.1) and the estimation framework of Section 4.
+//
+// A Twig XSKETCH is a graph summary (internal/graphsyn) recording (a) edge
+// stabilities and (b) a multidimensional edge-histogram H_i per node n_i
+// whose count dimensions correspond to a set scope(n_i) of synopsis edges
+// contained in the twig stable neighborhood TSN(n_i), plus (c) per-node
+// value histograms. Estimation combines the stored histograms with the
+// paper's three statistical assumptions (Forward Independence, Correlation
+// Scope Independence, Forward Uniformity).
+package xsketch

@@ -108,13 +108,61 @@ func (sk *Sketch) InvalidateEstimatorCache() {
 	}
 }
 
-// EstimatorStats returns the cumulative estimation cache counters. Safe to
-// call concurrently with estimation.
+// EstimatorStats returns the cumulative estimation cache counters. It is
+// equivalent to EstimatorCache().Snapshot(); both are safe to call
+// concurrently with estimation.
 func (sk *Sketch) EstimatorStats() EstimatorStats {
+	return sk.EstimatorCache().Snapshot()
+}
+
+// An EstimatorCacheView is a read-only handle over a sketch's live
+// estimation-cache counters. Pollers that sample stats while estimation
+// runs — the xserve /metrics endpoint scrapes on every collection — hold a
+// view instead of the *Sketch, making the read-only intent explicit and
+// keeping the sketch's mutating surface out of reach.
+type EstimatorCacheView struct {
+	eng *estEngine
+}
+
+// EstimatorCache returns a view over the sketch's estimation-cache
+// counters for concurrent polling.
+func (sk *Sketch) EstimatorCache() EstimatorCacheView {
+	return EstimatorCacheView{eng: &sk.est}
+}
+
+// Snapshot atomically samples the counters. Each counter is individually
+// consistent (the set is not sampled under one lock, so a concurrent
+// estimate may land between two loads — fine for monitoring, where
+// counters are rates, not invariants). This is the race-safe way to read
+// stats while estimation runs; reading the engine's fields directly is not
+// possible outside this package by design.
+func (v EstimatorCacheView) Snapshot() EstimatorStats {
 	return EstimatorStats{
-		Hits:      sk.est.hits.Load(),
-		Misses:    sk.est.misses.Load(),
-		Evictions: sk.est.evictions.Load(),
+		Hits:      v.eng.hits.Load(),
+		Misses:    v.eng.misses.Load(),
+		Evictions: v.eng.evictions.Load(),
+	}
+}
+
+// Lookups returns the total memo-table lookups (hits + misses).
+func (st EstimatorStats) Lookups() uint64 { return st.Hits + st.Misses }
+
+// HitRate returns Hits / (Hits + Misses), or 0 when nothing was looked up.
+func (st EstimatorStats) HitRate() float64 {
+	n := st.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(n)
+}
+
+// Sub returns the counter deltas st - prev, for pollers converting
+// cumulative counters into per-interval rates.
+func (st EstimatorStats) Sub(prev EstimatorStats) EstimatorStats {
+	return EstimatorStats{
+		Hits:      st.Hits - prev.Hits,
+		Misses:    st.Misses - prev.Misses,
+		Evictions: st.Evictions - prev.Evictions,
 	}
 }
 
