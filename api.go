@@ -28,6 +28,7 @@ import (
 	"xsketch/internal/graphsyn"
 	"xsketch/internal/pathexpr"
 	"xsketch/internal/serve"
+	"xsketch/internal/trace"
 	"xsketch/internal/twig"
 	"xsketch/internal/workload"
 	"xsketch/internal/xmlgen"
@@ -188,6 +189,44 @@ func SaveSketch(w io.Writer, sk *Sketch) error { return core.Save(w, sk) }
 // LoadSketch restores a synopsis persisted by SaveSketch, rebinding it to
 // the document it was built from.
 func LoadSketch(r io.Reader, d *Document) (*Sketch, error) { return core.Load(r, d) }
+
+// Estimation tracing types: the structured EXPLAIN machinery (see
+// DESIGN.md §10 for the trace model and its mapping onto the paper's
+// TREEPARSE estimation framework).
+type (
+	// Explanation is a structured estimation trace: expansion events and
+	// per-embedding TREEPARSE trees carrying every numeric term with the
+	// assumption justifying it (Sketch.ExplainQuery).
+	Explanation = core.Explanation
+	// TraceRecorder collects an Explanation plus per-stage latencies
+	// while an estimation runs (Sketch.EstimateQueryTraced). A nil
+	// recorder disables tracing at zero cost.
+	TraceRecorder = trace.Recorder
+	// TraceOptions tunes a TraceRecorder (event cap, clock injection).
+	TraceOptions = trace.Options
+	// TraceNode is one synopsis node's TREEPARSE trace within an
+	// Explanation.
+	TraceNode = trace.Node
+	// TraceTerm is one numeric factor of a traced estimate.
+	TraceTerm = trace.Term
+	// TraceEvent is one estimation-level trace event (expansion, dedup,
+	// truncation).
+	TraceEvent = trace.Event
+	// TraceEmbedding is one query embedding's trace tree.
+	TraceEmbedding = trace.EmbeddingTrace
+	// TraceStage identifies an instrumented estimation stage (expand,
+	// embed, treeparse, histogram lookup).
+	TraceStage = trace.Stage
+)
+
+// NewTraceRecorder returns an enabled trace recorder to pass to
+// Sketch.EstimateQueryTraced; read the result with TraceRecorder.Trace
+// and TraceRecorder.StageSeconds.
+func NewTraceRecorder(opts TraceOptions) *TraceRecorder { return trace.NewRecorder(opts) }
+
+// Explain runs a traced estimation of the query and returns its
+// structured explanation (equivalent to Sketch.ExplainQuery).
+func Explain(sk *Sketch, q *Query) *Explanation { return sk.ExplainQuery(q) }
 
 // Serving types: the networked estimation service behind cmd/xserve (see
 // SERVING.md for endpoints and metrics).

@@ -2,6 +2,8 @@ package xsketch_test
 
 import (
 	"bytes"
+	"context"
+	"strings"
 	"testing"
 
 	"xsketch"
@@ -136,5 +138,46 @@ func TestPublicAPIProgrammaticQuery(t *testing.T) {
 	}
 	if xsketch.Exact(doc2, q) != 2 {
 		t.Fatal("round-tripped document changed the count")
+	}
+}
+
+// TestPublicAPITracing exercises the re-exported EXPLAIN surface: the
+// recorder-based traced estimation and the one-shot Explain helper, both
+// bit-identical to the untraced estimate.
+func TestPublicAPITracing(t *testing.T) {
+	doc, err := xsketch.GenerateDataset("imdb", 1, 0.02)
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	sk := xsketch.NewSketch(doc, xsketch.DefaultSketchConfig())
+	q, err := xsketch.ParseQuery("for t0 in movie, t1 in t0/actor")
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	want := sk.EstimateQuery(q)
+
+	rec := xsketch.NewTraceRecorder(xsketch.TraceOptions{})
+	res, err := sk.EstimateQueryTraced(context.Background(), q, rec)
+	if err != nil {
+		t.Fatalf("EstimateQueryTraced: %v", err)
+	}
+	if res.Estimate != want {
+		t.Fatalf("traced estimate %v != untraced %v", res.Estimate, want)
+	}
+	tr := rec.Trace()
+	if tr == nil || tr.Version != 2 || len(tr.Embeddings) == 0 {
+		t.Fatalf("unexpected trace: %+v", tr)
+	}
+
+	ex := xsketch.Explain(sk, q)
+	if ex.Estimate != want {
+		t.Fatalf("Explain estimate %v != untraced %v", ex.Estimate, want)
+	}
+	var buf bytes.Buffer
+	if err := ex.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), "covered (E)") {
+		t.Fatalf("text rendering missing TREEPARSE markers:\n%s", buf.String())
 	}
 }

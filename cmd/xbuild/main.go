@@ -1,5 +1,7 @@
 // Command xbuild constructs a Twig XSKETCH synopsis for an XML document
-// and reports its structure and size, optionally tracing each refinement.
+// and reports its structure and size. With -trace it streams one JSONL
+// telemetry event per adopted refinement to stderr while the build runs
+// (op, target node, marginal gain, space delta, elapsed seconds).
 //
 // Usage:
 //
@@ -27,7 +29,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.1, "dataset scale when -dataset is used")
 		budget  = flag.Int("budget", 50*1024, "synopsis space budget in bytes")
 		seed    = flag.Int64("seed", 1, "random seed for XBUILD sampling")
-		trace   = flag.Bool("trace", false, "print each applied refinement")
+		trace   = flag.Bool("trace", false, "stream one JSONL telemetry event per adopted refinement to stderr")
 		steps   = flag.Int("steps", 1000, "max refinement steps")
 		out     = flag.String("o", "", "persist the built synopsis to this file (load with xestimate -synopsis)")
 		dot     = flag.String("dot", "", "write the built synopsis as a Graphviz digraph to this file")
@@ -43,6 +45,9 @@ func main() {
 	opts := build.DefaultOptions(*budget)
 	opts.Seed = *seed
 	opts.MaxSteps = *steps
+	if *trace {
+		opts.Sink = build.NewJSONLSink(os.Stderr)
+	}
 	b := build.NewBuilder(doc, opts)
 	fmt.Printf("coarsest synopsis: %d nodes, %d edges, %d bytes\n",
 		b.Sketch().Syn.NumNodes(), b.Sketch().Syn.NumEdges(), b.Sketch().SizeBytes())
@@ -50,12 +55,6 @@ func main() {
 	sk := b.Sketch()
 	if len(b.Steps()) == 0 && sk.SizeBytes() > *budget {
 		fmt.Printf("budget below coarsest synopsis (%d bytes); no refinements applied\n", sk.SizeBytes())
-	}
-	if *trace {
-		for i, s := range b.Steps() {
-			fmt.Printf("step %3d: %-40s -> %6d bytes (workload err %.1f%%)\n",
-				i+1, s.Refinement, s.SizeBytes, s.Error*100)
-		}
 	}
 	fmt.Printf("built synopsis:    %d nodes, %d edges, %d bytes (budget %d, %d refinements)\n",
 		sk.Syn.NumNodes(), sk.Syn.NumEdges(), sk.SizeBytes(), *budget, len(b.Steps()))

@@ -32,7 +32,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		exact    = flag.Bool("exact", true, "also compute the exact selectivity")
 		synopsis = flag.String("synopsis", "", "load a persisted synopsis (from xbuild -o) instead of building one")
-		explain  = flag.Bool("explain", false, "print the per-embedding estimation breakdown")
+		explain  = flag.Bool("explain", false, "print the structured estimation trace")
+		format   = flag.String("format", "text", "explain output format: json or text")
 	)
 	flag.Parse()
 
@@ -69,12 +70,29 @@ func main() {
 		opts.Seed = *seed
 		sk = build.XBuild(doc, opts)
 	}
-	est := sk.EstimateQuery(q)
+	var est float64
 	if *explain {
-		if _, err := sk.ExplainQuery(q).WriteTo(os.Stdout); err != nil {
+		// The explain run doubles as the estimate so the trace reflects a
+		// cold estimator cache — that keeps -format json byte-stable run
+		// over run.
+		ex := sk.ExplainQuery(q)
+		var err error
+		switch *format {
+		case "json":
+			err = ex.WriteJSON(os.Stdout)
+		case "text":
+			err = ex.WriteText(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -format %q (want json or text)\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		est = ex.Estimate
+	} else {
+		est = sk.EstimateQuery(q)
 	}
 	fmt.Printf("query:     %s\n", q)
 	fmt.Printf("synopsis:  %d bytes (%d nodes)\n", sk.SizeBytes(), sk.Syn.NumNodes())

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 
+	"xsketch/internal/trace"
 	"xsketch/internal/workload"
 	"xsketch/internal/xmltree"
 	core "xsketch/internal/xsketch"
@@ -53,6 +54,10 @@ type Options struct {
 	ValueExpandBins int
 	// Parallelism is the scoring worker count (default GOMAXPROCS).
 	Parallelism int
+	// Sink, when non-nil, receives one telemetry Event per adopted
+	// refinement (see telemetry.go). Telemetry is observational: it never
+	// influences candidate generation, scoring, or selection.
+	Sink Sink
 }
 
 // DefaultOptions returns XBUILD options for the given byte budget,
@@ -171,12 +176,13 @@ func (b *Builder) Step() bool {
 	if curSize >= b.opts.BudgetBytes {
 		return false
 	}
+	started := trace.MonotonicSeconds()
 	cands := b.candidates()
 	if len(cands) == 0 {
 		return false
 	}
 	if b.opts.RandomSelection {
-		return b.stepRandom(cands)
+		return b.stepRandom(cands, curSize, started)
 	}
 	cands = b.sampleCandidates(cands)
 	curErr := b.errorOfParallel(b.sk, b.opts.Parallelism)
@@ -202,22 +208,43 @@ func (b *Builder) Step() bool {
 		return false
 	}
 	b.adopt(cands[best].ref, results[best])
+	b.emit(b.stepEvent(cands[best].ref, results[best], bestGain, curSize, len(cands), started))
 	return true
 }
 
 // stepRandom adopts a uniformly random applicable candidate regardless of
 // its gain (the RandomSelection ablation). Candidates are tried in a
 // seed-deterministic order until one applies within budget.
-func (b *Builder) stepRandom(cands []candidate) bool {
+func (b *Builder) stepRandom(cands []candidate, curSize int, started float64) bool {
+	tried := 0
 	for _, i := range b.rng.Perm(len(cands)) {
+		tried++
 		r := b.scoreOne(cands[i])
 		if r == nil || r.size > b.opts.BudgetBytes {
 			continue
 		}
 		b.adopt(cands[i].ref, r)
+		b.emit(b.stepEvent(cands[i].ref, r, 0, curSize, tried, started))
 		return true
 	}
 	return false
+}
+
+// stepEvent assembles the telemetry event for a just-adopted refinement
+// (adopt has already appended it to b.steps).
+func (b *Builder) stepEvent(ref Refinement, r *scoreResult, gain float64, curSize, scored int, started float64) Event {
+	return Event{
+		Step:             len(b.steps),
+		Op:               ref.Op.String(),
+		Target:           int(ref.target()),
+		Refinement:       ref.String(),
+		GainPerByte:      gain,
+		Error:            r.err,
+		SizeBytes:        r.size,
+		SpaceDelta:       r.size - curSize,
+		CandidatesScored: scored,
+		ElapsedSeconds:   trace.MonotonicSeconds() - started,
+	}
 }
 
 // adopt installs a scored candidate's synopsis, records the step, and

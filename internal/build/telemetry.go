@@ -1,0 +1,113 @@
+package build
+
+import (
+	"encoding/json"
+	"io"
+
+	"xsketch/internal/obs"
+)
+
+// Event is one adopted XBUILD refinement, emitted to the configured Sink
+// as the build runs. Fields use snake_case JSON so a `-trace` stream is
+// directly loadable by log tooling.
+type Event struct {
+	// Step is the 1-based index of the adopted refinement.
+	Step int `json:"step"`
+	// Op is the refinement operation name (e.g. "b-stabilize").
+	Op string `json:"op"`
+	// Target is the synopsis node the operation transforms.
+	Target int `json:"target"`
+	// Refinement is the operation's compact rendering, e.g.
+	// "edge-expand(n4 += 4->9)".
+	Refinement string `json:"refinement"`
+	// GainPerByte is the marginal gain that selected this candidate:
+	// scoring-error reduction per byte of synopsis growth. Zero under
+	// RandomSelection, which never computes gains.
+	GainPerByte float64 `json:"gain_per_byte"`
+	// Error is the scoring-workload error after the refinement.
+	Error float64 `json:"error"`
+	// SizeBytes is the synopsis size after the refinement.
+	SizeBytes int `json:"size_bytes"`
+	// SpaceDelta is the synopsis growth this refinement paid for.
+	SpaceDelta int `json:"space_delta"`
+	// CandidatesScored is how many candidates were scored this step.
+	CandidatesScored int `json:"candidates_scored"`
+	// ElapsedSeconds is the wall time the step took (candidate
+	// generation, scoring, and adoption).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// A Sink receives one Event per adopted refinement, in step order, from
+// the goroutine running the build. Emit must not retain the event.
+type Sink interface {
+	// Emit consumes one adopted-step event.
+	Emit(Event)
+}
+
+// JSONLSink streams events as JSON Lines, one object per step.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing one JSON object per line to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the event as one JSON line; encoding errors are dropped
+// (telemetry must never fail a build).
+func (s *JSONLSink) Emit(ev Event) { s.enc.Encode(ev) }
+
+// MultiSink fans every event out to each member sink in order.
+type MultiSink []Sink
+
+// Emit forwards the event to every member.
+func (m MultiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// ObsSink adapts build telemetry onto an obs metrics registry, exposing
+// the xbuild_* families: adopted steps by op, candidates scored, the
+// current synopsis size and scoring error, and per-step latency.
+type ObsSink struct {
+	steps *obs.CounterVec
+	cands *obs.Counter
+	size  *obs.Gauge
+	err   *obs.Gauge
+	lat   *obs.Histogram
+}
+
+// NewObsSink registers the xbuild_* metric families on reg and returns
+// the sink feeding them.
+func NewObsSink(reg *obs.Registry) *ObsSink {
+	return &ObsSink{
+		steps: reg.NewCounterVec("xbuild_steps_total",
+			"Adopted XBUILD refinements by operation.", "op"),
+		cands: reg.NewCounter("xbuild_candidates_scored_total",
+			"Candidates scored across all build steps."),
+		size: reg.NewGauge("xbuild_synopsis_size_bytes",
+			"Synopsis size after the most recent refinement."),
+		err: reg.NewGauge("xbuild_scoring_error",
+			"Scoring-workload error after the most recent refinement."),
+		lat: reg.NewHistogram("xbuild_step_latency_seconds",
+			"Wall time per adopted refinement step.", nil),
+	}
+}
+
+// Emit updates every xbuild_* family from one step event.
+func (s *ObsSink) Emit(ev Event) {
+	s.steps.With(ev.Op).Inc()
+	s.cands.Add(uint64(ev.CandidatesScored))
+	s.size.Set(float64(ev.SizeBytes))
+	s.err.Set(ev.Error)
+	s.lat.Observe(ev.ElapsedSeconds)
+}
+
+// emit sends an adopted-step event to the configured sink, if any.
+func (b *Builder) emit(ev Event) {
+	if b.opts.Sink != nil {
+		b.opts.Sink.Emit(ev)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"sync/atomic"
 )
 
@@ -29,9 +30,9 @@ type Histogram struct {
 	count   atomic.Uint64
 }
 
-// NewHistogram registers a histogram family with the given ascending
-// bucket upper bounds (nil selects DefaultLatencyBuckets).
-func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+// checkBounds validates ascending bucket bounds, defaulting nil to
+// DefaultLatencyBuckets.
+func checkBounds(name string, bounds []float64) []float64 {
 	if bounds == nil {
 		bounds = DefaultLatencyBuckets()
 	}
@@ -40,9 +41,60 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 			panic("obs: histogram bounds not ascending for " + name)
 		}
 	}
+	return bounds
+}
+
+// NewHistogram registers a histogram family with the given ascending
+// bucket upper bounds (nil selects DefaultLatencyBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	bounds = checkBounds(name, bounds)
 	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 	f := r.addFamily(name, help, "histogram")
 	f.add("", h)
+	return h
+}
+
+// A HistogramVec is a histogram family with one histogram per label set
+// (e.g. per-stage estimation latencies keyed by stage name).
+type HistogramVec struct {
+	f      *family
+	keys   []string
+	bounds []float64
+	mu     sync.Mutex
+	got    map[string]*Histogram
+}
+
+// NewHistogramVec registers a histogram family whose series are
+// distinguished by the given label keys; every member histogram shares the
+// same bucket bounds (nil selects DefaultLatencyBuckets).
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, keys ...string) *HistogramVec {
+	return &HistogramVec{
+		f:      r.addFamily(name, help, "histogram"),
+		keys:   keys,
+		bounds: checkBounds(name, bounds),
+		got:    make(map[string]*Histogram),
+	}
+}
+
+// With returns the histogram for the given label values (one per key),
+// creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.keys) {
+		panic("obs: label value count mismatch for " + v.f.name)
+	}
+	pairs := make([]string, 0, 2*len(values))
+	for i, k := range v.keys {
+		pairs = append(pairs, k, values[i])
+	}
+	ls := Labels(pairs...)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.got[ls]
+	if !ok {
+		h = &Histogram{bounds: v.bounds, counts: make([]atomic.Uint64, len(v.bounds)+1)}
+		v.got[ls] = h
+		v.f.add(ls, h)
+	}
 	return h
 }
 
@@ -100,15 +152,21 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 func (h *Histogram) writeSeries(w io.Writer, name, labels string) {
-	// Histograms render unlabeled in this registry, so the cumulative
-	// bucket series only carry the `le` label.
+	// The cumulative bucket series splice `le` into the family labels
+	// (last, matching Prometheus client output).
+	bucketLabels := func(le string) string {
+		if labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return labels[:len(labels)-1] + `,le="` + le + `"}`
+	}
 	cum := uint64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatValue(b), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(formatValue(b)), cum)
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(h.Sum()))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels("+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
 }

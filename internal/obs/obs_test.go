@@ -109,6 +109,37 @@ func TestHistogramRendering(t *testing.T) {
 	}
 }
 
+func TestHistogramVecRendering(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("stage_seconds", "per-stage latency", []float64{0.1, 1}, "stage")
+	v.With("expand").Observe(0.05)
+	v.With("embed").Observe(0.5)
+	v.With("embed").Observe(5)
+	if v.With("embed") != v.With("embed") {
+		t.Fatal("With not memoized per label set")
+	}
+	var b bytes.Buffer
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`stage_seconds_bucket{stage="embed",le="0.1"} 0`,
+		`stage_seconds_bucket{stage="embed",le="1"} 1`,
+		`stage_seconds_bucket{stage="embed",le="+Inf"} 2`,
+		`stage_seconds_count{stage="embed"} 2`,
+		`stage_seconds_bucket{stage="expand",le="0.1"} 1`,
+		`stage_seconds_count{stage="expand"} 1`,
+		`stage_seconds_sum{stage="expand"} 0.05`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Series render sorted by label string, so "embed" precedes "expand".
+	if strings.Index(out, `stage="embed"`) > strings.Index(out, `stage="expand"`) {
+		t.Fatalf("series not sorted by label string:\n%s", out)
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	r := NewRegistry()
 	h := r.NewHistogram("q_seconds", "q", []float64{1, 2, 4})

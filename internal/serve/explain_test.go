@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"xsketch/internal/twig"
+)
+
+func TestEstimateExplain(t *testing.T) {
+	sk := newTestSketch(t)
+	want := sk.EstimateQuery(twig.MustParse(testQuery))
+	_, ts := newTestServer(t, sk, nil)
+
+	resp, body := postJSON(t, ts.URL+"/estimate?explain=true",
+		fmt.Sprintf(`{"sketch":"imdb","query":%q}`, testQuery))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var er estimateResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if er.Estimate != want {
+		t.Errorf("traced estimate %v != untraced %v", er.Estimate, want)
+	}
+	ex := er.Explanation
+	if ex == nil {
+		t.Fatal("explanation missing from ?explain=true response")
+	}
+	if ex.Version != 2 {
+		t.Errorf("explanation version %d, want 2", ex.Version)
+	}
+	if ex.Estimate != er.Estimate {
+		t.Errorf("explanation estimate %v != response estimate %v", ex.Estimate, er.Estimate)
+	}
+	if len(ex.Embeddings) == 0 {
+		t.Fatal("explanation has no embeddings")
+	}
+	sum := 0.0
+	for _, em := range ex.Embeddings {
+		if em.Root == nil {
+			t.Fatal("embedding trace without a root node")
+		}
+		sum += em.Estimate
+	}
+	if sum != ex.Estimate {
+		t.Errorf("embedding estimates sum %v != total %v", sum, ex.Estimate)
+	}
+}
+
+func TestEstimateExplainOmittedByDefault(t *testing.T) {
+	_, ts := newTestServer(t, newTestSketch(t), nil)
+	resp, body := postJSON(t, ts.URL+"/estimate",
+		fmt.Sprintf(`{"sketch":"imdb","query":%q}`, testQuery))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if _, ok := raw["explanation"]; ok {
+		t.Error("explanation present without ?explain=true")
+	}
+}
+
+func TestBatchExplainPerItem(t *testing.T) {
+	sk := newTestSketch(t)
+	_, ts := newTestServer(t, sk, nil)
+	const second = "t0 in movie, t1 in t0/year"
+	wantFirst := sk.EstimateQuery(twig.MustParse(testQuery))
+	wantSecond := sk.EstimateQuery(twig.MustParse(second))
+
+	resp, body := postJSON(t, ts.URL+"/estimate/batch",
+		fmt.Sprintf(`{"queries":[%q,%q],"explain":[true,false]}`, testQuery, second))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if br.Count != 2 || len(br.Results) != 2 {
+		t.Fatalf("count %d, results %d, want 2/2", br.Count, len(br.Results))
+	}
+	if br.Results[0].Estimate != wantFirst || br.Results[1].Estimate != wantSecond {
+		t.Errorf("estimates (%v, %v), want (%v, %v)",
+			br.Results[0].Estimate, br.Results[1].Estimate, wantFirst, wantSecond)
+	}
+	if br.Results[0].Explanation == nil {
+		t.Error("flagged item missing explanation")
+	} else if br.Results[0].Explanation.Estimate != br.Results[0].Estimate {
+		t.Errorf("explanation estimate %v != item estimate %v",
+			br.Results[0].Explanation.Estimate, br.Results[0].Estimate)
+	}
+	if br.Results[1].Explanation != nil {
+		t.Error("unflagged item carries an explanation")
+	}
+}
+
+func TestBatchExplainLengthMismatch(t *testing.T) {
+	_, ts := newTestServer(t, newTestSketch(t), nil)
+	resp, body := postJSON(t, ts.URL+"/estimate/batch",
+		fmt.Sprintf(`{"queries":[%q,%q],"explain":[true]}`, testQuery, testQuery))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
+	}
+}
+
+// TestEstimateExplainConcurrent hammers the traced path from many
+// goroutines; under -race this exercises recorder isolation across
+// concurrent requests sharing one sketch.
+func TestEstimateExplainConcurrent(t *testing.T) {
+	sk := newTestSketch(t)
+	want := sk.EstimateQuery(twig.MustParse(testQuery))
+	_, ts := newTestServer(t, sk, nil)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// postJSON fails the test via t.Fatalf, which must not run on
+			// this goroutine; do the request by hand and report over errs.
+			resp, err := http.Post(ts.URL+"/estimate?explain=true", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"query":%q}`, testQuery)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var er estimateResponse
+			if derr := json.NewDecoder(resp.Body).Decode(&er); derr != nil {
+				errs <- derr
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			if er.Estimate != want || er.Explanation == nil || er.Explanation.Estimate != want {
+				errs <- fmt.Errorf("estimate %v (explanation %v), want %v",
+					er.Estimate, er.Explanation, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

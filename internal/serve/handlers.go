@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"xsketch/internal/trace"
 	"xsketch/internal/twig"
 )
 
@@ -28,6 +30,9 @@ type estimateResponse struct {
 	Truncated      bool    `json:"truncated"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	TraceID        string  `json:"trace_id"`
+	// Explanation is the structured estimation trace, present only when
+	// the request asked for ?explain=true.
+	Explanation *trace.Trace `json:"explanation,omitempty"`
 }
 
 // batchRequest is the body of POST /estimate/batch.
@@ -37,6 +42,9 @@ type batchRequest struct {
 	// Workers overrides the server's batch worker count for this request
 	// (clamped to the server setting as an upper bound; 0 keeps it).
 	Workers int `json:"workers"`
+	// Explain, when non-empty, must parallel Queries: items flagged true
+	// are estimated with tracing and carry an explanation in their result.
+	Explain []bool `json:"explain"`
 }
 
 // batchResponse is the body of a successful POST /estimate/batch.
@@ -53,12 +61,21 @@ type batchResponse struct {
 type batchResult struct {
 	Estimate  float64 `json:"estimate"`
 	Truncated bool    `json:"truncated"`
+	// Explanation is present only for items whose explain flag was true.
+	Explanation *trace.Trace `json:"explanation,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx JSON answer.
 type errorResponse struct {
 	Error   string `json:"error"`
 	TraceID string `json:"trace_id"`
+}
+
+// explainRequested reads the ?explain= query parameter (accepting the
+// strconv.ParseBool spellings; absent or malformed means false).
+func explainRequested(r *http.Request) bool {
+	v, err := strconv.ParseBool(r.URL.Query().Get("explain"))
+	return err == nil && v
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +94,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, tid, fmt.Errorf("malformed twig query: %w", err))
 		return
 	}
+	var rec *trace.Recorder
+	if explainRequested(r) {
+		rec = trace.NewRecorder(trace.Options{})
+	}
 	if !s.admit(w, tid) {
 		return
 	}
@@ -85,24 +106,29 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	res, err := e.Sketch.Sketch.EstimateQueryContext(ctx, q)
+	res, err := e.Sketch.Sketch.EstimateQueryTraced(ctx, q, rec)
 	if err != nil {
 		s.writeEstimateError(w, tid, err)
 		return
 	}
 	elapsed := time.Since(start)
 	s.m.estLatency.Observe(elapsed.Seconds())
+	s.m.observeTrace(rec)
 	if res.Truncated {
 		s.m.truncated.With(e.Name).Inc()
 	}
-	s.writeJSON(w, http.StatusOK, estimateResponse{
+	resp := estimateResponse{
 		Sketch:         e.Name,
 		Query:          q.String(),
 		Estimate:       res.Estimate,
 		Truncated:      res.Truncated,
 		ElapsedSeconds: elapsed.Seconds(),
 		TraceID:        tid,
-	})
+	}
+	if rec != nil {
+		resp.Explanation = rec.Trace()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
@@ -134,6 +160,11 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = q
 	}
+	if len(req.Explain) > 0 && len(req.Explain) != len(req.Queries) {
+		s.writeError(w, http.StatusBadRequest, tid,
+			fmt.Errorf("explain flags length %d != queries length %d", len(req.Explain), len(req.Queries)))
+		return
+	}
 	workers := s.cfg.BatchWorkers
 	if req.Workers > 0 && (workers <= 0 || req.Workers < workers) {
 		workers = req.Workers
@@ -145,19 +176,47 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
+	// Items flagged for explanation run traced, one at a time; the rest go
+	// through the concurrent batch pool. Estimation is pure, so the split
+	// is bit-identical to an all-batch run.
 	start := time.Now()
-	results, err := e.Sketch.Sketch.EstimateBatchContext(ctx, queries, workers)
+	out := make([]batchResult, len(queries))
+	plainIdx := make([]int, 0, len(queries))
+	for i := range queries {
+		if len(req.Explain) == 0 || !req.Explain[i] {
+			plainIdx = append(plainIdx, i)
+		}
+	}
+	plainQueries := make([]*twig.Query, len(plainIdx))
+	for j, i := range plainIdx {
+		plainQueries[j] = queries[i]
+	}
+	results, err := e.Sketch.Sketch.EstimateBatchContext(ctx, plainQueries, workers)
 	if err != nil {
 		s.writeEstimateError(w, tid, err)
 		return
 	}
+	for j, i := range plainIdx {
+		out[i] = batchResult{Estimate: results[j].Estimate, Truncated: results[j].Truncated}
+	}
+	for i := range queries {
+		if len(req.Explain) == 0 || !req.Explain[i] {
+			continue
+		}
+		rec := trace.NewRecorder(trace.Options{})
+		res, err := e.Sketch.Sketch.EstimateQueryTraced(ctx, queries[i], rec)
+		if err != nil {
+			s.writeEstimateError(w, tid, err)
+			return
+		}
+		s.m.observeTrace(rec)
+		out[i] = batchResult{Estimate: res.Estimate, Truncated: res.Truncated, Explanation: rec.Trace()}
+	}
 	elapsed := time.Since(start)
 	s.m.batchLat.Observe(elapsed.Seconds())
 	s.m.batchSize.Add(uint64(len(queries)))
-	out := make([]batchResult, len(results))
-	for i, res := range results {
-		out[i] = batchResult{Estimate: res.Estimate, Truncated: res.Truncated}
-		if res.Truncated {
+	for i := range out {
+		if out[i].Truncated {
 			s.m.truncated.With(e.Name).Inc()
 		}
 	}

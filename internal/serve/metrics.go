@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xsketch/internal/obs"
+	"xsketch/internal/trace"
 )
 
 // metrics bundles the server's instrument handles. Every series rendered
@@ -19,6 +20,10 @@ type metrics struct {
 	batchLat   *obs.Histogram  // xserve_batch_latency_seconds
 	batchSize  *obs.Counter    // xserve_batch_queries_total
 	truncated  *obs.CounterVec // xserve_sketch_truncated_total{sketch}
+
+	traced      *obs.Counter      // xserve_traced_requests_total
+	stageLat    *obs.HistogramVec // xserve_estimate_stage_latency_seconds{stage}
+	traceEvents *obs.CounterVec   // xserve_trace_events_total{kind}
 }
 
 // newMetrics registers every family on the server's registry. Per-sketch
@@ -43,6 +48,13 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 			"Queries received across batch requests."),
 		truncated: reg.NewCounterVec("xserve_sketch_truncated_total",
 			"Estimates whose embedding enumeration hit MaxEmbeddings.", "sketch"),
+		traced: reg.NewCounter("xserve_traced_requests_total",
+			"Estimates served with explain tracing enabled."),
+		stageLat: reg.NewHistogramVec("xserve_estimate_stage_latency_seconds",
+			"Per-stage latency of traced estimations (stages nest: embed includes expand, treeparse includes histogram_lookup).",
+			nil, "stage"),
+		traceEvents: reg.NewCounterVec("xserve_trace_events_total",
+			"Trace events recorded by traced estimations, by event kind.", "kind"),
 	}
 
 	quant := reg.NewFuncFamily("xserve_estimate_latency_quantile_seconds",
@@ -74,6 +86,13 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 		size.Attach(func() float64 { return float64(e.sizeBytes) }, "sketch", name)
 	}
 
+	// Pre-create one stage series per pipeline stage so the scrape catalog
+	// is complete from the first scrape, not only after the first traced
+	// request.
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		m.stageLat.With(st.String())
+	}
+
 	reg.NewFuncFamily("xserve_goroutines",
 		"Goroutines in the serving process.", "gauge").
 		Attach(func() float64 { return float64(runtime.NumGoroutine()) })
@@ -82,4 +101,21 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 		Attach(func() float64 { return time.Since(s.start).Seconds() })
 
 	return m
+}
+
+// observeTrace feeds one finished recorder into the trace metrics:
+// per-stage latencies and event-kind counters. A nil recorder (tracing
+// disabled) is a no-op.
+func (m *metrics) observeTrace(rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	m.traced.Inc()
+	secs := rec.StageSeconds()
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		m.stageLat.With(st.String()).Observe(secs[st])
+	}
+	for _, ec := range rec.EventCounts() {
+		m.traceEvents.With(ec.Kind).Add(uint64(ec.Count))
+	}
 }

@@ -24,6 +24,9 @@ var documentedSeries = map[string]string{
 	"xserve_batch_latency_seconds":             "histogram",
 	"xserve_batch_queries_total":               "counter",
 	"xserve_sketch_truncated_total":            "counter",
+	"xserve_traced_requests_total":             "counter",
+	"xserve_estimate_stage_latency_seconds":    "histogram",
+	"xserve_trace_events_total":                "counter",
 	"xserve_sketch_cache_hits_total":           "counter",
 	"xserve_sketch_cache_misses_total":         "counter",
 	"xserve_sketch_cache_evictions_total":      "counter",
@@ -91,6 +94,7 @@ func TestMetricsEndpointMatchesDocumentedCatalog(t *testing.T) {
 
 	// Generate traffic across the instrumented paths first.
 	postJSON(t, ts.URL+"/estimate", fmt.Sprintf(`{"query":%q}`, testQuery))
+	postJSON(t, ts.URL+"/estimate?explain=true", fmt.Sprintf(`{"query":%q}`, testQuery))
 	postJSON(t, ts.URL+"/estimate/batch", fmt.Sprintf(`{"queries":[%q,%q]}`, testQuery, testQuery))
 	getBody(t, ts.URL+"/sketches")
 
@@ -120,20 +124,32 @@ func TestMetricsEndpointMatchesDocumentedCatalog(t *testing.T) {
 	}
 
 	// Spot-check sample values driven by the traffic above.
-	if v := samples[`xserve_requests_total{path="/estimate",code="200"}`]; v != 1 {
-		t.Errorf("estimate request count %v, want 1", v)
+	if v := samples[`xserve_requests_total{path="/estimate",code="200"}`]; v != 2 {
+		t.Errorf("estimate request count %v, want 2", v)
 	}
 	if v := samples["xserve_batch_queries_total"]; v != 2 {
 		t.Errorf("batch query count %v, want 2", v)
 	}
-	if v := samples["xserve_estimate_latency_seconds_count"]; v != 1 {
-		t.Errorf("latency histogram count %v, want 1", v)
+	if v := samples["xserve_estimate_latency_seconds_count"]; v != 2 {
+		t.Errorf("latency histogram count %v, want 2", v)
 	}
 	if v := samples[`xserve_sketch_cache_misses_total{sketch="imdb"}`]; v <= 0 {
 		t.Errorf("cache misses %v, want > 0 after estimates", v)
 	}
 	if _, ok := samples[`xserve_estimate_latency_quantile_seconds{quantile="0.99"}`]; !ok {
 		t.Error("p99 quantile series missing")
+	}
+	if v := samples["xserve_traced_requests_total"]; v != 1 {
+		t.Errorf("traced request count %v, want 1", v)
+	}
+	if v := samples[`xserve_trace_events_total{kind="expand"}`]; v <= 0 {
+		t.Errorf("expand trace events %v, want > 0 after explain request", v)
+	}
+	for _, stage := range []string{"expand", "embed", "treeparse", "histogram_lookup"} {
+		series := fmt.Sprintf(`xserve_estimate_stage_latency_seconds_count{stage=%q}`, stage)
+		if v, ok := samples[series]; !ok || v != 1 {
+			t.Errorf("%s = %v (present %v), want 1 after one traced request", series, v, ok)
+		}
 	}
 
 	// Histogram buckets must be cumulative and end at +Inf == _count.

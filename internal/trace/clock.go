@@ -1,0 +1,14 @@
+package trace
+
+import "time"
+
+// start anchors MonotonicSeconds; readings are process-relative.
+var start = time.Now()
+
+// MonotonicSeconds returns seconds elapsed since process start on the
+// monotonic clock. It exists so packages whose lint policy forbids direct
+// wall-clock reads (internal/build's step telemetry in particular) can
+// still stamp elapsed durations on their emitted events.
+func MonotonicSeconds() float64 {
+	return time.Since(start).Seconds()
+}

@@ -1,0 +1,19 @@
+// Package trace is the structured estimation-trace model and its recorder.
+//
+// A Recorder is threaded through the estimation pipeline (see
+// internal/xsketch) and, when non-nil, captures a deterministic tree of the
+// decisions behind one estimate: the expansion steps taken while embedding
+// the query over the synopsis, every embedding enumerated (with dedup and
+// truncation events), the TREEPARSE scope split at every node (expanded,
+// uniform and assigned edge sets — the paper's E_i, U_i and D_i), each
+// numeric term with the assumption that justified it (Forward Independence,
+// Correlation Scope Independence, Forward Uniformity), and the estimator
+// cache outcome of every memoized sub-result. The recorder additionally
+// accumulates per-stage wall-clock durations for the serving layer's
+// latency histograms; durations are deliberately kept out of the Trace
+// model so that its JSON encoding is byte-stable across runs.
+//
+// A nil *Recorder (and a nil *Node) is a valid no-op sink: every method is
+// nil-safe and allocation-free, so the estimation hot path pays nothing
+// when tracing is disabled.
+package trace

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MarshalIndent renders the trace as stable, human-diffable JSON. The model
+// contains no maps and no wall-clock data, so the output for a fixed query,
+// synopsis and cache state is byte-identical across runs.
+func (t *Trace) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes the stable JSON rendering to w.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	b, err := t.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText writes an indented human-readable rendering of the trace: the
+// query and total, the recorded events, and per embedding the TREEPARSE
+// tree with each node's E/U/D scope split and factor terms.
+func (t *Trace) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("query: %s\n", t.Query)
+	bw.printf("estimate: %g\n", t.Estimate)
+	if t.Truncated {
+		bw.printf("truncated: true\n")
+	}
+	for _, e := range t.Events {
+		bw.printf("event %s", e.Kind)
+		if e.Count > 0 {
+			bw.printf(" x%d", e.Count)
+		}
+		if e.Detail != "" {
+			bw.printf(": %s", e.Detail)
+		}
+		if e.Cache != "" {
+			bw.printf(" [cache %s]", e.Cache)
+		}
+		bw.printf("\n")
+	}
+	if t.EventsDropped > 0 {
+		bw.printf("events dropped: %d\n", t.EventsDropped)
+	}
+	for i, emb := range t.Embeddings {
+		bw.printf("embedding %d: estimate=%g signature=%s\n", i, emb.Estimate, emb.Signature)
+		writeNodeText(bw, emb.Root, 1)
+	}
+	return bw.err
+}
+
+func writeNodeText(bw *errWriter, n *Node, depth int) {
+	if n == nil {
+		return
+	}
+	pad := strings.Repeat("  ", depth)
+	bw.printf("%snode %d", pad, n.Syn)
+	if n.Tag != "" {
+		bw.printf(" <%s>", n.Tag)
+	}
+	if n.Extent > 0 {
+		bw.printf(" extent=%d", n.Extent)
+	}
+	if n.Mode != "" {
+		bw.printf(" mode=%s", n.Mode)
+	}
+	bw.printf(" contribution=%g", n.Contribution)
+	if n.Evaluations > 1 {
+		bw.printf(" evaluations=%d", n.Evaluations)
+	}
+	bw.printf("\n")
+	if len(n.Expanded) > 0 {
+		bw.printf("%s  covered (E):", pad)
+		for _, e := range n.Expanded {
+			bw.printf(" %d->%d", e.From, e.To)
+		}
+		bw.printf("\n")
+	}
+	if len(n.Uniform) > 0 {
+		bw.printf("%s  uniform (U):", pad)
+		for _, id := range n.Uniform {
+			bw.printf(" %d", id)
+		}
+		bw.printf("\n")
+	}
+	if len(n.Assigned) > 0 {
+		bw.printf("%s  assigned (D):", pad)
+		for _, a := range n.Assigned {
+			bw.printf(" %d->%d=%g", a.From, a.To, a.Count)
+		}
+		bw.printf("\n")
+	}
+	if n.Mode == ModeEnumerated {
+		bw.printf("%s  buckets=%d denominator=%g\n", pad, n.Buckets, n.Denominator)
+	}
+	for _, tm := range n.Terms {
+		bw.printf("%s  term %s", pad, tm.Kind)
+		if tm.Detail != "" {
+			bw.printf(" (%s)", tm.Detail)
+		}
+		bw.printf(" = %g", tm.Value)
+		if tm.Assumption != "" {
+			bw.printf(" [%s]", tm.Assumption)
+		}
+		if tm.Cache != "" {
+			bw.printf(" [cache %s]", tm.Cache)
+		}
+		bw.printf("\n")
+	}
+	for _, c := range n.Children {
+		writeNodeText(bw, c, depth+1)
+	}
+}
+
+// errWriter is the usual sticky-error writer wrapper.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTrace() *Recorder {
+	rec := NewRecorder(Options{})
+	rec.SetQuery("t0 in movie, t1 in t0/actor")
+	rec.Event(Event{Kind: EventExpand, Detail: "movie", Count: 1, Cache: CacheMiss})
+	rec.Event(Event{Kind: EventDedup, Count: 2})
+	et := rec.AddEmbedding("0(1)")
+	et.Estimate = 42
+	et.Root = &Node{
+		Syn:          0,
+		Tag:          "movie",
+		Extent:       100,
+		Mode:         ModeFactorized,
+		Expanded:     []Edge{{From: 0, To: 1}},
+		Uniform:      []int{2},
+		Assigned:     []Assigned{{From: 3, To: 0, Count: 1.5}},
+		Contribution: 0.42,
+		Terms: []Term{
+			{Kind: TermBaseCount, Value: 100, Assumption: AssumptionExact},
+			{Kind: TermCondSumProduct, Detail: "0->1", Value: 0.42, Assumption: AssumptionCSI},
+		},
+		Children: []*Node{{Syn: 1, Tag: "actor", Mode: ModeLeaf, Contribution: 1}},
+	}
+	et.Root.Enter()
+	rec.SetResult(42, false)
+	return rec
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.SetQuery("q")
+	r.SetResult(1, true)
+	r.Event(Event{Kind: EventExpand})
+	if et := r.AddEmbedding("sig"); et != nil {
+		t.Fatalf("nil recorder AddEmbedding = %v, want nil", et)
+	}
+	r.BeginStage(StageEmbed)
+	r.EndStage(StageEmbed)
+	if got := r.StageSeconds(); got != [NumStages]float64{} {
+		t.Fatalf("nil recorder StageSeconds = %v, want zeros", got)
+	}
+	if tr := r.Trace(); tr != nil {
+		t.Fatalf("nil recorder Trace = %v, want nil", tr)
+	}
+	if ec := r.EventCounts(); ec != nil {
+		t.Fatalf("nil recorder EventCounts = %v, want nil", ec)
+	}
+	var n *Node
+	if n.Enter() {
+		t.Fatal("nil node Enter reports first evaluation")
+	}
+}
+
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	var n *Node
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.SetQuery("q")
+		r.Event(Event{Kind: EventExpand, Detail: "d"})
+		r.AddEmbedding("sig")
+		r.BeginStage(StageTreeparse)
+		r.EndStage(StageTreeparse)
+		r.SetResult(1, false)
+		n.Enter()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder methods allocate: %v allocs/op", allocs)
+	}
+}
+
+func TestStageTiming(t *testing.T) {
+	now := time.Unix(0, 0)
+	rec := NewRecorder(Options{Clock: func() time.Time { return now }})
+	rec.BeginStage(StageExpand)
+	now = now.Add(250 * time.Millisecond)
+	rec.EndStage(StageExpand)
+	rec.BeginStage(StageExpand)
+	now = now.Add(250 * time.Millisecond)
+	rec.EndStage(StageExpand)
+	// EndStage without Begin is ignored.
+	rec.EndStage(StageEmbed)
+	got := rec.StageSeconds()
+	if got[StageExpand] != 0.5 {
+		t.Fatalf("expand stage = %v s, want 0.5", got[StageExpand])
+	}
+	if got[StageEmbed] != 0 {
+		t.Fatalf("embed stage = %v s, want 0", got[StageEmbed])
+	}
+}
+
+func TestEventCapAndCounts(t *testing.T) {
+	rec := NewRecorder(Options{MaxEvents: 3})
+	for i := 0; i < 5; i++ {
+		rec.Event(Event{Kind: EventExpand})
+	}
+	rec.Event(Event{Kind: EventDedup, Count: 7})
+	tr := rec.Trace()
+	if len(tr.Events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(tr.Events))
+	}
+	if tr.EventsDropped != 3 {
+		t.Fatalf("EventsDropped = %d, want 3", tr.EventsDropped)
+	}
+	counts := rec.EventCounts()
+	want := []EventCount{{Kind: "dropped", Count: 3}, {Kind: EventExpand, Count: 3}}
+	if len(counts) != len(want) {
+		t.Fatalf("EventCounts = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("EventCounts[%d] = %v, want %v", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := map[Stage]string{
+		StageExpand:          "expand",
+		StageEmbed:           "embed",
+		StageTreeparse:       "treeparse",
+		StageHistogramLookup: "histogram_lookup",
+		Stage(99):            "unknown",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Fatalf("Stage(%d).String() = %q, want %q", s, got, w)
+		}
+	}
+}
+
+func TestJSONDeterministicAndNoClock(t *testing.T) {
+	a, err := sampleTrace().Trace().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampleTrace().Trace().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace JSON not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	for _, banned := range []string{"seconds", "nanos", "time", "duration"} {
+		if strings.Contains(strings.ToLower(string(a)), banned) {
+			t.Fatalf("trace JSON contains clock-like field %q:\n%s", banned, a)
+		}
+	}
+}
+
+func TestWriteTextMarkers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().Trace().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"query: t0 in movie, t1 in t0/actor",
+		"estimate: 42",
+		"event expand",
+		"event dedup x2",
+		"covered (E): 0->1",
+		"uniform (U): 2",
+		"assigned (D): 3->0=1.5",
+		"term base-count = 100 [exact]",
+		"term cond-sum-product (0->1) = 0.42 [correlation-scope-independence]",
+		"node 1 <actor>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEnterCountsEvaluations(t *testing.T) {
+	n := &Node{}
+	if !n.Enter() {
+		t.Fatal("first Enter not reported as first")
+	}
+	if n.Enter() {
+		t.Fatal("second Enter reported as first")
+	}
+	if n.Evaluations != 2 {
+		t.Fatalf("Evaluations = %d, want 2", n.Evaluations)
+	}
+}
+
+func TestMonotonicSeconds(t *testing.T) {
+	a := MonotonicSeconds()
+	b := MonotonicSeconds()
+	if b < a {
+		t.Fatalf("MonotonicSeconds went backwards: %v then %v", a, b)
+	}
+}

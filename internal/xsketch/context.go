@@ -22,18 +22,7 @@ import (
 // enumeration and between embeddings). On error the returned result is the
 // zero value and must be discarded.
 func (sk *Sketch) EstimateQueryContext(ctx context.Context, q *twig.Query) (EstimateResult, error) {
-	if err := ctx.Err(); err != nil {
-		return EstimateResult{}, err
-	}
-	ems, truncated := sk.EmbeddingsTruncated(q)
-	total := 0.0
-	for _, em := range ems {
-		if err := ctx.Err(); err != nil {
-			return EstimateResult{}, err
-		}
-		total += sk.EstimateEmbedding(em)
-	}
-	return EstimateResult{Estimate: total, Truncated: truncated}, nil
+	return sk.EstimateQueryTraced(ctx, q, nil)
 }
 
 // EstimateBatchContext runs EstimateBatch under a context: the worker pool

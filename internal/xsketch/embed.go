@@ -6,6 +6,7 @@ import (
 
 	"xsketch/internal/graphsyn"
 	"xsketch/internal/pathexpr"
+	"xsketch/internal/trace"
 	"xsketch/internal/twig"
 )
 
@@ -42,13 +43,22 @@ type Embedding struct {
 type embedBudget struct {
 	left      int
 	truncated bool
+	// rec receives expansion events when tracing; nil otherwise.
+	rec *trace.Recorder
 }
 
 // exhausted reports that the budget is spent, flagging truncation as a side
 // effect (it is only consulted where further work is pending or skipped).
+// The first exhaustion records the MaxEmbeddings soft-floor event.
 func (b *embedBudget) exhausted() bool {
 	if b.left <= 0 {
-		b.truncated = true
+		if !b.truncated {
+			b.truncated = true
+			b.rec.Event(trace.Event{
+				Kind:   trace.EventMaxEmbeddings,
+				Detail: "embedding budget exhausted; enumeration truncated to a usable prefix",
+			})
+		}
 		return true
 	}
 	return false
@@ -74,11 +84,17 @@ func (sk *Sketch) Embeddings(q *twig.Query) []*Embedding {
 // dedup pass guarantees no synopsis realization is ever counted twice by
 // EstimateQuery even if a future enumeration change introduces overlap.
 func (sk *Sketch) EmbeddingsTruncated(q *twig.Query) ([]*Embedding, bool) {
+	return sk.embeddingsTraced(q, nil)
+}
+
+// embeddingsTraced is EmbeddingsTruncated with an optional recorder
+// receiving expansion, dedup and soft-floor events.
+func (sk *Sketch) embeddingsTraced(q *twig.Query, rec *trace.Recorder) ([]*Embedding, bool) {
 	if q.Root == nil {
 		return nil, false
 	}
 	rootSyn := sk.Syn.NodeOf(sk.Syn.Doc.Root())
-	bud := &embedBudget{left: sk.Cfg.MaxEmbeddings}
+	bud := &embedBudget{left: sk.Cfg.MaxEmbeddings, rec: rec}
 	if bud.left <= 0 {
 		bud.left = 1 << 30
 	}
@@ -110,7 +126,15 @@ func (sk *Sketch) EmbeddingsTruncated(q *twig.Query) ([]*Embedding, bool) {
 			}
 		}
 	}
-	return dedupeEmbeddings(out), bud.truncated
+	deduped := dedupeEmbeddings(out)
+	if rec != nil && len(deduped) < len(out) {
+		rec.Event(trace.Event{
+			Kind:   trace.EventDedup,
+			Detail: "structurally identical embeddings dropped",
+			Count:  len(out) - len(deduped),
+		})
+	}
+	return deduped, bud.truncated
 }
 
 // dedupeEmbeddings drops embeddings whose trees are structurally identical
@@ -259,7 +283,7 @@ func (sk *Sketch) embedPath(ctx graphsyn.NodeID, steps []*pathexpr.Step, bud *em
 	}
 	step := steps[0]
 	var out []chain
-	for _, seq := range sk.expandStep(ctx, step) {
+	for _, seq := range sk.expandStepTraced(ctx, step, bud.rec) {
 		// seq is the node sequence realizing this step (intermediate '//'
 		// nodes followed by the labeled target).
 		head, tail := buildChain(seq)

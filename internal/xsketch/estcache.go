@@ -6,6 +6,7 @@ import (
 
 	"xsketch/internal/graphsyn"
 	"xsketch/internal/pathexpr"
+	"xsketch/internal/trace"
 )
 
 // This file implements the per-sketch estimation cache: memo tables for the
@@ -170,8 +171,15 @@ func (st EstimatorStats) Sub(prev EstimatorStats) EstimatorStats {
 // ctx, memoized per (ctx, axis, label). The cached slices are shared and
 // must not be mutated by callers.
 func (sk *Sketch) expandStep(ctx graphsyn.NodeID, step *pathexpr.Step) [][]graphsyn.NodeID {
+	v, _ := sk.expandStepOutcome(ctx, step)
+	return v
+}
+
+// expandStepOutcome is expandStep plus the estimator-cache outcome
+// (trace.CacheHit / CacheMiss / CacheOff) for trace recording.
+func (sk *Sketch) expandStepOutcome(ctx graphsyn.NodeID, step *pathexpr.Step) ([][]graphsyn.NodeID, string) {
 	if sk.Cfg.DisableEstimatorCache {
-		return sk.expandStepUncached(ctx, step)
+		return sk.expandStepUncached(ctx, step), trace.CacheOff
 	}
 	c := sk.estCache()
 	k := expandKey{ctx: ctx, axis: step.Axis, label: step.Label}
@@ -180,21 +188,28 @@ func (sk *Sketch) expandStep(ctx graphsyn.NodeID, step *pathexpr.Step) [][]graph
 	c.mu.RUnlock()
 	if ok {
 		sk.est.hits.Add(1)
-		return v
+		return v, trace.CacheHit
 	}
 	sk.est.misses.Add(1)
 	v = sk.expandStepUncached(ctx, step)
 	c.mu.Lock()
 	c.expand[k] = v
 	c.mu.Unlock()
-	return v
+	return v, trace.CacheMiss
 }
 
 // estEdgeCount estimates |u -> v| (see estEdgeCountUncached), memoized per
 // edge.
 func (sk *Sketch) estEdgeCount(u, v graphsyn.NodeID) float64 {
+	val, _ := sk.estEdgeCountOutcome(u, v)
+	return val
+}
+
+// estEdgeCountOutcome is estEdgeCount plus the estimator-cache outcome for
+// trace recording.
+func (sk *Sketch) estEdgeCountOutcome(u, v graphsyn.NodeID) (float64, string) {
 	if sk.Cfg.DisableEstimatorCache {
-		return sk.estEdgeCountUncached(u, v)
+		return sk.estEdgeCountUncached(u, v), trace.CacheOff
 	}
 	c := sk.estCache()
 	k := edgeKey{u, v}
@@ -203,14 +218,14 @@ func (sk *Sketch) estEdgeCount(u, v graphsyn.NodeID) float64 {
 	c.mu.RUnlock()
 	if ok {
 		sk.est.hits.Add(1)
-		return val
+		return val, trace.CacheHit
 	}
 	sk.est.misses.Add(1)
 	val = sk.estEdgeCountUncached(u, v)
 	c.mu.Lock()
 	c.edge[k] = val
 	c.mu.Unlock()
-	return val
+	return val, trace.CacheMiss
 }
 
 // maxExistsDepth bounds the existsFraction recursion. The recursion already
@@ -233,14 +248,22 @@ func stepsSig(steps []*pathexpr.Step) string {
 // recursion-depth guard; guarded (non-clean) values are never cached, so
 // cached contents are independent of evaluation order.
 func (sk *Sketch) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step, depth int) (float64, bool) {
+	v, clean, _ := sk.existsFractionOutcome(id, steps, depth)
+	return v, clean
+}
+
+// existsFractionOutcome is existsFraction plus the estimator-cache outcome
+// for trace recording.
+func (sk *Sketch) existsFractionOutcome(id graphsyn.NodeID, steps []*pathexpr.Step, depth int) (float64, bool, string) {
 	if len(steps) == 0 {
-		return 1, true
+		return 1, true, trace.CacheOff
 	}
 	if depth > maxExistsDepth {
-		return 0, false
+		return 0, false, trace.CacheOff
 	}
 	if sk.Cfg.DisableEstimatorCache {
-		return sk.existsFractionUncached(id, steps, depth)
+		v, clean := sk.existsFractionUncached(id, steps, depth)
+		return v, clean, trace.CacheOff
 	}
 	c := sk.estCache()
 	k := existsKey{node: id, steps: stepsSig(steps)}
@@ -249,7 +272,7 @@ func (sk *Sketch) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step, dep
 	c.mu.RUnlock()
 	if ok {
 		sk.est.hits.Add(1)
-		return v, true
+		return v, true, trace.CacheHit
 	}
 	sk.est.misses.Add(1)
 	v, clean := sk.existsFractionUncached(id, steps, depth)
@@ -258,5 +281,5 @@ func (sk *Sketch) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step, dep
 		c.exists[k] = v
 		c.mu.Unlock()
 	}
-	return v, clean
+	return v, clean, trace.CacheMiss
 }

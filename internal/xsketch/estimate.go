@@ -1,10 +1,12 @@
 package xsketch
 
 import (
+	"fmt"
 	"math"
 
 	"xsketch/internal/graphsyn"
 	"xsketch/internal/pathexpr"
+	"xsketch/internal/trace"
 	"xsketch/internal/twig"
 )
 
@@ -41,18 +43,19 @@ func (sk *Sketch) EstimatePath(p *pathexpr.Path) float64 {
 // size of the (virtual) root node times the expected binding tuples per
 // root element.
 func (sk *Sketch) EstimateEmbedding(em *Embedding) float64 {
-	est := newEstimator(sk, em)
-	base := float64(sk.Syn.Node(em.Root.Syn).Count())
-	return base * est.contrib(em.Root, nil, false)
+	return sk.estimateEmbeddingTraced(em, nil)
 }
 
 // estimator carries per-embedding precomputation: condSet lists the scope
 // edges that some embedding node's histogram conditions on as a backward
 // count, so ancestors know when bucket enumeration must carry into the
-// recursion (and when the cheaper factorized form is exact).
+// recursion (and when the cheaper factorized form is exact). rec, when
+// non-nil, receives per-stage latencies during evaluation (the structural
+// trace rides on the *trace.Node threaded through contrib).
 type estimator struct {
 	sk      *Sketch
 	condSet map[ScopeEdge]bool
+	rec     *trace.Recorder
 }
 
 func newEstimator(sk *Sketch, em *Embedding) *estimator {
@@ -94,7 +97,15 @@ type vdUse struct {
 // sub-embedding rooted at n, per element of n's synopsis node, given the
 // ancestor count assignment. skipSelfValue marks that n's value predicate
 // was already consumed by the parent's extended histogram.
-func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool) float64 {
+//
+// tn, when non-nil, is the node's trace skeleton: terms and the scope
+// split are recorded on the first evaluation only (an ancestor's bucket
+// enumeration re-evaluates subtrees once per bucket; Enter counts those).
+// Tracing never changes the arithmetic — every trace write is guarded so
+// the untraced path runs the identical computation with zero extra
+// allocations.
+func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool, tn *trace.Node) float64 {
+	first := tn.Enter()
 	sk := e.sk
 	s := sk.Summaries[n.Syn]
 	var scope []ScopeEdge
@@ -114,7 +125,16 @@ func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool)
 		if idx := valueDimIdx(s, n.Syn); idx >= 0 {
 			uses = append(uses, vdUse{dim: idx, vd: vdims[idx-len(scope)], pred: n.Value, countDim: -1})
 		} else {
-			factor *= e.valueFraction(n)
+			v := e.valueFraction(n)
+			if first {
+				tn.Terms = append(tn.Terms, trace.Term{
+					Kind:       trace.TermValueFraction,
+					Detail:     n.Value.String(),
+					Value:      v,
+					Assumption: trace.AssumptionFI,
+				})
+			}
+			factor *= v
 		}
 	}
 	// Branch predicates: a single-step branch with a value predicate whose
@@ -125,13 +145,23 @@ func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool)
 			uses = append(uses, u)
 			continue
 		}
-		factor *= e.existsFraction(n.Syn, br.Steps)
+		v, outcome := e.existsFraction(n.Syn, br.Steps)
+		if first {
+			tn.Terms = append(tn.Terms, trace.Term{
+				Kind:       trace.TermExistsFraction,
+				Detail:     br.String(),
+				Value:      v,
+				Assumption: trace.AssumptionFI,
+				Cache:      outcome,
+			})
+		}
+		factor *= v
 	}
 	if factor == 0 {
-		return 0
+		return done(tn, first, trace.ModePruned, 0)
 	}
 	if len(n.Children) == 0 && len(uses) == 0 {
-		return factor
+		return done(tn, first, trace.ModeLeaf, factor)
 	}
 
 	// TREEPARSE sets: covered children expand scope dims (E_i), the rest
@@ -174,6 +204,28 @@ func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool)
 		}
 	}
 
+	// First traced evaluation: record the TREEPARSE scope split (E/U/D)
+	// and build the child trace skeletons, covered children first, so that
+	// re-evaluations under later buckets find them by index.
+	var childTNs []*trace.Node
+	if tn != nil {
+		if first {
+			for _, cc := range covered {
+				tn.Expanded = append(tn.Expanded, trace.Edge{From: int(n.Syn), To: int(cc.child.Syn)})
+				tn.Children = append(tn.Children, e.newTraceNode(cc.child))
+			}
+			for _, c := range uncovered {
+				tn.Uniform = append(tn.Uniform, int(c.Syn))
+				tn.Children = append(tn.Children, e.newTraceNode(c))
+			}
+			for i, d := range dDims {
+				se := scope[d]
+				tn.Assigned = append(tn.Assigned, trace.Assigned{From: int(se.From), To: int(se.To), Count: dVals[i]})
+			}
+		}
+		childTNs = tn.Children
+	}
+
 	// Uncovered children: Forward Uniformity for the count multiplier, and
 	// Forward Independence to separate them from the covered expansion.
 	// Their recursion still sees the ancestor assignment, so when one of
@@ -190,10 +242,20 @@ func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool)
 
 	uncMult := 1.0
 	for _, c := range uncovered {
-		uncMult *= e.avgCount(n.Syn, c.Syn)
+		v, outcome := e.avgCount(n.Syn, c.Syn)
+		if first {
+			tn.Terms = append(tn.Terms, trace.Term{
+				Kind:       trace.TermAvgCount,
+				Detail:     fmt.Sprintf("%d->%d", n.Syn, c.Syn),
+				Value:      v,
+				Assumption: trace.AssumptionFU,
+				Cache:      outcome,
+			})
+		}
+		uncMult *= v
 	}
 	if uncMult == 0 {
-		return 0
+		return done(tn, first, trace.ModePruned, 0)
 	}
 
 	if !needEnum {
@@ -206,20 +268,30 @@ func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool)
 				eDims[i] = cc.dim
 			}
 			if s == nil || s.Hist == nil {
-				return 0
+				return done(tn, first, trace.ModePruned, 0)
 			}
+			e.rec.BeginStage(trace.StageHistogramLookup)
 			part = s.Hist.CondSumProduct(eDims, dDims, dVals)
-		}
-		for _, cc := range covered {
-			part *= e.contrib(cc.child, assigned, cc.skip)
-			if part == 0 {
-				return 0
+			e.rec.EndStage(trace.StageHistogramLookup)
+			if first {
+				tn.Terms = append(tn.Terms, trace.Term{
+					Kind:       trace.TermCondSumProduct,
+					Detail:     fmt.Sprintf("%d expanded dim(s) | %d assigned", len(eDims), len(dDims)),
+					Value:      part,
+					Assumption: trace.AssumptionCSI,
+				})
 			}
 		}
-		for _, c := range uncovered {
-			uncMult *= e.contrib(c, assigned, uncoveredSkip[c])
+		for i, cc := range covered {
+			part *= e.contrib(cc.child, assigned, cc.skip, tnChild(childTNs, i))
+			if part == 0 {
+				return done(tn, first, trace.ModeFactorized, 0)
+			}
 		}
-		return factor * uncMult * part
+		for j, c := range uncovered {
+			uncMult *= e.contrib(c, assigned, uncoveredSkip[c], tnChild(childTNs, len(covered)+j))
+		}
+		return done(tn, first, trace.ModeFactorized, factor*uncMult*part)
 	}
 
 	// Enumerated form: iterate bucket choices of this node's histogram,
@@ -227,11 +299,17 @@ func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool)
 	// assignment with the expanded dims for descendants that condition on
 	// them.
 	if s == nil || s.Hist == nil {
-		return 0
+		return done(tn, first, trace.ModePruned, 0)
 	}
+	e.rec.BeginStage(trace.StageHistogramLookup)
 	buckets, denom := s.Hist.Match(dDims, dVals)
+	e.rec.EndStage(trace.StageHistogramLookup)
+	if first {
+		tn.Buckets = len(buckets)
+		tn.Denominator = denom
+	}
 	if denom == 0 {
-		return 0
+		return done(tn, first, trace.ModePruned, 0)
 	}
 	ext := make(assignment, len(assigned)+len(covered))
 	for k, v := range assigned {
@@ -264,15 +342,15 @@ func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool)
 		for _, cc := range covered {
 			ext[scope[cc.dim]] = b.Centroid[cc.dim]
 		}
-		for _, cc := range covered {
-			w *= e.contrib(cc.child, ext, cc.skip)
+		for i, cc := range covered {
+			w *= e.contrib(cc.child, ext, cc.skip, tnChild(childTNs, i))
 			if w == 0 {
 				break
 			}
 		}
 		if w != 0 {
-			for _, c := range uncovered {
-				w *= e.contrib(c, ext, uncoveredSkip[c])
+			for j, c := range uncovered {
+				w *= e.contrib(c, ext, uncoveredSkip[c], tnChild(childTNs, len(covered)+j))
 				if w == 0 {
 					break
 				}
@@ -283,7 +361,15 @@ func (e *estimator) contrib(n *EmbNode, assigned assignment, skipSelfValue bool)
 			delete(ext, scope[cc.dim])
 		}
 	}
-	return factor * uncMult * total
+	if first {
+		tn.Terms = append(tn.Terms, trace.Term{
+			Kind:       trace.TermBucketSum,
+			Detail:     fmt.Sprintf("%d bucket(s), %d value-dim use(s)", len(buckets), len(uses)),
+			Value:      total,
+			Assumption: trace.AssumptionCSI,
+		})
+	}
+	return done(tn, first, trace.ModeEnumerated, factor*uncMult*total)
 }
 
 // valueDimIdx returns the histogram dimension index of the value dim with
@@ -336,15 +422,17 @@ func (e *estimator) valueFraction(n *EmbNode) float64 {
 	return e.sk.valueFraction(n.Syn, n.Value)
 }
 
-// existsFraction delegates to the memoized sketch-level form.
-func (e *estimator) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step) float64 {
-	v, _ := e.sk.existsFraction(id, steps, 0)
-	return v
+// existsFraction delegates to the memoized sketch-level form, returning
+// the estimator-cache outcome alongside the value for trace terms.
+func (e *estimator) existsFraction(id graphsyn.NodeID, steps []*pathexpr.Step) (float64, string) {
+	v, _, outcome := e.sk.existsFractionOutcome(id, steps, 0)
+	return v, outcome
 }
 
-// avgCount delegates to the sketch-level form.
-func (e *estimator) avgCount(u, v graphsyn.NodeID) float64 {
-	return e.sk.avgCount(u, v)
+// avgCount delegates to the sketch-level form, returning the
+// estimator-cache outcome alongside the value for trace terms.
+func (e *estimator) avgCount(u, v graphsyn.NodeID) (float64, string) {
+	return e.sk.avgCountOutcome(u, v)
 }
 
 // valueFraction estimates the fraction of the synopsis node's elements
@@ -433,11 +521,19 @@ func (sk *Sketch) existsFractionUncached(id graphsyn.NodeID, steps []*pathexpr.S
 // parent nodes proportionally to their extent sizes (the single-path
 // XSKETCH estimate for unstable edges).
 func (sk *Sketch) avgCount(u, v graphsyn.NodeID) float64 {
+	c, _ := sk.avgCountOutcome(u, v)
+	return c
+}
+
+// avgCountOutcome is avgCount plus the estimator-cache outcome of the
+// underlying edge-count lookup, for trace terms.
+func (sk *Sketch) avgCountOutcome(u, v graphsyn.NodeID) (float64, string) {
 	cu := float64(sk.Syn.Node(u).Count())
 	if cu == 0 {
-		return 0
+		return 0, trace.CacheOff
 	}
-	return sk.estEdgeCount(u, v) / cu
+	cnt, outcome := sk.estEdgeCountOutcome(u, v)
+	return cnt / cu, outcome
 }
 
 // estEdgeCountUncached estimates |u -> v|: the number of elements of v

@@ -1,126 +1,30 @@
 package xsketch
 
 import (
-	"fmt"
-	"io"
-	"strings"
+	"context"
 
+	"xsketch/internal/trace"
 	"xsketch/internal/twig"
 )
 
-// Explanation decomposes an EstimateQuery result for inspection: one entry
-// per embedding, each with its estimate and a rendered tree showing the
-// TREEPARSE decision at every node (which children were covered by the
-// histogram scope, which fell to Forward Uniformity, and which predicates
-// were consumed by value dimensions).
-type Explanation struct {
-	// Total is the query estimate (the sum over embeddings).
-	Total float64
-	// Embeddings lists the per-embedding breakdowns, in enumeration order.
-	Embeddings []EmbeddingExplanation
-}
+// Explanation is the structured trace of one query estimate (the v2
+// explain format): per-embedding TREEPARSE trees with E/U/D scope splits,
+// every numeric factor with the assumption that justified it, expansion
+// and dedup events, and estimator-cache outcomes. It renders as stable
+// JSON (WriteJSON / MarshalIndent) or indented text (WriteText); see
+// internal/trace for the model.
+type Explanation = trace.Trace
 
-// EmbeddingExplanation is the breakdown for one embedding.
-type EmbeddingExplanation struct {
-	Estimate float64
-	// Tree is a human-readable rendering of the embedding with per-node
-	// annotations.
-	Tree string
-}
-
-// ExplainQuery estimates a query and returns the per-embedding breakdown.
+// ExplainQuery estimates a query with tracing enabled and returns the
+// structured explanation. The traced estimate is bit-identical to
+// EstimateQuery; note the recorded cache outcomes depend on the sketch's
+// estimator-cache state at call time (a repeated call sees hits where the
+// first saw misses), so byte-stable output requires a fresh sketch or a
+// disabled cache.
 func (sk *Sketch) ExplainQuery(q *twig.Query) *Explanation {
-	ex := &Explanation{}
-	for _, em := range sk.Embeddings(q) {
-		est := sk.EstimateEmbedding(em)
-		ex.Total += est
-		ex.Embeddings = append(ex.Embeddings, EmbeddingExplanation{
-			Estimate: est,
-			Tree:     sk.renderEmbedding(em),
-		})
-	}
-	return ex
-}
-
-// WriteTo renders the explanation as indented text.
-func (ex *Explanation) WriteTo(w io.Writer) (int64, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "estimate %.4f over %d embedding(s)\n", ex.Total, len(ex.Embeddings))
-	for i, e := range ex.Embeddings {
-		fmt.Fprintf(&b, "embedding %d: %.4f\n%s", i+1, e.Estimate, e.Tree)
-	}
-	n, err := io.WriteString(w, b.String())
-	return int64(n), err
-}
-
-// String renders the explanation.
-func (ex *Explanation) String() string {
-	var b strings.Builder
-	ex.WriteTo(&b)
-	return b.String()
-}
-
-// renderEmbedding draws the embedding tree with per-node TREEPARSE
-// annotations.
-func (sk *Sketch) renderEmbedding(em *Embedding) string {
-	var b strings.Builder
-	var rec func(n *EmbNode, depth int)
-	rec = func(n *EmbNode, depth int) {
-		d := sk.Syn.Doc
-		indent := strings.Repeat("  ", depth)
-		tag := d.Tag(sk.Syn.Node(n.Syn).Tag)
-		fmt.Fprintf(&b, "%s%s (node %d, |%d|)", indent, tag, n.Syn, sk.Syn.Node(n.Syn).Count())
-
-		s := sk.Summaries[n.Syn]
-		var scope []ScopeEdge
-		if s != nil && s.Hist != nil {
-			scope = s.Scope
-		}
-		var notes []string
-		if n.Value != nil {
-			how := "value-hist"
-			if valueDimIdx(s, n.Syn) >= 0 {
-				how = "H^v self dim"
-			}
-			notes = append(notes, fmt.Sprintf("value %s via %s", n.Value, how))
-		}
-		for _, br := range n.Branches {
-			notes = append(notes, fmt.Sprintf("branch [%s]", br))
-		}
-		covered, uncovered := 0, 0
-		for _, c := range n.Children {
-			if scopeIndex(scope, ScopeEdge{From: n.Syn, To: c.Syn}) >= 0 {
-				covered++
-			} else {
-				uncovered++
-			}
-		}
-		if covered > 0 {
-			notes = append(notes, fmt.Sprintf("%d child(ren) covered (E)", covered))
-		}
-		if uncovered > 0 {
-			notes = append(notes, fmt.Sprintf("%d child(ren) uniform (U)", uncovered))
-		}
-		if s != nil {
-			for _, se := range s.Scope {
-				if se.From != n.Syn {
-					notes = append(notes, fmt.Sprintf("backward count %d->%d (D)", se.From, se.To))
-				}
-			}
-			if len(s.ValueDims) > 0 {
-				notes = append(notes, fmt.Sprintf("%d value dim(s)", len(s.ValueDims)))
-			}
-		}
-		if len(notes) > 0 {
-			fmt.Fprintf(&b, "  [%s]", strings.Join(notes, "; "))
-		}
-		b.WriteByte('\n')
-		for _, c := range n.Children {
-			rec(c, depth+1)
-		}
-	}
-	for _, c := range em.Root.Children {
-		rec(c, 1)
-	}
-	return b.String()
+	rec := trace.NewRecorder(trace.Options{})
+	// The background context never cancels, so the error is structurally
+	// impossible here.
+	_, _ = sk.EstimateQueryTraced(context.Background(), q, rec)
+	return rec.Trace()
 }

@@ -141,18 +141,25 @@ func TestExplainQuery(t *testing.T) {
 	sum := 0.0
 	for _, e := range ex.Embeddings {
 		sum += e.Estimate
-		if e.Tree == "" {
-			t.Fatal("empty tree rendering")
+		if e.Root == nil {
+			t.Fatal("embedding trace has no TREEPARSE root")
+		}
+		if e.Signature == "" {
+			t.Fatal("embedding trace has no signature")
 		}
 	}
-	if sum != ex.Total {
-		t.Fatalf("total %v != sum %v", ex.Total, sum)
+	if sum != ex.Estimate {
+		t.Fatalf("total %v != sum %v", ex.Estimate, sum)
 	}
-	if ex.Total != sk.EstimateQuery(q) {
-		t.Fatalf("explain total %v != estimate %v", ex.Total, sk.EstimateQuery(q))
+	if ex.Estimate != sk.EstimateQuery(q) {
+		t.Fatalf("explain total %v != estimate %v", ex.Estimate, sk.EstimateQuery(q))
 	}
-	out := ex.String()
-	for _, want := range []string{"embedding 1", "author", "covered (E)", "uniform (U)"} {
+	var buf bytes.Buffer
+	if err := ex.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"embedding 1", "author", "covered (E)", "uniform (U)", "event expand"} {
 		if !bytes.Contains([]byte(out), []byte(want)) {
 			t.Fatalf("explanation missing %q:\n%s", want, out)
 		}
