@@ -27,6 +27,7 @@ import (
 	"xsketch/internal/eval"
 	"xsketch/internal/graphsyn"
 	"xsketch/internal/pathexpr"
+	"xsketch/internal/plan"
 	"xsketch/internal/serve"
 	"xsketch/internal/trace"
 	"xsketch/internal/twig"
@@ -227,6 +228,24 @@ func NewTraceRecorder(opts TraceOptions) *TraceRecorder { return trace.NewRecord
 // Explain runs a traced estimation of the query and returns its
 // structured explanation (equivalent to Sketch.ExplainQuery).
 func Explain(sk *Sketch, q *Query) *Explanation { return sk.ExplainQuery(q) }
+
+// Compiled query plans: the plan-once/execute-many estimation path (see
+// DESIGN.md §11). Plans come from Sketch.PlanQuery / PlanQueryText, are
+// cached per sketch in a generation-checked LRU, and execute bit-identical
+// to EstimateQuery with zero steady-state allocations on cache hits
+// (Sketch.EstimateQueryPlanned, Sketch.EstimateBatchPlanned).
+type (
+	// Plan is a compiled, executable form of one twig query against one
+	// sketch state, safe for concurrent execution.
+	Plan = plan.Program
+	// PlanCacheStats reports a sketch's compiled-plan cache counters
+	// (Sketch.PlanCacheStats).
+	PlanCacheStats = plan.Stats
+)
+
+// DefaultPlanCacheSize is the per-sketch compiled-plan LRU capacity when
+// SketchConfig.PlanCacheSize is zero (negative disables plan caching).
+const DefaultPlanCacheSize = core.DefaultPlanCacheSize
 
 // Serving types: the networked estimation service behind cmd/xserve (see
 // SERVING.md for endpoints and metrics).

@@ -34,6 +34,7 @@ func main() {
 		synopsis = flag.String("synopsis", "", "load a persisted synopsis (from xbuild -o) instead of building one")
 		explain  = flag.Bool("explain", false, "print the structured estimation trace")
 		format   = flag.String("format", "text", "explain output format: json or text")
+		plan     = flag.Bool("plan", false, "estimate through the compiled-plan path and print the plan summary")
 	)
 	flag.Parse()
 
@@ -91,6 +92,11 @@ func main() {
 			os.Exit(1)
 		}
 		est = ex.Estimate
+	} else if *plan {
+		p := sk.PlanQuery(q)
+		res := sk.EstimatePlan(p)
+		est = res.Estimate
+		fmt.Printf("plan:      %s\n", p)
 	} else {
 		est = sk.EstimateQuery(q)
 	}

@@ -34,6 +34,10 @@ type Options struct {
 	// Workers is the estimation worker count used when scoring workloads
 	// on a synopsis (Sketch.EstimateBatch); <= 0 selects GOMAXPROCS.
 	Workers int
+	// Planned scores workloads through the compiled-plan cache
+	// (Sketch.EstimateBatchPlanned) instead of the interpreter. Results
+	// are bit-identical; repeated-shape workloads run faster.
+	Planned bool
 }
 
 // DefaultOptions returns a laptop-scale configuration: ~5k-element
@@ -205,17 +209,17 @@ func (o Options) sweepSketch(doc *xmltree.Document, w *workload.Workload, mutate
 		sk := b.Sketch()
 		points = append(points, SweepPoint{
 			SizeKB:   float64(sk.SizeBytes()) / 1024,
-			AvgError: scoreXSketch(sk, w, 0, o.Workers),
+			AvgError: scoreXSketch(sk, w, 0, o),
 		})
 	}
 	return points
 }
 
 // scoreXSketch evaluates the workload on the sketch's concurrent batch
-// path (workers <= 0 selects GOMAXPROCS); estimates are bit-identical to
-// the sequential path for any worker count.
-func scoreXSketch(sk *xsketch.Sketch, w *workload.Workload, outlierCap float64, workers int) float64 {
-	ests := estimateWorkload(sk, w, workers)
+// path (o.Workers <= 0 selects GOMAXPROCS); estimates are bit-identical to
+// the sequential path for any worker count, planned or interpreted.
+func scoreXSketch(sk *xsketch.Sketch, w *workload.Workload, outlierCap float64, o Options) float64 {
+	ests := estimateWorkload(sk, w, o)
 	results := make([]metrics.Result, len(w.Queries))
 	for i, q := range w.Queries {
 		results[i] = metrics.Result{Truth: q.Truth, Estimate: ests[i].Estimate}
@@ -223,13 +227,17 @@ func scoreXSketch(sk *xsketch.Sketch, w *workload.Workload, outlierCap float64, 
 	return metrics.Evaluate(results, outlierCap).AvgError
 }
 
-// estimateWorkload runs a workload's queries through Sketch.EstimateBatch.
-func estimateWorkload(sk *xsketch.Sketch, w *workload.Workload, workers int) []xsketch.EstimateResult {
+// estimateWorkload runs a workload's queries through the sketch's batch
+// path — compiled plans when o.Planned is set, the interpreter otherwise.
+func estimateWorkload(sk *xsketch.Sketch, w *workload.Workload, o Options) []xsketch.EstimateResult {
 	qs := make([]*twig.Query, len(w.Queries))
 	for i, q := range w.Queries {
 		qs[i] = q.Twig
 	}
-	return sk.EstimateBatch(qs, workers)
+	if o.Planned {
+		return sk.EstimateBatchPlanned(qs, o.Workers)
+	}
+	return sk.EstimateBatch(qs, o.Workers)
 }
 
 func scoreCST(c *cst.CST, w *workload.Workload, outlierCap float64) float64 {
@@ -293,7 +301,7 @@ func Figure9c(o Options) []RatioSeries {
 			if c.SizeBytes() > size {
 				c.Prune(size)
 			}
-			errX := scoreXSketch(sk, w, 0, o.Workers)
+			errX := scoreXSketch(sk, w, 0, o)
 			errC := scoreCST(c, w, o.OutlierCap)
 			floor := 0.001
 			den := errX

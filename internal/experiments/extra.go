@@ -120,8 +120,8 @@ func SinglePathComparison(o Options) []SinglePathRow {
 		rows = append(rows, SinglePathRow{
 			Dataset:       ds.name,
 			SizeKB:        float64(twigSk.SizeBytes()) / 1024,
-			TwigErr:       scoreXSketch(twigSk, paths, 0, o.Workers),
-			StructuralErr: scoreXSketch(structSk, paths, 0, o.Workers),
+			TwigErr:       scoreXSketch(twigSk, paths, 0, o),
+			StructuralErr: scoreXSketch(structSk, paths, 0, o),
 		})
 	}
 	return rows
@@ -163,7 +163,7 @@ func AblationRefinementPolicy(o Options) []AblationRow {
 						v.mutate(b)
 					}
 				})
-				errSum += scoreXSketch(sk, w, 0, o.Workers)
+				errSum += scoreXSketch(sk, w, 0, o)
 				sizeSum += float64(sk.SizeBytes())
 			}
 			rows = append(rows, AblationRow{
@@ -187,8 +187,8 @@ func AblationBackwardCounts(o Options) []AblationRow {
 		forward := o.buildAt(ds, 3, nil)
 		backward := o.buildAt(ds, 3, func(b *build.Options) { b.EnableBackwardExpand = true })
 		rows = append(rows,
-			AblationRow{ds.name, "forward-only", float64(forward.SizeBytes()) / 1024, scoreXSketch(forward, w, 0, o.Workers)},
-			AblationRow{ds.name, "with-backward", float64(backward.SizeBytes()) / 1024, scoreXSketch(backward, w, 0, o.Workers)},
+			AblationRow{ds.name, "forward-only", float64(forward.SizeBytes()) / 1024, scoreXSketch(forward, w, 0, o)},
+			AblationRow{ds.name, "with-backward", float64(backward.SizeBytes()) / 1024, scoreXSketch(backward, w, 0, o)},
 		)
 	}
 	return rows
@@ -239,9 +239,9 @@ func AblationValueExpand(o Options) []AblationRow {
 		bumpMovie(joint, 64)
 
 		rows = append(rows,
-			AblationRow{ds.name, "independent-values", float64(plain.SizeBytes()) / 1024, scoreXSketch(plain, w, 0, o.Workers)},
-			AblationRow{ds.name, "independent+64-buckets", float64(control.SizeBytes()) / 1024, scoreXSketch(control, w, 0, o.Workers)},
-			AblationRow{ds.name, "joint-type+64-buckets", float64(joint.SizeBytes()) / 1024, scoreXSketch(joint, w, 0, o.Workers)},
+			AblationRow{ds.name, "independent-values", float64(plain.SizeBytes()) / 1024, scoreXSketch(plain, w, 0, o)},
+			AblationRow{ds.name, "independent+64-buckets", float64(control.SizeBytes()) / 1024, scoreXSketch(control, w, 0, o)},
+			AblationRow{ds.name, "joint-type+64-buckets", float64(joint.SizeBytes()) / 1024, scoreXSketch(joint, w, 0, o)},
 		)
 	}
 	return rows
@@ -259,8 +259,8 @@ func AblationReferenceScoring(o Options) []AblationRow {
 		exact := o.buildAt(ds, 3, nil)
 		ref := o.buildAt(ds, 3, func(b *build.Options) { b.ReferenceScoring = true })
 		rows = append(rows,
-			AblationRow{ds.name, "exact-scored", float64(exact.SizeBytes()) / 1024, scoreXSketch(exact, w, 0, o.Workers)},
-			AblationRow{ds.name, "reference-scored", float64(ref.SizeBytes()) / 1024, scoreXSketch(ref, w, 0, o.Workers)},
+			AblationRow{ds.name, "exact-scored", float64(exact.SizeBytes()) / 1024, scoreXSketch(exact, w, 0, o)},
+			AblationRow{ds.name, "reference-scored", float64(ref.SizeBytes()) / 1024, scoreXSketch(ref, w, 0, o)},
 		)
 	}
 	return rows
@@ -288,7 +288,7 @@ func AblationEdgeCounts(o Options) []AblationRow {
 				Dataset: ds.name,
 				Variant: variant,
 				SizeKB:  float64(sk.SizeBytes()) / 1024,
-				Error:   scoreXSketch(sk, w, 0, o.Workers),
+				Error:   scoreXSketch(sk, w, 0, o),
 			})
 		}
 	}
@@ -317,7 +317,7 @@ func AblationValueSummary(o Options) []AblationRow {
 				Dataset: ds.name,
 				Variant: variant,
 				SizeKB:  float64(sk.SizeBytes()) / 1024,
-				Error:   scoreXSketch(sk, w, 0, o.Workers),
+				Error:   scoreXSketch(sk, w, 0, o),
 			})
 		}
 	}
@@ -359,7 +359,7 @@ func AblationBucketBudget(o Options) []AblationRow {
 				Dataset: ds.name,
 				Variant: fmt.Sprintf("buckets-%d", buckets),
 				SizeKB:  float64(sk.SizeBytes()) / 1024,
-				Error:   scoreXSketch(sk, w, 0, o.Workers),
+				Error:   scoreXSketch(sk, w, 0, o),
 			})
 		}
 	}

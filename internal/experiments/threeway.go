@@ -57,7 +57,7 @@ func ThreeWay(o Options) []ThreeWayRow {
 		}
 
 		var xres, cres, sres []result
-		xests := estimateWorkload(sk, w, o.Workers)
+		xests := estimateWorkload(sk, w, o)
 		for i, q := range w.Queries {
 			xres = append(xres, result{q.Truth, xests[i].Estimate})
 			cres = append(cres, result{q.Truth, c.EstimateQuery(q.Twig)})

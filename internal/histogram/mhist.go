@@ -265,11 +265,22 @@ func (h *Histogram) Mean(j int) float64 { return h.SumProduct([]int{j}) }
 // available approximation of the conditional slice. An empty condDims
 // matches every bucket.
 func (h *Histogram) Match(condDims []int, condVals []float64) ([]Bucket, float64) {
+	return h.MatchInto(nil, condDims, condVals)
+}
+
+// MatchInto is Match with a caller-provided scratch buffer: matching
+// buckets are appended to buf (re-sliced to length zero first), so a
+// steady-state caller reuses one grown buffer across lookups instead of
+// allocating per call. When condDims is empty the histogram's own bucket
+// slice is returned directly and buf is untouched. The result must be
+// treated as read-only in both cases. Match delegates here, so the two
+// forms select bit-identical bucket sets by construction.
+func (h *Histogram) MatchInto(buf []Bucket, condDims []int, condVals []float64) ([]Bucket, float64) {
 	if len(condDims) == 0 {
 		return h.buckets, h.TotalFreq()
 	}
 	const eps = 1e-9
-	var out []Bucket
+	out := buf[:0]
 	freq := 0.0
 	for _, b := range h.buckets {
 		ok := true
@@ -314,9 +325,25 @@ func (h *Histogram) Match(condDims []int, condVals []float64) ([]Bucket, float64
 // multiplier of the paper's Correlation Scope Independence assumption,
 // computed directly from the histogram's joint buckets.
 func (h *Histogram) CondSumProduct(eDims, condDims []int, condVals []float64) float64 {
-	matched, denom := h.Match(condDims, condVals)
+	v, _ := h.CondSumProductInto(nil, eDims, condDims, condVals)
+	return v
+}
+
+// CondSumProductInto is CondSumProduct with a caller-provided match
+// buffer (see MatchInto). It returns the conditional sum-product together
+// with the possibly grown buffer, which the caller stores for the next
+// lookup; CondSumProduct delegates here so both forms compute bit-identical
+// values.
+func (h *Histogram) CondSumProductInto(buf []Bucket, eDims, condDims []int, condVals []float64) (float64, []Bucket) {
+	matched, denom := h.MatchInto(buf, condDims, condVals)
+	if len(condDims) != 0 {
+		// matched aliases buf's (possibly reallocated) array; an empty
+		// condDims returns the histogram's own buckets, which must not
+		// replace the caller's scratch.
+		buf = matched
+	}
 	if denom == 0 {
-		return 0
+		return 0, buf
 	}
 	total := 0.0
 	for _, b := range matched {
@@ -326,5 +353,5 @@ func (h *Histogram) CondSumProduct(eDims, condDims []int, condVals []float64) fl
 		}
 		total += w
 	}
-	return total / denom
+	return total / denom, buf
 }

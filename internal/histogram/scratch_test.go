@@ -1,0 +1,106 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+)
+
+// scratchTestHist builds a small 2-dim histogram with duplicate coordinates
+// so that conditional matches select strict subsets and the nearest-match
+// fallback is reachable.
+func scratchTestHist() *Histogram {
+	return FromBuckets(2, []Bucket{
+		{Centroid: []float64{1, 2}, Freq: 0.25},
+		{Centroid: []float64{1, 3}, Freq: 0.25},
+		{Centroid: []float64{2, 2}, Freq: 0.30},
+		{Centroid: []float64{3, 5}, Freq: 0.20},
+	})
+}
+
+// TestMatchIntoEquivalence asserts MatchInto selects bit-identical bucket
+// sets and denominators to Match for exact matches, the nearest-match
+// fallback, and the empty condition.
+func TestMatchIntoEquivalence(t *testing.T) {
+	h := scratchTestHist()
+	cases := []struct {
+		dims []int
+		vals []float64
+	}{
+		{nil, nil},
+		{[]int{0}, []float64{1}},
+		{[]int{0}, []float64{2}},
+		{[]int{0, 1}, []float64{1, 3}},
+		{[]int{0}, []float64{7}},    // nearest fallback, single winner
+		{[]int{1}, []float64{2.5}},  // nearest fallback, tie
+		{[]int{0}, []float64{-1.5}}, // nearest fallback below range
+	}
+	var buf []Bucket
+	for _, c := range cases {
+		want, wantFreq := h.Match(c.dims, c.vals)
+		var got []Bucket
+		var gotFreq float64
+		got, gotFreq = h.MatchInto(buf, c.dims, c.vals)
+		if len(c.dims) != 0 {
+			buf = got
+		}
+		if math.Float64bits(gotFreq) != math.Float64bits(wantFreq) {
+			t.Fatalf("cond %v=%v: freq %v != %v", c.dims, c.vals, gotFreq, wantFreq)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cond %v=%v: %d buckets != %d", c.dims, c.vals, len(got), len(want))
+		}
+		for i := range got {
+			if math.Float64bits(got[i].Freq) != math.Float64bits(want[i].Freq) {
+				t.Fatalf("cond %v=%v: bucket %d freq differs", c.dims, c.vals, i)
+			}
+			for j := range got[i].Centroid {
+				if math.Float64bits(got[i].Centroid[j]) != math.Float64bits(want[i].Centroid[j]) {
+					t.Fatalf("cond %v=%v: bucket %d coord %d differs", c.dims, c.vals, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCondSumProductIntoEquivalence asserts the scratch form computes
+// bit-identical values to CondSumProduct and that a warmed buffer makes the
+// lookup allocation-free.
+func TestCondSumProductIntoEquivalence(t *testing.T) {
+	h := scratchTestHist()
+	cases := []struct {
+		eDims []int
+		dims  []int
+		vals  []float64
+	}{
+		{[]int{1}, nil, nil},
+		{[]int{0}, []int{1}, []float64{2}},
+		{[]int{0, 1}, []int{0}, []float64{1}},
+		{[]int{1}, []int{0}, []float64{9}}, // fallback path
+	}
+	var buf []Bucket
+	for _, c := range cases {
+		want := h.CondSumProduct(c.eDims, c.dims, c.vals)
+		var got float64
+		got, buf = h.CondSumProductInto(buf, c.eDims, c.dims, c.vals)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("eDims %v cond %v=%v: %v != %v", c.eDims, c.dims, c.vals, got, want)
+		}
+	}
+
+	// Steady state: a buffer grown once is reused without allocating.
+	allocs := testing.AllocsPerRun(100, func() {
+		_, buf = h.CondSumProductInto(buf, []int{0}, []int{1}, []float64{2})
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed CondSumProductInto allocates %v/op", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		got, _ := h.MatchInto(buf[:0], []int{0}, []float64{7})
+		if len(got) == 0 {
+			t.Fatal("no buckets matched")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed MatchInto allocates %v/op", allocs)
+	}
+}

@@ -1,0 +1,305 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"xsketch/internal/histogram"
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/twig"
+)
+
+// Mode classifies how a compiled node is executed. The compiler resolves
+// the interpreter's runtime branching (pruned? leaf? does any descendant
+// condition on this node's expanded dimensions?) once per plan, so the
+// executor switches on a stored tag instead.
+type Mode uint8
+
+const (
+	// ModeZero marks a node whose contribution is constant zero: a pruned
+	// predicate factor, a zero Forward-Uniformity count product, or a
+	// missing histogram where one is required.
+	ModeZero Mode = iota
+	// ModeLeaf marks a childless node without value-dimension uses; its
+	// contribution is the constant predicate factor.
+	ModeLeaf
+	// ModeFactorized marks a node evaluated in the factorized form: one
+	// conditional sum-product over the histogram times the children's own
+	// contributions (no descendant conditions on this node's dimensions).
+	ModeFactorized
+	// ModeEnumerated marks a node that enumerates its histogram buckets,
+	// binding expanded dimensions to slots for conditioned descendants and
+	// applying value-dimension overlaps per bucket.
+	ModeEnumerated
+)
+
+// Overlapper computes the fraction of a histogram bucket's value-dimension
+// mass satisfying a predicate. It is implemented by xsketch.ValueDim; the
+// indirection keeps this package below internal/xsketch.
+type Overlapper interface {
+	Overlap(coord float64, pred *pathexpr.ValuePred) float64
+}
+
+// Use is one value-dimension consumption at a node: a predicate whose
+// selectivity is read off the extended histogram's value coordinate per
+// enumerated bucket. CountDim, when >= 0, marks a branch-existence use
+// whose per-bucket probability is min(1, count * overlap) over the branch
+// edge's count dimension.
+type Use struct {
+	// Dim is the histogram dimension carrying the value coordinate.
+	Dim int
+	// Overlap evaluates the predicate against a bucket's value coordinate.
+	Overlap Overlapper
+	// Pred is the value predicate being consumed.
+	Pred *pathexpr.ValuePred
+	// CountDim is the count dimension of the branch edge, or -1 for a
+	// plain (self or child) value predicate.
+	CountDim int
+}
+
+// Node is one compiled embedding node. All fields are fixed at compile
+// time; execution reads them together with the pooled Scratch.
+type Node struct {
+	// Syn is the underlying synopsis node (diagnostics only).
+	Syn int
+	// Index is the node's dense index within the Program, addressing its
+	// per-node scratch (histogram match buffer).
+	Index int
+	// Mode selects the execution form.
+	Mode Mode
+	// Factor is the constant predicate factor: the product of the node's
+	// independent value fraction and branch existence fractions, exactly
+	// as the interpreter accumulates it.
+	Factor float64
+	// UncBase is the constant Forward-Uniformity product of average child
+	// counts over the uncovered children.
+	UncBase float64
+	// Hist is the node's edge histogram (shared with the sketch summary;
+	// histograms are immutable, and any rebuild that replaces them also
+	// advances the sketch generation, retiring this plan).
+	Hist *histogram.Histogram
+	// CovDims lists the expanded (covered-child) histogram dimensions in
+	// child order; it doubles as the sum-product dimension list in the
+	// factorized form.
+	CovDims []int
+	// CovSlots, parallel to CovDims, gives the slot each expanded
+	// dimension binds under bucket enumeration (ModeEnumerated only).
+	CovSlots []int
+	// DDims lists the histogram dimensions assigned by enumerating
+	// ancestors (the TREEPARSE D_i set), in scope order.
+	DDims []int
+	// DSlots, parallel to DDims, gives the slot holding each assigned
+	// value.
+	DSlots []int
+	// DOff is the node's offset into the scratch conditioning-value arena.
+	DOff int
+	// Uses are the node's value-dimension consumptions, in the
+	// interpreter's evaluation order (self, branches, then children).
+	Uses []Use
+	// Covered are the compiled covered children, in child order.
+	Covered []*Node
+	// Uncovered are the compiled uncovered children, in child order.
+	Uncovered []*Node
+}
+
+// Emb is one compiled embedding: the extent size of the virtual root times
+// the root node's per-element contribution.
+type Emb struct {
+	// Base is the extent size of the embedding's root synopsis node.
+	Base float64
+	// Root is the compiled virtual-root node.
+	Root *Node
+}
+
+// Tag is one interned query tag: a step label resolved to its document tag
+// ID at compile time.
+type Tag struct {
+	// Label is the tag's query spelling.
+	Label string
+	// ID is the document's tag identifier, or -1 when the label does not
+	// occur in the document (such steps expand to nothing).
+	ID int
+}
+
+// Program is a compiled, executable form of one twig query against one
+// sketch state. Programs are immutable after Finalize and safe for
+// concurrent execution; all mutable state lives in pooled Scratch values.
+type Program struct {
+	// Canonical is the query's canonical rendering (twig.Query.String),
+	// the primary plan-cache key.
+	Canonical string
+	// Query is the parsed twig the program was compiled from, kept so a
+	// stale program can be recompiled without reparsing.
+	Query *twig.Query
+	// Generation is the sketch mutation epoch the program was compiled
+	// under (EstimatorStats.Generation); a mismatch marks the program
+	// stale.
+	Generation uint64
+	// Truncated reports that embedding enumeration hit the sketch's
+	// MaxEmbeddings bound, exactly as EstimateQueryResult would report it.
+	Truncated bool
+	// Embeddings is the deduplicated compiled embedding list.
+	Embeddings []Emb
+	// Tags is the interned tag table of the query's step labels.
+	Tags []Tag
+	// NumNodes is the total compiled node count (scratch sizing).
+	NumNodes int
+	// NumSlots is the number of slot bindings (scratch sizing).
+	NumSlots int
+	// DValsLen is the size of the conditioning-value arena (scratch
+	// sizing).
+	DValsLen int
+
+	pool sync.Pool
+}
+
+// Scratch is the per-execution mutable state of a Program: slot bindings,
+// the conditioning-value arena, and per-node histogram match buffers that
+// grow once and are retained across executions.
+type Scratch struct {
+	slots []float64
+	dvals []float64
+	bufs  [][]histogram.Bucket
+}
+
+// Finalize prepares the program for execution after compilation: it wires
+// the scratch pool to the final sizing counters. The compiler must call it
+// exactly once, before the first Estimate.
+func (p *Program) Finalize() {
+	p.pool.New = func() any {
+		return &Scratch{
+			slots: make([]float64, p.NumSlots),
+			dvals: make([]float64, p.DValsLen),
+			bufs:  make([][]histogram.Bucket, p.NumNodes),
+		}
+	}
+}
+
+// Estimate executes the program: the selectivity estimate plus the
+// truncation flag, bit-identical to the interpreted estimate of the same
+// query under the same sketch state.
+func (p *Program) Estimate() (float64, bool) {
+	v, truncated, _ := p.EstimateContext(context.Background())
+	return v, truncated
+}
+
+// EstimateContext is Estimate with cooperative cancellation, checked
+// between embeddings exactly like the interpreter's context-aware entry
+// points. On error the partial value is discarded.
+func (p *Program) EstimateContext(ctx context.Context) (float64, bool, error) {
+	s := p.pool.Get().(*Scratch)
+	total := 0.0
+	for i := range p.Embeddings {
+		if err := ctx.Err(); err != nil {
+			p.pool.Put(s)
+			return 0, false, err
+		}
+		em := &p.Embeddings[i]
+		total += em.Base * p.exec(em.Root, s)
+	}
+	p.pool.Put(s)
+	return total, p.Truncated, nil
+}
+
+// NumEmbeddings returns the compiled embedding count.
+func (p *Program) NumEmbeddings() int { return len(p.Embeddings) }
+
+// String summarizes the program for diagnostics.
+func (p *Program) String() string {
+	return fmt.Sprintf("plan{%q, %d embedding(s), %d node(s), %d tag(s), gen %d}",
+		p.Canonical, len(p.Embeddings), p.NumNodes, len(p.Tags), p.Generation)
+}
+
+// exec evaluates one compiled node. It mirrors the interpreter's contrib
+// (internal/xsketch/estimate.go) term for term — same multiplication
+// order, same early zero returns — so the result is bit-identical.
+func (p *Program) exec(n *Node, s *Scratch) float64 {
+	switch n.Mode {
+	case ModeZero:
+		return 0
+	case ModeLeaf:
+		return n.Factor
+	}
+	dv := s.dvals[n.DOff : n.DOff+len(n.DDims)]
+	for i, slot := range n.DSlots {
+		dv[i] = s.slots[slot]
+	}
+	if n.Mode == ModeFactorized {
+		part := 1.0
+		if len(n.Covered) > 0 {
+			v, buf := n.Hist.CondSumProductInto(s.bufs[n.Index], n.CovDims, n.DDims, dv)
+			s.bufs[n.Index] = buf
+			part = v
+		}
+		for _, c := range n.Covered {
+			part *= p.exec(c, s)
+			if part == 0 {
+				return 0
+			}
+		}
+		unc := n.UncBase
+		for _, c := range n.Uncovered {
+			unc *= p.exec(c, s)
+		}
+		return n.Factor * unc * part
+	}
+
+	// ModeEnumerated: iterate bucket choices, binding expanded dims to
+	// slots for conditioned descendants.
+	buckets, denom := n.Hist.MatchInto(s.bufs[n.Index], n.DDims, dv)
+	if len(n.DDims) != 0 {
+		// Retain the grown buffer; with no conditioning dims MatchInto
+		// returned the histogram's own buckets, which must not be adopted.
+		s.bufs[n.Index] = buckets
+	}
+	if denom == 0 {
+		return 0
+	}
+	total := 0.0
+	for bi := range buckets {
+		b := &buckets[bi]
+		w := b.Freq / denom
+		for _, j := range n.CovDims {
+			w *= b.Centroid[j]
+		}
+		for ui := range n.Uses {
+			u := &n.Uses[ui]
+			ov := u.Overlap.Overlap(b.Centroid[u.Dim], u.Pred)
+			if u.CountDim >= 0 {
+				cnt := b.Centroid[u.CountDim]
+				pr := cnt * ov
+				if pr > 1 {
+					pr = 1
+				}
+				ov = pr
+			}
+			w *= ov
+			if w == 0 {
+				break
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		for i, j := range n.CovDims {
+			s.slots[n.CovSlots[i]] = b.Centroid[j]
+		}
+		for _, c := range n.Covered {
+			w *= p.exec(c, s)
+			if w == 0 {
+				break
+			}
+		}
+		if w != 0 {
+			for _, c := range n.Uncovered {
+				w *= p.exec(c, s)
+				if w == 0 {
+					break
+				}
+			}
+		}
+		total += w
+	}
+	return n.Factor * n.UncBase * total
+}

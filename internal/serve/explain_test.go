@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -155,5 +156,73 @@ func TestEstimateExplainConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestBatchExplainErrorIsolation asserts one explain item's failure is
+// reported on that item alone: the batch still answers 200, estimates for
+// every other item are present in order, and only the failed slot carries
+// an error.
+func TestBatchExplainErrorIsolation(t *testing.T) {
+	sk := newTestSketch(t)
+	s, ts := newTestServer(t, sk, nil)
+	const second = "t0 in movie, t1 in t0/year"
+	wantFirst := sk.EstimateQuery(twig.MustParse(testQuery))
+	wantThird := sk.EstimateQuery(twig.MustParse(second))
+	s.testHookExplainItem = func(i int) error {
+		if i == 1 {
+			return fmt.Errorf("injected explain failure")
+		}
+		return nil
+	}
+
+	resp, body := postJSON(t, ts.URL+"/estimate/batch",
+		fmt.Sprintf(`{"queries":[%q,%q,%q],"explain":[true,true,false]}`, testQuery, testQuery, second))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 despite item failure; body %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if br.Count != 3 || len(br.Results) != 3 {
+		t.Fatalf("count %d, results %d, want 3/3", br.Count, len(br.Results))
+	}
+	if br.Results[0].Error != "" || br.Results[0].Estimate != wantFirst || br.Results[0].Explanation == nil {
+		t.Errorf("item 0 = %+v, want clean explained estimate %v", br.Results[0], wantFirst)
+	}
+	if br.Results[1].Error == "" || !strings.Contains(br.Results[1].Error, "injected explain failure") {
+		t.Errorf("item 1 error = %q, want the injected failure", br.Results[1].Error)
+	}
+	if br.Results[1].Explanation != nil {
+		t.Error("failed item carries an explanation")
+	}
+	if br.Results[2].Error != "" || br.Results[2].Estimate != wantThird {
+		t.Errorf("item 2 = %+v, want untouched plain estimate %v", br.Results[2], wantThird)
+	}
+}
+
+// TestServePlannedBitIdenticalToInterpreted asserts flipping the planner
+// off does not change a single served byte-value: both configurations must
+// answer the interpreter's floats.
+func TestServePlannedBitIdenticalToInterpreted(t *testing.T) {
+	sk := newTestSketch(t)
+	want := sk.EstimateQueryResult(twig.MustParse(testQuery))
+	for _, disable := range []bool{false, true} {
+		_, ts := newTestServer(t, sk, func(c *Config) { c.DisablePlanner = disable })
+		resp, body := postJSON(t, ts.URL+"/estimate", fmt.Sprintf(`{"query":%q}`, testQuery))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("disable=%v: status %d, body %s", disable, resp.StatusCode, body)
+		}
+		var er estimateResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if math.Float64bits(er.Estimate) != math.Float64bits(want.Estimate) {
+			t.Errorf("disable=%v: served %v != interpreted %v", disable, er.Estimate, want.Estimate)
+		}
+	}
+	if st := sk.PlanCacheStats(); st.Misses == 0 {
+		t.Error("planner-enabled request did not touch the plan cache")
 	}
 }

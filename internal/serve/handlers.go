@@ -11,6 +11,7 @@ import (
 
 	"xsketch/internal/trace"
 	"xsketch/internal/twig"
+	core "xsketch/internal/xsketch"
 )
 
 // estimateRequest is the body of POST /estimate.
@@ -63,6 +64,9 @@ type batchResult struct {
 	Truncated bool    `json:"truncated"`
 	// Explanation is present only for items whose explain flag was true.
 	Explanation *trace.Trace `json:"explanation,omitempty"`
+	// Error reports a per-item explain failure. The item's estimate fields
+	// are zero and must be ignored; the rest of the batch is unaffected.
+	Error string `json:"error,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx JSON answer.
@@ -106,7 +110,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	res, err := e.Sketch.Sketch.EstimateQueryTraced(ctx, q, rec)
+	var res core.EstimateResult
+	if rec == nil && !s.cfg.DisablePlanner {
+		// Hot path: serve from the sketch's compiled-plan cache. The plan
+		// is bit-identical to the interpreter, so flipping the planner on
+		// or off never changes a response body.
+		res, err = e.Sketch.Sketch.EstimatePlanContext(ctx, e.Sketch.Sketch.PlanQuery(q))
+	} else {
+		res, err = e.Sketch.Sketch.EstimateQueryTraced(ctx, q, rec)
+	}
 	if err != nil {
 		s.writeEstimateError(w, tid, err)
 		return
@@ -191,7 +203,12 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	for j, i := range plainIdx {
 		plainQueries[j] = queries[i]
 	}
-	results, err := e.Sketch.Sketch.EstimateBatchContext(ctx, plainQueries, workers)
+	var results []core.EstimateResult
+	if s.cfg.DisablePlanner {
+		results, err = e.Sketch.Sketch.EstimateBatchContext(ctx, plainQueries, workers)
+	} else {
+		results, err = e.Sketch.Sketch.EstimateBatchPlannedContext(ctx, plainQueries, workers)
+	}
 	if err != nil {
 		s.writeEstimateError(w, tid, err)
 		return
@@ -199,15 +216,22 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	for j, i := range plainIdx {
 		out[i] = batchResult{Estimate: results[j].Estimate, Truncated: results[j].Truncated}
 	}
+	// Explained items fail independently: one item's error (a cancelled
+	// trace, an injected fault) is recorded on that item alone and never
+	// discards or reorders the rest of the batch.
 	for i := range queries {
 		if len(req.Explain) == 0 || !req.Explain[i] {
 			continue
 		}
 		rec := trace.NewRecorder(trace.Options{})
 		res, err := e.Sketch.Sketch.EstimateQueryTraced(ctx, queries[i], rec)
+		if err == nil && s.testHookExplainItem != nil {
+			err = s.testHookExplainItem(i)
+		}
 		if err != nil {
-			s.writeEstimateError(w, tid, err)
-			return
+			s.m.batchItemErrs.Inc()
+			out[i] = batchResult{Error: fmt.Sprintf("explain item %d: %v", i, err)}
+			continue
 		}
 		s.m.observeTrace(rec)
 		out[i] = batchResult{Estimate: res.Estimate, Truncated: res.Truncated, Explanation: rec.Trace()}

@@ -21,6 +21,8 @@ type metrics struct {
 	batchSize  *obs.Counter    // xserve_batch_queries_total
 	truncated  *obs.CounterVec // xserve_sketch_truncated_total{sketch}
 
+	batchItemErrs *obs.Counter // xserve_batch_item_errors_total
+
 	traced      *obs.Counter      // xserve_traced_requests_total
 	stageLat    *obs.HistogramVec // xserve_estimate_stage_latency_seconds{stage}
 	traceEvents *obs.CounterVec   // xserve_trace_events_total{kind}
@@ -48,6 +50,8 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 			"Queries received across batch requests."),
 		truncated: reg.NewCounterVec("xserve_sketch_truncated_total",
 			"Estimates whose embedding enumeration hit MaxEmbeddings.", "sketch"),
+		batchItemErrs: reg.NewCounter("xserve_batch_item_errors_total",
+			"Batch items answered with a per-item error (the batch itself succeeded)."),
 		traced: reg.NewCounter("xserve_traced_requests_total",
 			"Estimates served with explain tracing enabled."),
 		stageLat: reg.NewHistogramVec("xserve_estimate_stage_latency_seconds",
@@ -77,6 +81,14 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 		"Estimator-cache hits / lookups per served sketch.", "gauge")
 	size := reg.NewFuncFamily("xserve_sketch_size_bytes",
 		"Stored synopsis size per served sketch.", "gauge")
+	planHits := reg.NewFuncFamily("xserve_sketch_plan_cache_hits_total",
+		"Compiled-plan cache hits per served sketch.", "counter")
+	planMisses := reg.NewFuncFamily("xserve_sketch_plan_cache_misses_total",
+		"Compiled-plan cache misses (compilations) per served sketch.", "counter")
+	planEvictions := reg.NewFuncFamily("xserve_sketch_plan_cache_evictions_total",
+		"Compiled plans dropped for capacity or staleness per served sketch.", "counter")
+	planSize := reg.NewFuncFamily("xserve_sketch_plan_cache_size",
+		"Compiled plans currently cached per served sketch.", "gauge")
 	for _, name := range s.names {
 		e := s.entries[name]
 		hits.Attach(func() float64 { return float64(e.view.Snapshot().Hits) }, "sketch", name)
@@ -84,6 +96,10 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 		evictions.Attach(func() float64 { return float64(e.view.Snapshot().Evictions) }, "sketch", name)
 		ratio.Attach(func() float64 { return e.view.Snapshot().HitRate() }, "sketch", name)
 		size.Attach(func() float64 { return float64(e.sizeBytes) }, "sketch", name)
+		planHits.Attach(func() float64 { return float64(e.Sketch.Sketch.PlanCacheStats().Hits) }, "sketch", name)
+		planMisses.Attach(func() float64 { return float64(e.Sketch.Sketch.PlanCacheStats().Misses) }, "sketch", name)
+		planEvictions.Attach(func() float64 { return float64(e.Sketch.Sketch.PlanCacheStats().Evictions) }, "sketch", name)
+		planSize.Attach(func() float64 { return float64(e.Sketch.Sketch.PlanCacheStats().Size) }, "sketch", name)
 	}
 
 	// Pre-create one stage series per pipeline stage so the scrape catalog

@@ -31,6 +31,11 @@ var documentedSeries = map[string]string{
 	"xserve_sketch_cache_misses_total":         "counter",
 	"xserve_sketch_cache_evictions_total":      "counter",
 	"xserve_sketch_cache_hit_ratio":            "gauge",
+	"xserve_sketch_plan_cache_hits_total":      "counter",
+	"xserve_sketch_plan_cache_misses_total":    "counter",
+	"xserve_sketch_plan_cache_evictions_total": "counter",
+	"xserve_sketch_plan_cache_size":            "gauge",
+	"xserve_batch_item_errors_total":           "counter",
 	"xserve_sketch_size_bytes":                 "gauge",
 	"xserve_goroutines":                        "gauge",
 	"xserve_uptime_seconds":                    "gauge",
@@ -135,6 +140,15 @@ func TestMetricsEndpointMatchesDocumentedCatalog(t *testing.T) {
 	}
 	if v := samples[`xserve_sketch_cache_misses_total{sketch="imdb"}`]; v <= 0 {
 		t.Errorf("cache misses %v, want > 0 after estimates", v)
+	}
+	if v := samples[`xserve_sketch_plan_cache_misses_total{sketch="imdb"}`]; v <= 0 {
+		t.Errorf("plan-cache misses %v, want > 0 after planned estimates", v)
+	}
+	if v := samples[`xserve_sketch_plan_cache_hits_total{sketch="imdb"}`]; v <= 0 {
+		t.Errorf("plan-cache hits %v, want > 0 after repeated queries", v)
+	}
+	if v := samples[`xserve_sketch_plan_cache_size{sketch="imdb"}`]; v <= 0 {
+		t.Errorf("plan-cache size %v, want > 0", v)
 	}
 	if _, ok := samples[`xserve_estimate_latency_quantile_seconds{quantile="0.99"}`]; !ok {
 		t.Error("p99 quantile series missing")

@@ -32,6 +32,10 @@ type Config struct {
 	// BatchWorkers is the worker count handed to EstimateBatchContext.
 	// Default: GOMAXPROCS.
 	BatchWorkers int
+	// DisablePlanner routes estimates through the interpreted path instead
+	// of the compiled-plan cache. Results are bit-identical either way; the
+	// planner is only a performance lever. Default: planner on.
+	DisablePlanner bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof.
 	EnablePprof bool
 	// Logger receives one structured JSON line per request; nil disables
@@ -97,6 +101,9 @@ type Server struct {
 	// admission and before estimation — test scaffolding for the drain and
 	// shedding paths.
 	testHookEstimate func()
+	// testHookExplainItem, when set, can inject a per-item failure into the
+	// batch explain loop — test scaffolding for error isolation.
+	testHookExplainItem func(i int) error
 }
 
 // New builds a server over the given sketches. At least one sketch is

@@ -3,6 +3,7 @@ package twig
 import (
 	"fmt"
 	"strings"
+	"unicode"
 
 	"xsketch/internal/pathexpr"
 )
@@ -17,7 +18,10 @@ import (
 // variable becomes a child twig node of that variable's node, mirroring the
 // paper's equivalence between for-clauses and twig trees.
 func Parse(src string) (*Query, error) {
-	s := strings.TrimSpace(src)
+	// Normalizing first means every later delimiter check ("for " prefix,
+	// " in " separator) only ever sees single ASCII spaces: "for\tt0 in //a"
+	// and "t0  in\n//a" parse exactly like their canonical spellings.
+	s := NormalizeText(src)
 	if rest, ok := cutPrefixFold(s, "for "); ok {
 		s = rest
 	}
@@ -76,6 +80,51 @@ func MustParse(src string) *Query {
 	return q
 }
 
+// NormalizeText canonicalizes the whitespace of a query text: leading and
+// trailing whitespace is dropped and every interior run of Unicode
+// whitespace (tabs, newlines, NBSP, ...) collapses to one ASCII space.
+// Texts with equal normal forms parse identically, so the normal form is
+// the spelling-insensitive cache key for compiled query plans. Input that
+// is already normal is returned unchanged without allocating, keeping the
+// plan-cache hit path allocation-free.
+func NormalizeText(s string) string {
+	normal := true
+	prevSpace := false
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if r != ' ' || prevSpace || i == 0 {
+				normal = false
+				break
+			}
+			prevSpace = true
+		} else {
+			prevSpace = false
+		}
+	}
+	if normal && prevSpace {
+		normal = false // trailing space
+	}
+	if normal {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	pending := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			// Collapse the run; drop it entirely when nothing precedes it.
+			pending = b.Len() > 0
+			continue
+		}
+		if pending {
+			b.WriteByte(' ')
+			pending = false
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
 func cutPrefixFold(s, prefix string) (string, bool) {
 	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
 		return s[len(prefix):], true
@@ -123,7 +172,10 @@ func splitBinding(b string) (name, expr string, err error) {
 	}
 	name = strings.TrimSpace(b[:idx])
 	expr = strings.TrimSpace(b[idx+len(" in "):])
-	if name == "" || strings.ContainsAny(name, "/[] ") {
+	// Parse normalizes whitespace up front, but the guard still rejects any
+	// Unicode space on its own so direct callers cannot smuggle a
+	// tab/newline-containing name through.
+	if name == "" || strings.ContainsAny(name, "/[]") || strings.IndexFunc(name, unicode.IsSpace) >= 0 {
 		return "", "", fmt.Errorf("twig: bad variable name %q", name)
 	}
 	if expr == "" {

@@ -28,17 +28,26 @@ import (
 // Hits and Misses count memo-table lookups; Evictions counts entries
 // dropped by cache invalidation (every synopsis refinement invalidates).
 // All counters are cumulative over the sketch's lifetime and are zero when
-// Config.DisableEstimatorCache is set.
+// Config.DisableEstimatorCache is set. Generation is the sketch's mutation
+// epoch: it advances by two on every invalidation (RebuildNode, SetBuckets,
+// AddScopeEdge, ...), is always even in a snapshot, and tags compiled query
+// plans so stale plans can never survive a mutation (see planner.go).
 type EstimatorStats struct {
 	Hits, Misses, Evictions uint64
+	Generation              uint64
 }
 
 // estEngine is the per-sketch estimation cache state: an atomically
 // swappable memo table (swapped out wholesale on invalidation) plus
-// lifetime counters that survive invalidation.
+// lifetime counters that survive invalidation. gen is a seqlock-style
+// generation counter: odd while an invalidation is in flight, advanced to
+// the next even value once the swap and its eviction accounting are done.
+// Snapshot readers retry around odd values, so a snapshot can never pair a
+// pre-invalidation counter with a post-invalidation one.
 type estEngine struct {
 	cache                   atomic.Pointer[estimatorCache]
 	hits, misses, evictions atomic.Uint64
+	gen                     atomic.Uint64
 }
 
 // expandKey identifies one expandStep realization set. expandStep depends
@@ -103,10 +112,12 @@ func (sk *Sketch) estCache() *estimatorCache {
 // All rebuild paths call it automatically; callers that mutate the synopsis
 // or the summaries directly (without RebuildNode) must call it themselves.
 func (sk *Sketch) InvalidateEstimatorCache() {
+	sk.est.gen.Add(1) // odd: invalidation in flight, snapshots retry
 	old := sk.est.cache.Swap(nil)
 	if old != nil {
 		sk.est.evictions.Add(uint64(old.size()))
 	}
+	sk.est.gen.Add(1) // even: next epoch, eviction accounting visible
 }
 
 // EstimatorStats returns the cumulative estimation cache counters. It is
@@ -131,17 +142,33 @@ func (sk *Sketch) EstimatorCache() EstimatorCacheView {
 	return EstimatorCacheView{eng: &sk.est}
 }
 
-// Snapshot atomically samples the counters. Each counter is individually
-// consistent (the set is not sampled under one lock, so a concurrent
-// estimate may land between two loads — fine for monitoring, where
-// counters are rates, not invariants). This is the race-safe way to read
-// stats while estimation runs; reading the engine's fields directly is not
-// possible outside this package by design.
+// Snapshot samples the counters consistently with respect to cache
+// invalidation: the generation counter is read before and after the
+// individual loads, and the sample is retried while an invalidation is in
+// flight (odd generation) or completed in between (generation changed).
+// A snapshot therefore never mixes a pre-RebuildNode counter with a
+// post-RebuildNode one — previously, a poller racing a rebuild could see
+// the eviction total without the hits/misses that produced it, yielding
+// torn interval deltas. Concurrent *estimates* may still land between two
+// loads within one generation; that only shifts work between adjacent
+// intervals and can never make a delta go backwards (counters are
+// monotonic). This is the race-safe way to read stats while estimation
+// runs; reading the engine's fields directly is not possible outside this
+// package by design.
 func (v EstimatorCacheView) Snapshot() EstimatorStats {
-	return EstimatorStats{
-		Hits:      v.eng.hits.Load(),
-		Misses:    v.eng.misses.Load(),
-		Evictions: v.eng.evictions.Load(),
+	for {
+		g := v.eng.gen.Load()
+		st := EstimatorStats{
+			Hits:       v.eng.hits.Load(),
+			Misses:     v.eng.misses.Load(),
+			Evictions:  v.eng.evictions.Load(),
+			Generation: g,
+		}
+		if g&1 == 0 && v.eng.gen.Load() == g {
+			return st
+		}
+		// An invalidation was in flight; invalidations are short (one
+		// pointer swap plus a size read), so the retry converges quickly.
 	}
 }
 
@@ -158,13 +185,27 @@ func (st EstimatorStats) HitRate() float64 {
 }
 
 // Sub returns the counter deltas st - prev, for pollers converting
-// cumulative counters into per-interval rates.
+// cumulative counters into per-interval rates. Deltas are clamped at zero:
+// with consistent snapshots the counters are monotonic, so a would-be
+// negative delta can only mean prev came from a different sketch (or a
+// hand-built value) and a huge wrapped uint64 would be strictly worse than
+// zero. The Generation of the newer snapshot is carried through so callers
+// can tell whether the interval crossed a mutation.
 func (st EstimatorStats) Sub(prev EstimatorStats) EstimatorStats {
 	return EstimatorStats{
-		Hits:      st.Hits - prev.Hits,
-		Misses:    st.Misses - prev.Misses,
-		Evictions: st.Evictions - prev.Evictions,
+		Hits:       monoDelta(st.Hits, prev.Hits),
+		Misses:     monoDelta(st.Misses, prev.Misses),
+		Evictions:  monoDelta(st.Evictions, prev.Evictions),
+		Generation: st.Generation,
 	}
+}
+
+// monoDelta is cur - prev clamped at zero for monotonic counters.
+func monoDelta(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
 }
 
 // expandStep enumerates the synopsis-node sequences realizing one step from

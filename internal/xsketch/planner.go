@@ -1,0 +1,466 @@
+package xsketch
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+
+	"xsketch/internal/pathexpr"
+	"xsketch/internal/plan"
+	"xsketch/internal/twig"
+)
+
+// This file is the plan compiler: it freezes the query-shape-invariant
+// work of EstimateQuery — maximal-twig expansion, embedding enumeration,
+// TREEPARSE decomposition, predicate factors — into an executable
+// plan.Program, and serves programs from a per-sketch LRU keyed by the
+// query's canonical form (with whitespace-normalized text aliases, so
+// equivalent spellings share one plan). Compiled execution performs only
+// histogram lookups and float arithmetic into pooled scratch, is
+// bit-identical to the interpreter, and allocates nothing on the cache-hit
+// path (both asserted in planner_test.go).
+//
+// Invalidation rides on the estimator-cache generation (estcache.go):
+// every program records the generation it was compiled under, every
+// mutation advances the generation via InvalidateEstimatorCache, and both
+// the cache lookups and EstimatePlanContext discard or recompile programs
+// whose generation no longer matches. A stale plan can therefore never
+// contribute a single term to an estimate.
+
+// DefaultPlanCacheSize is the per-sketch compiled-plan LRU capacity when
+// Config.PlanCacheSize is zero.
+const DefaultPlanCacheSize = 256
+
+// planHandle lazily creates the sketch's plan cache so the struct-literal
+// constructors need no setup.
+type planHandle struct {
+	once  sync.Once
+	cache *plan.Cache
+}
+
+// planCache returns the sketch's compiled-plan cache, or nil when
+// Config.PlanCacheSize is negative (plan caching disabled).
+func (sk *Sketch) planCache() *plan.Cache {
+	if sk.Cfg.PlanCacheSize < 0 {
+		return nil
+	}
+	sk.plans.once.Do(func() {
+		size := sk.Cfg.PlanCacheSize
+		if size == 0 {
+			size = DefaultPlanCacheSize
+		}
+		//lint:allow sketchmutate lazy once-guarded cache construction; plans are generation-checked, not invalidated here
+		sk.plans.cache = plan.NewCache(size)
+	})
+	return sk.plans.cache
+}
+
+// PlanCacheStats samples the sketch's plan-cache counters (zero when the
+// cache is disabled). Safe to call concurrently with estimation.
+func (sk *Sketch) PlanCacheStats() plan.Stats {
+	if c := sk.planCache(); c != nil {
+		return c.Stats()
+	}
+	return plan.Stats{}
+}
+
+// generation returns the sketch's current mutation epoch (see estcache.go).
+func (sk *Sketch) generation() uint64 { return sk.est.gen.Load() }
+
+// PlanQueryText returns a compiled plan for the query text, serving it
+// from the plan cache when possible. The text is whitespace-normalized
+// first, so any spelling of the same query shares one cached plan; only a
+// cache miss pays for parsing and compilation.
+func (sk *Sketch) PlanQueryText(text string) (*plan.Program, error) {
+	gen := sk.generation()
+	c := sk.planCache()
+	var norm string
+	if c != nil {
+		norm = twig.NormalizeText(text)
+		if p := c.Lookup(norm, gen); p != nil {
+			return p, nil
+		}
+	}
+	q, err := twig.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return sk.planParsed(c, q, norm, gen), nil
+}
+
+// PlanQuery returns a compiled plan for a parsed query, serving it from
+// the plan cache by canonical form when possible.
+func (sk *Sketch) PlanQuery(q *twig.Query) *plan.Program {
+	return sk.planParsed(sk.planCache(), q, "", sk.generation())
+}
+
+// planParsed resolves a parsed query against the cache by canonical form
+// and compiles on a miss.
+func (sk *Sketch) planParsed(c *plan.Cache, q *twig.Query, norm string, gen uint64) *plan.Program {
+	canonical := q.String()
+	if c != nil {
+		if p := c.Promote(canonical, norm, gen); p != nil {
+			return p
+		}
+	}
+	p := sk.compileProgram(q, canonical, gen)
+	if c != nil {
+		c.Insert(p, norm)
+	}
+	return p
+}
+
+// EstimatePlan executes a compiled plan, recompiling first if the sketch
+// mutated since compilation (so callers may hold plans across RebuildNode
+// without ever seeing stale results).
+func (sk *Sketch) EstimatePlan(p *plan.Program) EstimateResult {
+	r, _ := sk.EstimatePlanContext(context.Background(), p)
+	return r
+}
+
+// EstimatePlanContext is EstimatePlan with cooperative cancellation,
+// checked before execution and between embeddings. On error the result is
+// the zero value and must be discarded.
+func (sk *Sketch) EstimatePlanContext(ctx context.Context, p *plan.Program) (EstimateResult, error) {
+	if err := ctx.Err(); err != nil {
+		return EstimateResult{}, err
+	}
+	if gen := sk.generation(); p.Generation != gen {
+		// Stale: the sketch mutated after compilation. Recompile against
+		// the current state (replacing the cache entry) instead of
+		// executing against retired histograms.
+		p = sk.planParsed(sk.planCache(), p.Query, "", gen)
+	}
+	v, truncated, err := p.EstimateContext(ctx)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	return EstimateResult{Estimate: v, Truncated: truncated}, nil
+}
+
+// EstimateQueryPlanned estimates a twig query through the compiled-plan
+// path: the plan is compiled once per canonical query (per sketch
+// generation) and reused from the plan cache afterwards. Results are
+// bit-identical to EstimateQuery for any mix of planned and interpreted
+// calls; the cache-hit path performs zero allocations.
+func (sk *Sketch) EstimateQueryPlanned(text string) (EstimateResult, error) {
+	return sk.EstimateQueryPlannedContext(context.Background(), text)
+}
+
+// EstimateQueryPlannedContext is EstimateQueryPlanned with cooperative
+// cancellation (checked before planning and between embeddings).
+func (sk *Sketch) EstimateQueryPlannedContext(ctx context.Context, text string) (EstimateResult, error) {
+	if err := ctx.Err(); err != nil {
+		return EstimateResult{}, err
+	}
+	p, err := sk.PlanQueryText(text)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	return sk.EstimatePlanContext(ctx, p)
+}
+
+// EstimateBatchPlanned runs a workload of parsed queries through the
+// compiled-plan path on a worker pool, returning one result per query in
+// input order; workers <= 0 selects GOMAXPROCS. Results are bit-identical
+// to EstimateBatch for any worker count.
+func (sk *Sketch) EstimateBatchPlanned(queries []*twig.Query, workers int) []EstimateResult {
+	out, _ := sk.EstimateBatchPlannedContext(context.Background(), queries, workers)
+	return out
+}
+
+// EstimateBatchPlannedContext is EstimateBatchPlanned under a context: the
+// worker pool stops pulling queries once cancellation is observed and the
+// call returns ctx.Err(), with untouched entries left at their zero value.
+func (sk *Sketch) EstimateBatchPlannedContext(ctx context.Context, queries []*twig.Query, workers int) ([]EstimateResult, error) {
+	out := make([]EstimateResult, len(queries))
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			r, err := sk.EstimatePlanContext(ctx, sk.PlanQuery(q))
+			if err != nil {
+				return out, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r, err := sk.EstimatePlanContext(ctx, sk.PlanQuery(queries[i]))
+				if err != nil {
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+feed:
+	for i := range queries {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// compileProgram compiles a query into an executable program against the
+// current sketch state, tagged with the given generation. The compiler
+// reuses the interpreter's own enumeration and term computations
+// (EmbeddingsTruncated, newEstimator, valueFraction, existsFraction,
+// avgCount), evaluating every constant in the interpreter's order, so the
+// frozen constants are the bits the interpreter would produce.
+func (sk *Sketch) compileProgram(q *twig.Query, canonical string, gen uint64) *plan.Program {
+	ems, truncated := sk.EmbeddingsTruncated(q)
+	p := &plan.Program{
+		Canonical:  canonical,
+		Query:      q,
+		Generation: gen,
+		Truncated:  truncated,
+		Tags:       sk.internTags(q),
+	}
+	pc := &planCompiler{sk: sk, prog: p, env: map[ScopeEdge]int{}}
+	for _, em := range ems {
+		pc.est = newEstimator(sk, em)
+		root := pc.node(em.Root, false)
+		p.Embeddings = append(p.Embeddings, plan.Emb{
+			Base: float64(sk.Syn.Node(em.Root.Syn).Count()),
+			Root: root,
+		})
+	}
+	p.Finalize()
+	return p
+}
+
+// internTags resolves every distinct step label of the query (including
+// branch predicates) to its document tag ID, sorted by label for
+// deterministic plan rendering.
+func (sk *Sketch) internTags(q *twig.Query) []plan.Tag {
+	seen := map[string]int{}
+	var steps func(ss []*pathexpr.Step)
+	steps = func(ss []*pathexpr.Step) {
+		for _, st := range ss {
+			if _, ok := seen[st.Label]; !ok {
+				id := -1
+				if tag, ok := sk.Syn.Doc.LookupTag(st.Label); ok {
+					id = int(tag)
+				}
+				seen[st.Label] = id
+			}
+			for _, br := range st.Branches {
+				steps(br.Steps)
+			}
+		}
+	}
+	q.Walk(func(n, _ *twig.Node, _ int) {
+		if n.Path != nil {
+			steps(n.Path.Steps)
+		}
+	})
+	labels := make([]string, 0, len(seen))
+	for l := range seen {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	tags := make([]plan.Tag, len(labels))
+	for i, l := range labels {
+		tags[i] = plan.Tag{Label: l, ID: seen[l]}
+	}
+	return tags
+}
+
+// planCompiler compiles one embedding at a time. env is the compile-time
+// image of the interpreter's runtime assignment map: it binds each scope
+// edge expanded by an enumerating ancestor to the slot that will carry the
+// bucket's coordinate at execution time, with lexical push/pop mirroring
+// the per-bucket set/delete of the interpreter.
+type planCompiler struct {
+	sk   *Sketch
+	est  *estimator
+	prog *plan.Program
+	env  map[ScopeEdge]int
+}
+
+// node compiles one embedding node, mirroring the interpreter's contrib
+// (estimate.go) decision for decision: the same predicate factors in the
+// same multiplication order, the same covered/uncovered split, the same
+// needEnum criterion, and the same early zero cutoffs — except that
+// everything depending only on (query shape, sketch state) is evaluated
+// now and stored.
+func (pc *planCompiler) node(n *EmbNode, skipSelfValue bool) *plan.Node {
+	sk := pc.sk
+	s := sk.Summaries[n.Syn]
+	var scope []ScopeEdge
+	var vdims []*ValueDim
+	if s != nil && s.Hist != nil {
+		scope = s.Scope
+		vdims = s.ValueDims
+	}
+
+	var uses []plan.Use
+	factor := 1.0
+	if n.Value != nil && !skipSelfValue {
+		if idx := valueDimIdx(s, n.Syn); idx >= 0 {
+			uses = append(uses, plan.Use{Dim: idx, Overlap: vdims[idx-len(scope)], Pred: n.Value, CountDim: -1})
+		} else {
+			factor *= sk.valueFraction(n.Syn, n.Value)
+		}
+	}
+	for _, br := range n.Branches {
+		if u, ok := pc.est.branchValueUse(s, scope, vdims, n, br); ok {
+			uses = append(uses, plan.Use{Dim: u.dim, Overlap: u.vd, Pred: u.pred, CountDim: u.countDim})
+			continue
+		}
+		v, _ := pc.est.existsFraction(n.Syn, br.Steps)
+		factor *= v
+	}
+
+	pn := &plan.Node{Syn: int(n.Syn), Index: pc.prog.NumNodes, Factor: factor, UncBase: 1}
+	pc.prog.NumNodes++
+	if factor == 0 {
+		pn.Mode = plan.ModeZero
+		return pn
+	}
+	if len(n.Children) == 0 && len(uses) == 0 {
+		pn.Mode = plan.ModeLeaf
+		return pn
+	}
+
+	type coveredChild struct {
+		child *EmbNode
+		dim   int
+		skip  bool
+	}
+	var covered []coveredChild
+	var uncovered []*EmbNode
+	uncoveredSkip := map[*EmbNode]bool{}
+	for _, c := range n.Children {
+		cc := coveredChild{child: c, dim: scopeIndex(scope, ScopeEdge{From: n.Syn, To: c.Syn})}
+		if c.Value != nil {
+			if idx := valueDimIdx(s, c.Syn); idx >= 0 {
+				uses = append(uses, plan.Use{Dim: idx, Overlap: vdims[idx-len(scope)], Pred: c.Value, CountDim: -1})
+				cc.skip = true
+			}
+		}
+		if cc.dim >= 0 {
+			covered = append(covered, cc)
+		} else {
+			uncovered = append(uncovered, c)
+			if cc.skip {
+				uncoveredSkip[c] = true
+			}
+		}
+	}
+
+	// D_i: scope dims bound by enumerating ancestors, read off the
+	// compile-time environment in scope order (the interpreter reads its
+	// assignment map in the same order).
+	for i, se := range scope {
+		if slot, ok := pc.env[se]; ok {
+			pn.DDims = append(pn.DDims, i)
+			pn.DSlots = append(pn.DSlots, slot)
+		}
+	}
+	pn.DOff = pc.prog.DValsLen
+	pc.prog.DValsLen += len(pn.DDims)
+
+	needEnum := len(uses) > 0
+	for _, cc := range covered {
+		if pc.est.condSet[scope[cc.dim]] {
+			needEnum = true
+			break
+		}
+	}
+
+	unc := 1.0
+	for _, c := range uncovered {
+		v, _ := pc.est.avgCount(n.Syn, c.Syn)
+		unc *= v
+	}
+	pn.UncBase = unc
+	if unc == 0 {
+		pn.Mode = plan.ModeZero
+		return pn
+	}
+	pn.Uses = uses
+
+	if !needEnum {
+		if len(covered) > 0 {
+			if s == nil || s.Hist == nil {
+				pn.Mode = plan.ModeZero
+				return pn
+			}
+			pn.Hist = s.Hist
+			for _, cc := range covered {
+				pn.CovDims = append(pn.CovDims, cc.dim)
+			}
+		}
+		pn.Mode = plan.ModeFactorized
+		for _, cc := range covered {
+			pn.Covered = append(pn.Covered, pc.node(cc.child, cc.skip))
+		}
+		for _, c := range uncovered {
+			pn.Uncovered = append(pn.Uncovered, pc.node(c, uncoveredSkip[c]))
+		}
+		return pn
+	}
+
+	if s == nil || s.Hist == nil {
+		pn.Mode = plan.ModeZero
+		return pn
+	}
+	pn.Mode = plan.ModeEnumerated
+	pn.Hist = s.Hist
+	// Bind this node's expanded dims to fresh slots for the subtree, and
+	// restore any shadowed outer bindings afterwards — the lexical image
+	// of the interpreter's copied-and-extended assignment map.
+	type shadow struct {
+		edge ScopeEdge
+		slot int
+		had  bool
+	}
+	shadows := make([]shadow, 0, len(covered))
+	for _, cc := range covered {
+		pn.CovDims = append(pn.CovDims, cc.dim)
+		slot := pc.prog.NumSlots
+		pc.prog.NumSlots++
+		pn.CovSlots = append(pn.CovSlots, slot)
+		edge := scope[cc.dim]
+		old, had := pc.env[edge]
+		shadows = append(shadows, shadow{edge: edge, slot: old, had: had})
+		pc.env[edge] = slot
+	}
+	for _, cc := range covered {
+		pn.Covered = append(pn.Covered, pc.node(cc.child, cc.skip))
+	}
+	for _, c := range uncovered {
+		pn.Uncovered = append(pn.Uncovered, pc.node(c, uncoveredSkip[c]))
+	}
+	for i := len(shadows) - 1; i >= 0; i-- {
+		sh := shadows[i]
+		if sh.had {
+			pc.env[sh.edge] = sh.slot
+		} else {
+			delete(pc.env, sh.edge)
+		}
+	}
+	return pn
+}

@@ -80,6 +80,12 @@ type Config struct {
 	// Estimates are identical either way; the switch exists for measuring
 	// the cache's effect and as a safety valve.
 	DisableEstimatorCache bool
+	// PlanCacheSize bounds the number of compiled query plans the sketch
+	// retains in its LRU plan cache (see EstimateQueryPlanned). 0 selects
+	// DefaultPlanCacheSize; a negative value disables the plan cache, so
+	// every planned call compiles afresh. Estimates are identical either
+	// way.
+	PlanCacheSize int
 	// SizeModel prices the stored summary.
 	SizeModel graphsyn.SizeModel
 }
@@ -109,6 +115,11 @@ type Sketch struct {
 	// FromSynopsis, Clone, Load) need no extra setup; clones start with an
 	// empty cache.
 	est estEngine
+
+	// plans holds the lazily created compiled-plan cache (planner.go).
+	// Like est, its zero value is ready, keeping the struct-literal
+	// constructors valid; clones start with an empty plan cache.
+	plans planHandle
 }
 
 // New builds the coarsest Twig XSKETCH for a document: the label split

@@ -90,6 +90,13 @@ func (vd *ValueDim) overlap(coord float64, pred *pathexpr.ValuePred) float64 {
 	return float64(ohi-olo+1) / float64(den)
 }
 
+// Overlap is the exported form of overlap. It implements the plan
+// package's Overlapper interface, so compiled query plans evaluate
+// value-dimension uses with the identical arithmetic as the interpreter.
+func (vd *ValueDim) Overlap(coord float64, pred *pathexpr.ValuePred) float64 {
+	return vd.overlap(coord, pred)
+}
+
 // newValueDim builds a ValueDim with equi-depth bins over the values
 // observed at source (its elements' own values). It returns nil when
 // source has no values.
