@@ -6,18 +6,26 @@
 // Usage:
 //
 //	xbuild -in doc.xml -budget 51200 [-trace] [-seed 1]
-//	xbuild -dataset imdb -scale 0.1 -budget 4096
+//	xbuild -dataset imdb -scale 0.1 -budget 4096 -o imdb.xsb
+//	xbuild -dataset imdb -catalog ./sketches -name imdb
 //
 // Exactly one of -in (an XML file, '-' for stdin) or -dataset must be
-// given.
+// given. -o persists the synopsis in the standalone binary format
+// (DESIGN.md §12) that xserve and xestimate load without the document;
+// -gob switches to the legacy gob form, which needs the original
+// document at load time. -catalog writes the synopsis into a catalog
+// directory as <name>.xsb, ready for `xserve -catalog`. All artifact
+// writes are atomic: a crash mid-write never leaves a torn file.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"xsketch/internal/build"
+	"xsketch/internal/catalog"
 	"xsketch/internal/cli"
 	"xsketch/internal/xsketch"
 )
@@ -31,7 +39,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for XBUILD sampling")
 		trace   = flag.Bool("trace", false, "stream one JSONL telemetry event per adopted refinement to stderr")
 		steps   = flag.Int("steps", 1000, "max refinement steps")
-		out     = flag.String("o", "", "persist the built synopsis to this file (load with xestimate -synopsis)")
+		out     = flag.String("o", "", "persist the built synopsis to this file in the standalone binary format (load with xestimate/xserve, no document needed)")
+		gob     = flag.Bool("gob", false, "write -o in the legacy gob format instead (requires the document at load time)")
+		catDir  = flag.String("catalog", "", "write the synopsis into this catalog directory as <name>.xsb")
+		name    = flag.String("name", "", "catalog entry name (default: -dataset name, or 'sketch')")
 		dot     = flag.String("dot", "", "write the built synopsis as a Graphviz digraph to this file")
 	)
 	flag.Parse()
@@ -64,34 +75,51 @@ func main() {
 		os.Exit(1)
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
+		var data []byte
+		format := "standalone binary"
+		if *gob {
+			var buf bytes.Buffer
+			if err := xsketch.Save(&buf, sk); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			data = buf.Bytes()
+			format = "legacy gob"
+		} else {
+			data, err = catalog.EncodeBytes(sk)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := cli.WriteFileAtomic(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("persisted synopsis to %s (%s, %d bytes)\n", *out, format, len(data))
+	}
+	if *catDir != "" {
+		entry := *name
+		if entry == "" {
+			entry = *dataset
+		}
+		if entry == "" {
+			entry = "sketch"
+		}
+		path, err := catalog.Write(*catDir, entry, sk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := xsketch.Save(f, sk); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("persisted synopsis to %s\n", *out)
+		fmt.Printf("wrote catalog entry %s\n", path)
 	}
 	if *dot != "" {
-		f, err := os.Create(*dot)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := sk.WriteDOT(&buf); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := sk.WriteDOT(f); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
+		if err := cli.WriteFileAtomic(*dot, buf.Bytes(), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

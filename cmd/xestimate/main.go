@@ -16,9 +16,11 @@ import (
 	"os"
 
 	"xsketch/internal/build"
+	"xsketch/internal/catalog"
 	"xsketch/internal/cli"
 	"xsketch/internal/eval"
 	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
 	"xsketch/internal/xsketch"
 )
 
@@ -47,14 +49,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	doc, err := cli.LoadDoc(*in, *dataset, *scale, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	// A standalone binary synopsis (xbuild -o, DESIGN.md §12) loads with
+	// no document at all; the legacy gob form replays against one. Sniff
+	// the file so both keep working behind the same flag.
+	standalone := false
+	if *synopsis != "" {
+		standalone, err = catalog.SniffFile(*synopsis)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	var doc *xmltree.Document
+	if !standalone || *in != "" || *dataset != "" {
+		doc, err = cli.LoadDoc(*in, *dataset, *scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	var sk *xsketch.Sketch
-	if *synopsis != "" {
+	switch {
+	case standalone:
+		sk, _, err = catalog.Open(*synopsis)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *synopsis != "":
 		f, err := os.Open(*synopsis)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -66,7 +89,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-	} else {
+	default:
 		opts := build.DefaultOptions(*budget)
 		opts.Seed = *seed
 		sk = build.XBuild(doc, opts)
@@ -103,7 +126,9 @@ func main() {
 	fmt.Printf("query:     %s\n", q)
 	fmt.Printf("synopsis:  %d bytes (%d nodes)\n", sk.SizeBytes(), sk.Syn.NumNodes())
 	fmt.Printf("estimate:  %.2f binding tuples\n", est)
-	if *exact {
+	if *exact && doc == nil {
+		fmt.Println("exact:     skipped (standalone synopsis, no document; pass -in or -dataset to compare)")
+	} else if *exact {
 		truth := eval.New(doc).Selectivity(q)
 		fmt.Printf("exact:     %d binding tuples\n", truth)
 		denom := float64(truth)

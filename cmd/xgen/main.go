@@ -9,11 +9,12 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
+	"xsketch/internal/cli"
 	"xsketch/internal/xmlgen"
 	"xsketch/internal/xmltree"
 )
@@ -40,24 +41,28 @@ func main() {
 	}
 	doc := xmlgen.Generate(*dataset, xmlgen.Config{Seed: *seed, Scale: *scale})
 
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *out == "-" {
+		bw := bufio.NewWriter(os.Stdout)
+		if err := xmltree.Serialize(bw, doc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
-	}
-	bw := bufio.NewWriter(w)
-	if err := xmltree.Serialize(bw, doc); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := bw.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if err := bw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		// Serialize into memory and write atomically, so an interrupted
+		// run never leaves a truncated document behind.
+		var buf bytes.Buffer
+		if err := xmltree.Serialize(&buf, doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := cli.WriteFileAtomic(*out, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *stats {
 		s := xmltree.ComputeStats(doc)

@@ -9,16 +9,26 @@
 //	xserve -listen :8080 -sketch imdb
 //	xserve -sketch imdb=dataset:imdb,scale=0.05,budget=16384 \
 //	       -sketch docs=xml:doc.xml,synopsis=doc.sketch
+//	xserve -catalog ./sketches
 //
 // Each repeatable -sketch flag is name=source[,key=value...]: the source
-// is dataset:<xmark|imdb|sprot|parts> or xml:<file>, the options are
-// scale, seed, budget (build a synopsis with XBUILD) and synopsis (load
-// one persisted by `xbuild -o` instead of building). A bare name is
-// shorthand for a same-named dataset with default options.
+// is dataset:<xmark|imdb|sprot|parts>, xml:<file>, or synopsis:<file> (a
+// standalone binary sketch written by `xbuild -o`, loaded with no
+// document at all). The options are scale, seed, budget (build a synopsis
+// with XBUILD) and synopsis (load a persisted one instead of building). A
+// bare name is shorthand for a same-named dataset with default options.
+// Paths may contain commas; an unquoted comma splits options only when
+// the next token looks like key=value with a known key.
+//
+// -catalog DIR serves every *.xsb entry in DIR (each under its file
+// name), again with no documents, and enables hot reloads: POST
+// /admin/reload re-opens an entry and atomically swaps it in, as does
+// SIGHUP for every catalog-backed sketch.
 //
 // Endpoints: POST /estimate, POST /estimate/batch, GET /sketches,
-// GET /healthz, GET /metrics, /debug/pprof (disable with -pprof=false).
-// SIGINT/SIGTERM drains in-flight requests before exiting.
+// POST /admin/reload, GET /healthz, GET /metrics, /debug/pprof (disable
+// with -pprof=false). SIGINT/SIGTERM drains in-flight requests before
+// exiting; SIGHUP hot-reloads from the catalog.
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"xsketch/internal/build"
+	"xsketch/internal/catalog"
 	"xsketch/internal/cli"
 	"xsketch/internal/obs"
 	"xsketch/internal/serve"
@@ -43,13 +54,14 @@ import (
 
 // sketchSpec is one parsed -sketch flag.
 type sketchSpec struct {
-	name     string
-	dataset  string // dataset:<name> source
-	xmlPath  string // xml:<path> source
-	scale    float64
-	seed     int64
-	budget   int
-	synopsis string // load instead of build when set
+	name       string
+	dataset    string // dataset:<name> source
+	xmlPath    string // xml:<path> source
+	standalone string // synopsis:<path> source (binary catalog file, no document)
+	scale      float64
+	seed       int64
+	budget     int
+	synopsis   string // load instead of build when set
 }
 
 // sketchFlags collects repeated -sketch values.
@@ -72,6 +84,33 @@ func (f *sketchFlags) Set(v string) error {
 	return nil
 }
 
+// specOptionKeys are the option names the spec grammar knows. A comma
+// starts a new option only when the token after it is one of these keys
+// followed by '='; any other comma belongs to the preceding value, so
+// xml: and synopsis= paths containing commas parse without quoting.
+var specOptionKeys = map[string]bool{
+	"scale":    true,
+	"seed":     true,
+	"budget":   true,
+	"synopsis": true,
+}
+
+// splitSpec tokenizes source[,key=value...] comma-safely: tokens that do
+// not look like a known option are re-joined onto the previous value.
+func splitSpec(rest string) []string {
+	raw := strings.Split(rest, ",")
+	parts := raw[:1]
+	for _, tok := range raw[1:] {
+		k, _, ok := strings.Cut(tok, "=")
+		if ok && specOptionKeys[k] {
+			parts = append(parts, tok)
+		} else {
+			parts[len(parts)-1] += "," + tok
+		}
+	}
+	return parts
+}
+
 // parseSketchSpec parses name=source[,key=value...]; a bare name is
 // shorthand for name=dataset:name.
 func parseSketchSpec(v string) (sketchSpec, error) {
@@ -85,14 +124,24 @@ func parseSketchSpec(v string) (sketchSpec, error) {
 		spec.dataset = name
 		return spec, nil
 	}
-	parts := strings.Split(rest, ",")
+	parts := splitSpec(rest)
 	switch {
 	case strings.HasPrefix(parts[0], "dataset:"):
 		spec.dataset = strings.TrimPrefix(parts[0], "dataset:")
+		if strings.Contains(spec.dataset, ",") {
+			// Dataset names never contain commas, so one here means an
+			// option token that isn't in the grammar.
+			return spec, fmt.Errorf("sketch spec %q: %q is not a dataset name — unknown option after the comma?", v, spec.dataset)
+		}
 	case strings.HasPrefix(parts[0], "xml:"):
 		spec.xmlPath = strings.TrimPrefix(parts[0], "xml:")
+	case strings.HasPrefix(parts[0], "synopsis:"):
+		spec.standalone = strings.TrimPrefix(parts[0], "synopsis:")
+		if spec.standalone == "" {
+			return spec, fmt.Errorf("sketch spec %q: empty synopsis path", v)
+		}
 	default:
-		return spec, fmt.Errorf("sketch spec %q: source must be dataset:<name> or xml:<path>", v)
+		return spec, fmt.Errorf("sketch spec %q: source must be dataset:<name>, xml:<path> or synopsis:<path>", v)
 	}
 	for _, p := range parts[1:] {
 		k, val, ok := strings.Cut(p, "=")
@@ -116,19 +165,57 @@ func parseSketchSpec(v string) (sketchSpec, error) {
 			return spec, fmt.Errorf("sketch spec %q: option %q: %v", v, p, err)
 		}
 	}
+	if spec.standalone != "" && (spec.synopsis != "" || len(parts) > 1) {
+		return spec, fmt.Errorf("sketch spec %q: a synopsis:<path> source takes no options", v)
+	}
+	if spec.scale <= 0 {
+		return spec, fmt.Errorf("sketch spec %q: scale must be positive, got %g", v, spec.scale)
+	}
+	if spec.budget <= 0 {
+		return spec, fmt.Errorf("sketch spec %q: budget must be positive, got %d", v, spec.budget)
+	}
+	if spec.seed < 0 {
+		return spec, fmt.Errorf("sketch spec %q: seed must be non-negative, got %d", v, spec.seed)
+	}
 	return spec, nil
 }
 
-// loadSketch materializes one spec: generate or parse the document, then
-// build with XBUILD or load a persisted synopsis bound to it.
+// loadSketch materializes one spec: a standalone binary synopsis loads
+// directly (no document); otherwise the document is generated or parsed,
+// then the synopsis is built with XBUILD or loaded from a persisted file
+// (binary catalog files load detached even here — only the legacy gob
+// form replays against the document).
 func loadSketch(spec sketchSpec, logger *obs.Logger) (serve.Sketch, error) {
-	doc, err := cli.LoadDoc(spec.xmlPath, spec.dataset, spec.scale, spec.seed)
-	if err != nil {
-		return serve.Sketch{}, fmt.Errorf("sketch %s: %v", spec.name, err)
-	}
-	var sk *core.Sketch
-	source := ""
-	if spec.synopsis != "" {
+	var (
+		sk     *core.Sketch
+		source string
+	)
+	switch {
+	case spec.standalone != "":
+		loaded, info, err := catalog.Open(spec.standalone)
+		if err != nil {
+			return serve.Sketch{}, fmt.Errorf("sketch %s: %v", spec.name, err)
+		}
+		sk = loaded
+		source = fmt.Sprintf("synopsis:%s (standalone, %d elements summarized)", spec.standalone, info.Elements)
+	case spec.synopsis != "":
+		binary, err := catalog.SniffFile(spec.synopsis)
+		if err != nil {
+			return serve.Sketch{}, fmt.Errorf("sketch %s: %v", spec.name, err)
+		}
+		if binary {
+			loaded, _, err := catalog.Open(spec.synopsis)
+			if err != nil {
+				return serve.Sketch{}, fmt.Errorf("sketch %s: %v", spec.name, err)
+			}
+			sk = loaded
+			source = fmt.Sprintf("synopsis:%s (standalone)", spec.synopsis)
+			break
+		}
+		doc, err := cli.LoadDoc(spec.xmlPath, spec.dataset, spec.scale, spec.seed)
+		if err != nil {
+			return serve.Sketch{}, fmt.Errorf("sketch %s: %v", spec.name, err)
+		}
 		f, err := os.Open(spec.synopsis)
 		if err != nil {
 			return serve.Sketch{}, fmt.Errorf("sketch %s: %v", spec.name, err)
@@ -139,15 +226,22 @@ func loadSketch(spec sketchSpec, logger *obs.Logger) (serve.Sketch, error) {
 			return serve.Sketch{}, fmt.Errorf("sketch %s: loading synopsis: %v", spec.name, err)
 		}
 		source = fmt.Sprintf("synopsis:%s", spec.synopsis)
-	} else {
+	default:
+		doc, err := cli.LoadDoc(spec.xmlPath, spec.dataset, spec.scale, spec.seed)
+		if err != nil {
+			return serve.Sketch{}, fmt.Errorf("sketch %s: %v", spec.name, err)
+		}
 		opts := build.DefaultOptions(spec.budget)
 		opts.Seed = spec.seed
 		sk = build.XBuild(doc, opts)
 		source = fmt.Sprintf("budget=%d seed=%d", spec.budget, spec.seed)
 	}
-	if spec.dataset != "" {
+	switch {
+	case spec.standalone != "":
+		// source already complete
+	case spec.dataset != "":
 		source = fmt.Sprintf("dataset:%s scale=%g %s", spec.dataset, spec.scale, source)
-	} else {
+	case spec.xmlPath != "":
 		source = fmt.Sprintf("xml:%s %s", spec.xmlPath, source)
 	}
 	logger.Info("sketch loaded",
@@ -160,10 +254,43 @@ func loadSketch(spec sketchSpec, logger *obs.Logger) (serve.Sketch, error) {
 	return serve.Sketch{Name: spec.name, Source: source, Sketch: sk}, nil
 }
 
+// loadCatalog opens every entry of a catalog directory, failing on
+// corrupt entries (a serving replica should not silently come up with a
+// partial catalog).
+func loadCatalog(dir string, logger *obs.Logger) ([]serve.Sketch, error) {
+	infos, err := catalog.Scan(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("catalog %s holds no %s entries", dir, catalog.Ext)
+	}
+	out := make([]serve.Sketch, 0, len(infos))
+	for _, info := range infos {
+		if info.Err != nil {
+			return nil, fmt.Errorf("catalog entry %s: %v", info.Path, info.Err)
+		}
+		sk, _, err := catalog.Open(info.Path)
+		if err != nil {
+			return nil, fmt.Errorf("catalog entry %s: %v", info.Path, err)
+		}
+		logger.Info("sketch loaded",
+			"sketch", info.Name,
+			"source", "catalog:"+info.Path,
+			"nodes", sk.Syn.NumNodes(),
+			"edges", sk.Syn.NumEdges(),
+			"size_bytes", sk.SizeBytes(),
+		)
+		out = append(out, serve.Sketch{Name: info.Name, Source: "catalog:" + info.Path, Sketch: sk})
+	}
+	return out, nil
+}
+
 func main() {
 	var sketches sketchFlags
 	var (
 		listen        = flag.String("listen", ":8080", "address to serve on")
+		catalogDir    = flag.String("catalog", "", "sketch catalog directory: serve every *.xsb entry and enable /admin/reload + SIGHUP hot swaps")
 		timeout       = flag.Duration("timeout", 10*time.Second, "per-request estimation timeout")
 		maxConcurrent = flag.Int("max-concurrent", 0, "estimate requests admitted at once before shedding with 429 (0 = 2*GOMAXPROCS)")
 		maxBody       = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
@@ -175,7 +302,7 @@ func main() {
 		logMode       = flag.String("log", "json", "request logging: json (stderr) or off")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
 	)
-	flag.Var(&sketches, "sketch", "sketch to serve: name=dataset:<name>|xml:<path>[,scale=F][,seed=N][,budget=N][,synopsis=FILE] (repeatable; bare NAME = dataset shorthand)")
+	flag.Var(&sketches, "sketch", "sketch to serve: name=dataset:<name>|xml:<path>|synopsis:<file>[,scale=F][,seed=N][,budget=N][,synopsis=FILE] (repeatable; bare NAME = dataset shorthand)")
 	flag.Parse()
 
 	var logger *obs.Logger
@@ -188,25 +315,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	if len(sketches) == 0 {
-		fmt.Fprintln(os.Stderr, "at least one -sketch is required, e.g. -sketch imdb")
+	if len(sketches) == 0 && *catalogDir == "" {
+		fmt.Fprintln(os.Stderr, "at least one -sketch (or a -catalog directory) is required, e.g. -sketch imdb")
 		os.Exit(2)
 	}
-	served := make([]serve.Sketch, len(sketches))
-	for i, spec := range sketches {
+	var served []serve.Sketch
+	if *catalogDir != "" {
+		fromCatalog, err := loadCatalog(*catalogDir, logger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		served = fromCatalog
+	}
+	for _, spec := range sketches {
 		sk, err := loadSketch(spec, logger)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		served = append(served, sk)
+	}
+	for i := range served {
 		if *planCache {
 			//lint:allow sketchmutate startup configuration before the sketch is shared, not a histogram mutation
-			sk.Sketch.Cfg.PlanCacheSize = *planCacheSize
+			served[i].Sketch.Cfg.PlanCacheSize = *planCacheSize
 		} else {
 			//lint:allow sketchmutate startup configuration before the sketch is shared, not a histogram mutation
-			sk.Sketch.Cfg.PlanCacheSize = -1
+			served[i].Sketch.Cfg.PlanCacheSize = -1
 		}
-		served[i] = sk
 	}
 
 	s, err := serve.New(serve.Config{
@@ -217,6 +354,7 @@ func main() {
 		BatchWorkers:    *workers,
 		DisablePlanner:  !*planCache,
 		EnablePprof:     *pprofOn,
+		CatalogDir:      *catalogDir,
 		Logger:          logger,
 	}, served)
 	if err != nil {
@@ -231,17 +369,36 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("listening", "addr", *listen, "sketches", s.Names())
 	fmt.Fprintf(os.Stderr, "xserve listening on %s, serving %v\n", *listen, s.Names())
 
-	select {
-	case err := <-errc:
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	case <-ctx.Done():
+serveLoop:
+	for {
+		select {
+		case err := <-errc:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		case <-hup:
+			// Hot-reload every served name present in the catalog; names
+			// without a catalog entry (or with a corrupt one) keep serving
+			// their current synopsis.
+			if *catalogDir == "" {
+				logger.Info("SIGHUP ignored", "reason", "no -catalog directory")
+				continue
+			}
+			for _, name := range s.Names() {
+				if _, err := s.ReloadFromCatalog(name, ""); err != nil {
+					logger.Error("reload failed", "sketch", name, "error", err.Error())
+				}
+			}
+		case <-ctx.Done():
+			break serveLoop
+		}
 	}
 	// Graceful drain: stop advertising healthy, then let in-flight
 	// estimates finish under the drain budget.

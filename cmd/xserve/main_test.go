@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSketchSpec covers the spec grammar, including the regression
+// cases: paths containing commas (which a naive comma split tore apart)
+// and out-of-range scale/budget/seed values (which used to be accepted
+// silently and fail much later, inside the generator or XBUILD).
+func TestParseSketchSpec(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    sketchSpec
+		wantErr string
+	}{
+		{
+			name: "bare name is dataset shorthand",
+			in:   "imdb",
+			want: sketchSpec{name: "imdb", dataset: "imdb", scale: 0.05, seed: 1, budget: 16384},
+		},
+		{
+			name: "dataset with options",
+			in:   "m=dataset:imdb,scale=0.02,seed=7,budget=8192",
+			want: sketchSpec{name: "m", dataset: "imdb", scale: 0.02, seed: 7, budget: 8192},
+		},
+		{
+			name: "xml source",
+			in:   "docs=xml:/data/docs.xml",
+			want: sketchSpec{name: "docs", xmlPath: "/data/docs.xml", scale: 0.05, seed: 1, budget: 16384},
+		},
+		{
+			name: "xml path containing commas",
+			in:   "docs=xml:/data/a,b,c.xml,budget=4096",
+			want: sketchSpec{name: "docs", xmlPath: "/data/a,b,c.xml", scale: 0.05, seed: 1, budget: 4096},
+		},
+		{
+			name: "synopsis option path containing commas",
+			in:   "m=dataset:imdb,synopsis=/tmp/snap,v2,final.sketch",
+			want: sketchSpec{name: "m", dataset: "imdb", scale: 0.05, seed: 1, budget: 16384,
+				synopsis: "/tmp/snap,v2,final.sketch"},
+		},
+		{
+			name: "comma before a known key still splits",
+			in:   "m=dataset:imdb,synopsis=/tmp/a,b.sketch,seed=3",
+			want: sketchSpec{name: "m", dataset: "imdb", scale: 0.05, seed: 3, budget: 16384,
+				synopsis: "/tmp/a,b.sketch"},
+		},
+		{
+			name: "standalone synopsis source",
+			in:   "m=synopsis:/var/sketches/imdb.xsb",
+			want: sketchSpec{name: "m", standalone: "/var/sketches/imdb.xsb", scale: 0.05, seed: 1, budget: 16384},
+		},
+		{
+			name: "standalone synopsis source with commas in path",
+			in:   "m=synopsis:/var/a,b.xsb",
+			want: sketchSpec{name: "m", standalone: "/var/a,b.xsb", scale: 0.05, seed: 1, budget: 16384},
+		},
+		{name: "empty name", in: "=dataset:imdb", wantErr: "empty name"},
+		{name: "unknown source", in: "m=file:/x", wantErr: "source must be"},
+		{name: "empty synopsis path", in: "m=synopsis:", wantErr: "empty synopsis path"},
+		{name: "standalone rejects options", in: "m=synopsis:/a.xsb,budget=1", wantErr: "takes no options"},
+		{name: "unknown option merges into dataset and is rejected", in: "m=dataset:imdb,depth=3", wantErr: "unknown option after the comma"},
+		{name: "malformed float", in: "m=dataset:imdb,scale=big", wantErr: "invalid syntax"},
+		{name: "zero scale rejected", in: "m=dataset:imdb,scale=0", wantErr: "scale must be positive"},
+		{name: "negative scale rejected", in: "m=dataset:imdb,scale=-0.5", wantErr: "scale must be positive"},
+		{name: "zero budget rejected", in: "m=dataset:imdb,budget=0", wantErr: "budget must be positive"},
+		{name: "negative budget rejected", in: "m=dataset:imdb,budget=-1", wantErr: "budget must be positive"},
+		{name: "negative seed rejected", in: "m=dataset:imdb,seed=-4", wantErr: "seed must be non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseSketchSpec(tc.in)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseSketchSpec(%q) = %+v, want error containing %q", tc.in, got, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseSketchSpec(%q) error %q, want it to contain %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseSketchSpec(%q): %v", tc.in, err)
+			}
+			if got != tc.want {
+				t.Fatalf("parseSketchSpec(%q)\n got %+v\nwant %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

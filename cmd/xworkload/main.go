@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"math"
@@ -87,17 +88,14 @@ func main() {
 	}
 
 	if *saveTo != "" {
-		f, err := os.Create(*saveTo)
-		if err != nil {
+		// Encode in memory and write atomically: a crash mid-save must not
+		// leave a torn file that workload.Load later chokes on.
+		var buf bytes.Buffer
+		if err := workload.Save(&buf, w); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := workload.Save(f, w); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
+		if err := cli.WriteFileAtomic(*saveTo, buf.Bytes(), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

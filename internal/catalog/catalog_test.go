@@ -1,0 +1,319 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xsketch/internal/build"
+	"xsketch/internal/cli"
+	"xsketch/internal/twig"
+	"xsketch/internal/workload"
+	"xsketch/internal/xsketch"
+)
+
+// buildFixture builds a refined sketch over a generated dataset plus a
+// workload of queries to compare estimates on.
+func buildFixture(t *testing.T, dataset string, scale float64, budget int, wavelets bool) (*xsketch.Sketch, []*twig.Query) {
+	t.Helper()
+	doc, err := cli.LoadDoc("", dataset, scale, 1)
+	if err != nil {
+		t.Fatalf("load %s: %v", dataset, err)
+	}
+	opts := build.DefaultOptions(budget)
+	opts.MaxSteps = 40
+	opts.Sketch.WaveletValues = wavelets
+	b := build.NewBuilder(doc, opts)
+	b.Run()
+	sk := b.Sketch()
+	if err := sk.Validate(); err != nil {
+		t.Fatalf("built sketch invalid: %v", err)
+	}
+	cfg := workload.DefaultConfig(workload.KindPV)
+	cfg.NumQueries = 60
+	cfg.Seed = 7
+	wl := workload.Generate(doc, cfg)
+	queries := make([]*twig.Query, len(wl.Queries))
+	for i := range wl.Queries {
+		queries[i] = wl.Queries[i].Twig
+	}
+	return sk, queries
+}
+
+// TestRoundTripBitIdentity is the acceptance check of the standalone
+// format: a decoded sketch — detached, no document — must produce
+// Float64bits-identical estimates to the original on every workload query,
+// through both the interpreter and the compiled-plan path.
+func TestRoundTripBitIdentity(t *testing.T) {
+	cases := []struct {
+		dataset  string
+		scale    float64
+		budget   int
+		wavelets bool
+	}{
+		{"xmark", 0.02, 16 * 1024, false},
+		{"imdb", 0.02, 16 * 1024, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dataset, func(t *testing.T) {
+			sk, queries := buildFixture(t, tc.dataset, tc.scale, tc.budget, tc.wavelets)
+			buf, err := EncodeBytes(sk)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, info, err := Decode(bytes.NewReader(buf))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !got.Detached() {
+				t.Fatalf("decoded sketch is not detached")
+			}
+			if info.Nodes != sk.Syn.NumNodes() || info.Edges != sk.Syn.NumEdges() {
+				t.Fatalf("info reports %d nodes / %d edges, sketch has %d / %d",
+					info.Nodes, info.Edges, sk.Syn.NumNodes(), sk.Syn.NumEdges())
+			}
+			if info.ModelBytes != int64(sk.SizeBytes()) || got.SizeBytes() != sk.SizeBytes() {
+				t.Fatalf("size model bytes diverge: info %d, decoded %d, original %d",
+					info.ModelBytes, got.SizeBytes(), sk.SizeBytes())
+			}
+			for i, q := range queries {
+				want := sk.EstimateQuery(q)
+				have := got.EstimateQuery(q)
+				if math.Float64bits(want) != math.Float64bits(have) {
+					t.Fatalf("query %d: original %v (%x), decoded %v (%x)",
+						i, want, math.Float64bits(want), have, math.Float64bits(have))
+				}
+				planned, err := got.EstimateQueryPlanned(q.String())
+				if err != nil {
+					t.Fatalf("query %d: planned estimate: %v", i, err)
+				}
+				if math.Float64bits(want) != math.Float64bits(planned.Estimate) {
+					t.Fatalf("query %d: planned estimate %v diverges from %v", i, planned.Estimate, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeDeterministic: equal sketches encode to equal bytes, and a
+// decoded sketch re-encodes to the very same file.
+func TestEncodeDeterministic(t *testing.T) {
+	sk, _ := buildFixture(t, "xmark", 0.01, 8*1024, false)
+	a, err := EncodeBytes(sk)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	b, err := EncodeBytes(sk)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two encodings of the same sketch differ")
+	}
+	dec, _, err := Decode(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	c, err := EncodeBytes(dec)
+	if err != nil {
+		t.Fatalf("encode decoded: %v", err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatalf("decoded sketch re-encodes to different bytes")
+	}
+}
+
+// TestWriteScanOpen exercises the directory layer end to end.
+func TestWriteScanOpen(t *testing.T) {
+	sk, queries := buildFixture(t, "xmark", 0.01, 8*1024, false)
+	dir := filepath.Join(t.TempDir(), "catalog")
+	path, err := Write(dir, "xmark", sk)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if filepath.Dir(path) != dir || filepath.Base(path) != "xmark"+Ext {
+		t.Fatalf("unexpected written path %s", path)
+	}
+
+	infos, err := Scan(dir)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(infos) != 1 || infos[0].Name != "xmark" || infos[0].Err != nil {
+		t.Fatalf("scan returned %+v", infos)
+	}
+	if infos[0].Nodes != sk.Syn.NumNodes() || infos[0].ModelBytes != int64(sk.SizeBytes()) {
+		t.Fatalf("scan info %+v disagrees with sketch", infos[0])
+	}
+
+	got, info, err := OpenByName(dir, "xmark")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if info.Name != "xmark" || info.Path != path {
+		t.Fatalf("open info %+v", info)
+	}
+	for i, q := range queries {
+		if math.Float64bits(sk.EstimateQuery(q)) != math.Float64bits(got.EstimateQuery(q)) {
+			t.Fatalf("query %d estimate diverges after Write/Open", i)
+		}
+	}
+
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`} {
+		if _, err := Write(dir, bad, sk); err == nil {
+			t.Fatalf("Write accepted invalid name %q", bad)
+		}
+		if _, _, err := OpenByName(dir, bad); err == nil {
+			t.Fatalf("OpenByName accepted invalid name %q", bad)
+		}
+	}
+}
+
+// TestScanReportsCorruptEntries: a scan over a directory holding a corrupt
+// entry surfaces it with Err set instead of failing the whole scan.
+func TestScanReportsCorruptEntries(t *testing.T) {
+	sk, _ := buildFixture(t, "xmark", 0.01, 8*1024, false)
+	dir := t.TempDir()
+	if _, err := Write(dir, "good", sk); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad"+Ext), []byte("not a sketch"), 0o644); err != nil {
+		t.Fatalf("write bad entry: %v", err)
+	}
+	infos, err := Scan(dir)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("scan returned %d entries, want 2", len(infos))
+	}
+	if infos[0].Name != "bad" || infos[0].Err == nil {
+		t.Fatalf("corrupt entry not reported: %+v", infos[0])
+	}
+	if infos[1].Name != "good" || infos[1].Err != nil {
+		t.Fatalf("good entry misreported: %+v", infos[1])
+	}
+}
+
+// rechecksum recomputes the header checksum after a test mutated the
+// payload, so the mutation reaches the structural validators instead of
+// tripping the checksum gate.
+func rechecksum(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(buf[headerSize:]))
+}
+
+// TestDecodeFailureModes drives the documented load failure modes:
+// truncation, checksum mismatch, unsupported version, bad magic, and
+// structural corruption all yield wrapped sentinel errors — never a panic,
+// never a sketch.
+func TestDecodeFailureModes(t *testing.T) {
+	sk, _ := buildFixture(t, "xmark", 0.01, 8*1024, false)
+	buf, err := EncodeBytes(sk)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	check := func(t *testing.T, data []byte, want error) {
+		t.Helper()
+		got, _, err := Decode(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("decode of corrupted input succeeded")
+		}
+		if got != nil {
+			t.Fatalf("decode returned a sketch alongside error %v", err)
+		}
+		if want != nil && !errors.Is(err, want) {
+			t.Fatalf("error %v does not wrap %v", err, want)
+		}
+	}
+
+	t.Run("truncated-header", func(t *testing.T) { check(t, buf[:headerSize-3], ErrTruncated) })
+	t.Run("truncated-payload", func(t *testing.T) { check(t, buf[:len(buf)-5], ErrTruncated) })
+	t.Run("bad-magic", func(t *testing.T) {
+		c := bytes.Clone(buf)
+		c[0] ^= 0xff
+		check(t, c, ErrMagic)
+	})
+	t.Run("unsupported-version", func(t *testing.T) {
+		c := bytes.Clone(buf)
+		binary.LittleEndian.PutUint32(c[4:8], FormatVersion+1)
+		check(t, c, ErrVersion)
+	})
+	t.Run("flipped-payload-byte", func(t *testing.T) {
+		c := bytes.Clone(buf)
+		c[headerSize+40] ^= 0x01
+		check(t, c, ErrChecksum)
+	})
+	t.Run("implausible-node-count", func(t *testing.T) {
+		c := bytes.Clone(buf)
+		binary.LittleEndian.PutUint32(c[headerSize:], 1<<30)
+		rechecksum(c)
+		check(t, c, ErrCorrupt)
+	})
+	t.Run("tag-table-node-mismatch", func(t *testing.T) {
+		// Shrink the tag table so node tags point past it: FromDetached's
+		// cross-check must reject the mismatch.
+		c := bytes.Clone(buf)
+		binary.LittleEndian.PutUint32(c[headerSize+8:], 1)
+		rechecksum(c)
+		check(t, c, ErrCorrupt)
+	})
+	t.Run("trailing-bytes", func(t *testing.T) {
+		c := bytes.Clone(buf)
+		c = append(c, 0)
+		binary.LittleEndian.PutUint64(c[12:20], uint64(len(c)-headerSize))
+		rechecksum(c)
+		check(t, c, ErrCorrupt)
+	})
+
+	// Exhaustive truncation sweep: every prefix must fail cleanly. This is
+	// the no-panic guarantee for arbitrarily cut files.
+	t.Run("every-prefix", func(t *testing.T) {
+		step := 1
+		if len(buf) > 4096 {
+			step = len(buf) / 4096
+		}
+		for i := 0; i < len(buf); i += step {
+			// Re-stamp the payload length so the cut lands inside the
+			// structural decoders, not just the up-front length check.
+			c := bytes.Clone(buf[:i])
+			if i >= headerSize {
+				binary.LittleEndian.PutUint64(c[12:20], uint64(i-headerSize))
+				rechecksum(c)
+			}
+			if sk, _, err := Decode(bytes.NewReader(c)); err == nil || sk != nil {
+				t.Fatalf("prefix of %d bytes decoded without error", i)
+			}
+		}
+	})
+}
+
+// TestSniffFile distinguishes catalog files from the legacy gob format.
+func TestSniffFile(t *testing.T) {
+	sk, _ := buildFixture(t, "xmark", 0.01, 8*1024, false)
+	dir := t.TempDir()
+	path, err := Write(dir, "s", sk)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if ok, err := SniffFile(path); err != nil || !ok {
+		t.Fatalf("SniffFile(catalog) = %v, %v", ok, err)
+	}
+	gob := filepath.Join(dir, "legacy.bin")
+	f, err := os.Create(gob)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := xsketch.Save(f, sk); err != nil {
+		t.Fatalf("gob save: %v", err)
+	}
+	f.Close()
+	if ok, err := SniffFile(gob); err != nil || ok {
+		t.Fatalf("SniffFile(gob) = %v, %v", ok, err)
+	}
+}

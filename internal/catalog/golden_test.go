@@ -1,0 +1,92 @@
+package catalog
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xsketch/internal/twig"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_v1.xsb from the deterministic fixture build")
+
+const goldenPath = "testdata/golden_v1.xsb"
+
+// goldenQuery and goldenEstimateBits pin one estimate over the golden
+// sketch down to the bit. If a format or estimator change shifts this,
+// that change broke compatibility with files already on disk — bump
+// FormatVersion rather than silently re-interpreting version-1 bytes.
+const (
+	goldenQuery        = "t0 in movie, t1 in t0/actor"
+	goldenEstimateBits = 0x407b800000000000 // 440, logged by -update
+)
+
+// TestGoldenFixture decodes the version-1 fixture checked into testdata
+// and verifies (a) it still decodes, (b) re-encoding reproduces the exact
+// bytes on disk, and (c) a pinned estimate is bit-identical. Together
+// these freeze the on-disk format: any encoder/decoder change that would
+// reinterpret existing files fails here instead of in production.
+//
+// Regenerate with `go test ./internal/catalog -run Golden -update` —
+// only alongside a FormatVersion bump.
+func TestGoldenFixture(t *testing.T) {
+	sk, _ := buildFixture(t, "imdb", 0.02, 16*1024, true)
+
+	if *updateGolden {
+		data, err := EncodeBytes(sk)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		est := sk.EstimateQuery(twig.MustParse(goldenQuery))
+		t.Logf("golden fixture rewritten: %d bytes; pin goldenEstimateBits = %#x (estimate %v)",
+			len(data), math.Float64bits(est), est)
+	}
+
+	disk, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden fixture (regenerate with -update): %v", err)
+	}
+
+	got, info, err := Open(goldenPath)
+	if err != nil {
+		t.Fatalf("decode golden fixture: %v", err)
+	}
+	if info.Version != FormatVersion {
+		t.Fatalf("golden fixture version %d, package FormatVersion %d — keep a decoder for old versions or regenerate", info.Version, FormatVersion)
+	}
+
+	// Today's encoder must reproduce the committed bytes exactly, both
+	// from the decoded sketch and from a fresh fixture build.
+	reenc, err := EncodeBytes(got)
+	if err != nil {
+		t.Fatalf("re-encode decoded fixture: %v", err)
+	}
+	if !bytes.Equal(reenc, disk) {
+		t.Fatalf("re-encoding the decoded golden fixture changed the bytes (len %d vs %d) — format drift without a version bump", len(reenc), len(disk))
+	}
+	fresh, err := EncodeBytes(sk)
+	if err != nil {
+		t.Fatalf("encode fresh fixture: %v", err)
+	}
+	if !bytes.Equal(fresh, disk) {
+		t.Fatalf("encoding a freshly built fixture no longer matches the golden file (len %d vs %d) — encoder or builder drift", len(fresh), len(disk))
+	}
+
+	q := twig.MustParse(goldenQuery)
+	wantBits := math.Float64bits(sk.EstimateQuery(q))
+	if pinned := uint64(goldenEstimateBits); pinned != 0 && pinned != wantBits {
+		t.Fatalf("live estimate bits %#x differ from pinned %#x", wantBits, pinned)
+	}
+	if gotBits := math.Float64bits(got.EstimateQuery(q)); gotBits != wantBits {
+		t.Fatalf("golden sketch estimate bits %#x, want %#x", gotBits, wantBits)
+	}
+}

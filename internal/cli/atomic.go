@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers never observe a
+// partial file: the bytes land in a temporary file in the target
+// directory, are flushed to stable storage, and the temp file is renamed
+// over path. A crash mid-write leaves either the old file or the new one,
+// never a torn artifact — which matters for every tool output another
+// process may pick up (xserve scans catalogs xbuild writes; workload and
+// dataset files feed later runs).
+//
+// On any error the temporary file is removed. perm applies to newly
+// created files subject to the process umask, matching os.WriteFile.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("create temp file in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return fmt.Errorf("write %s: %w", tmp, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("sync %s: %w", tmp, err)
+	}
+	if err = f.Chmod(perm); err != nil {
+		return fmt.Errorf("chmod %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("rename %s to %s: %w", tmp, path, err)
+	}
+	return nil
+}

@@ -33,23 +33,37 @@ type Node struct {
 	Tag xmltree.TagID
 	// Extent lists the member elements in ascending order. Extents are
 	// treated as immutable: splits build new slices, so clones may share
-	// them.
+	// them. Detached nodes (FromDetached) have a nil extent and carry only
+	// the stored count.
 	Extent []xmltree.NodeID
 	// Children and Parents list neighbor node IDs in ascending order.
 	Children []NodeID
 	Parents  []NodeID
+	// storedCount is the extent size of a detached node; 0 when the node
+	// has a live extent.
+	storedCount int
 }
 
 // Count returns the extent size |u|.
-func (n *Node) Count() int { return len(n.Extent) }
+func (n *Node) Count() int {
+	if n.Extent == nil {
+		return n.storedCount
+	}
+	return len(n.Extent)
+}
 
-// Synopsis is a graph synopsis over a document.
+// Synopsis is a graph synopsis over a document. A detached synopsis
+// (FromDetached) holds a stub document and per-node counts instead of
+// extents; it supports every estimation read but no repartitioning.
 type Synopsis struct {
 	Doc   *xmltree.Document
 	nodes []*Node
 	// assign maps each element to its synopsis node.
 	assign []NodeID
 	edges  map[[2]NodeID]*Edge
+	// detached marks a synopsis reconstructed from the standalone stored
+	// form (no extents, stub document).
+	detached bool
 }
 
 // LabelSplit builds the coarsest synopsis: one node per distinct tag (the
@@ -175,6 +189,9 @@ func (s *Synopsis) NodesByTag(tag xmltree.TagID) []NodeID {
 // stability flags from the current assignment. It runs in O(|document| +
 // |edges|) and is called after any repartitioning.
 func (s *Synopsis) RecomputeEdges() {
+	if s.detached {
+		panic("graphsyn: cannot recompute edges of a detached synopsis (loaded without its document)")
+	}
 	d := s.Doc
 	s.edges = make(map[[2]NodeID]*Edge, len(s.edges))
 	// Child counts: one pass over document edges.
@@ -237,6 +254,9 @@ func (s *Synopsis) RecomputeEdges() {
 // predicate does not actually split the extent (all or none satisfy it), in
 // which case the synopsis is unchanged. Edges are recomputed.
 func (s *Synopsis) Split(v NodeID, pred func(e xmltree.NodeID) bool) (NodeID, bool) {
+	if s.detached {
+		panic("graphsyn: cannot split a detached synopsis (loaded without its document)")
+	}
 	old := s.nodes[v]
 	var keep, move []xmltree.NodeID
 	for _, e := range old.Extent {
@@ -289,10 +309,11 @@ func (s *Synopsis) FStabilize(u, v NodeID) (NodeID, bool) {
 // (extents are immutable by convention).
 func (s *Synopsis) Clone() *Synopsis {
 	c := &Synopsis{
-		Doc:    s.Doc,
-		nodes:  make([]*Node, len(s.nodes)),
-		assign: make([]NodeID, len(s.assign)),
-		edges:  make(map[[2]NodeID]*Edge, len(s.edges)),
+		Doc:      s.Doc,
+		detached: s.detached,
+		nodes:    make([]*Node, len(s.nodes)),
+		assign:   make([]NodeID, len(s.assign)),
+		edges:    make(map[[2]NodeID]*Edge, len(s.edges)),
 	}
 	copy(c.assign, s.assign)
 	for i, n := range s.nodes {
@@ -312,6 +333,9 @@ func (s *Synopsis) Clone() *Synopsis {
 // document, tags are uniform within nodes, the assignment is consistent
 // with extents, and edge counts/stabilities match a recomputation.
 func (s *Synopsis) Validate() error {
+	if s.detached {
+		return s.validateDetached()
+	}
 	seen := make([]bool, s.Doc.Len())
 	total := 0
 	for _, n := range s.nodes {
@@ -357,6 +381,13 @@ func (s *Synopsis) Validate() error {
 
 // String renders a compact description for diagnostics.
 func (s *Synopsis) String() string {
+	if s.detached {
+		total := 0
+		for _, n := range s.nodes {
+			total += n.Count()
+		}
+		return fmt.Sprintf("synopsis{%d nodes, %d edges over %d elements, detached}", len(s.nodes), len(s.edges), total)
+	}
 	return fmt.Sprintf("synopsis{%d nodes, %d edges over %d elements}", len(s.nodes), len(s.edges), s.Doc.Len())
 }
 

@@ -1,0 +1,364 @@
+package histogram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binary encode/decode hooks for the summary types, used by the standalone
+// synopsis format (internal/catalog). The layouts are little-endian and
+// fully deterministic: equal summaries encode to equal bytes, and decoding
+// reconstructs values whose estimates are Float64bits-identical to the
+// originals (frequencies, centroids and wavelet coefficients travel as raw
+// IEEE-754 bit patterns, never through text formatting). Decoders validate
+// every length prefix against the remaining input and return wrapped
+// errors instead of panicking on truncated or corrupt data.
+
+// Value-summary kind tags written by AppendValueSummaryBinary.
+const (
+	valueSummaryNone    = 0 // nil summary
+	valueSummaryHist    = 1 // *ValueHistogram
+	valueSummaryWavelet = 2 // *Wavelet
+)
+
+// appendUvarint-style fixed-width helpers: the format favors fixed-width
+// little-endian fields over varints so offsets stay predictable and the
+// golden-fixture diff of a corrupted file points at the broken field.
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return appendU64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+// ByteReader is a bounds-checked cursor over an encoded byte slice. Every
+// read reports an error on underflow; the zero error state sticks, so a
+// decode can issue its reads linearly and check once per logical field
+// group.
+type ByteReader struct {
+	data []byte
+	err  error
+}
+
+// NewByteReader wraps data for decoding. It is exported for the catalog
+// package, which shares the same primitive field layout.
+func NewByteReader(data []byte) *ByteReader { return &ByteReader{data: data} }
+
+// Err returns the first read error, or nil.
+func (r *ByteReader) Err() error { return r.err }
+
+// Rest returns the undecoded remainder.
+func (r *ByteReader) Rest() []byte { return r.data }
+
+// Len returns the number of undecoded bytes.
+func (r *ByteReader) Len() int { return len(r.data) }
+
+func (r *ByteReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("histogram: truncated input reading %s (%d bytes left)", what, len(r.data))
+	}
+}
+
+// U32 reads a little-endian uint32.
+func (r *ByteReader) U32(what string) uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 4 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data)
+	r.data = r.data[4:]
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (r *ByteReader) U64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data)
+	r.data = r.data[8:]
+	return v
+}
+
+// I64 reads a little-endian int64.
+func (r *ByteReader) I64(what string) int64 { return int64(r.U64(what)) }
+
+// F64 reads a float64 as raw IEEE-754 bits.
+func (r *ByteReader) F64(what string) float64 { return math.Float64frombits(r.U64(what)) }
+
+// Byte reads one byte.
+func (r *ByteReader) Byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 1 {
+		r.fail(what)
+		return 0
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v
+}
+
+// Bytes reads n raw bytes.
+func (r *ByteReader) Bytes(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data) < n {
+		r.fail(what)
+		return nil
+	}
+	v := r.data[:n]
+	r.data = r.data[n:]
+	return v
+}
+
+// Count reads a uint32 length prefix and validates it against the bytes
+// still available at minBytesPer each, rejecting lengths that could not
+// possibly fit (the standard defense against a corrupt prefix driving a
+// huge allocation).
+func (r *ByteReader) Count(minBytesPer int, what string) int {
+	n := r.U32(what)
+	if r.err != nil {
+		return 0
+	}
+	if minBytesPer > 0 && int(n) > len(r.data)/minBytesPer {
+		r.err = fmt.Errorf("histogram: %s count %d exceeds remaining input (%d bytes)", what, n, len(r.data))
+		return 0
+	}
+	return int(n)
+}
+
+// AppendBinary appends the histogram's binary form: dims, bucket count,
+// then per bucket the frequency followed by the centroid coordinates.
+func (h *Histogram) AppendBinary(buf []byte) []byte {
+	buf = appendU32(buf, uint32(h.dims))
+	buf = appendU32(buf, uint32(len(h.buckets)))
+	for _, b := range h.buckets {
+		buf = appendF64(buf, b.Freq)
+		for _, c := range b.Centroid {
+			buf = appendF64(buf, c)
+		}
+	}
+	return buf
+}
+
+// DecodeHistogramBinary decodes a histogram appended by AppendBinary,
+// returning it with the unconsumed remainder of data.
+func DecodeHistogramBinary(data []byte) (*Histogram, []byte, error) {
+	r := NewByteReader(data)
+	h, err := decodeHistogram(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, r.Rest(), nil
+}
+
+func decodeHistogram(r *ByteReader) (*Histogram, error) {
+	dims := r.U32("histogram dims")
+	if r.Err() == nil && dims > 1<<16 {
+		return nil, fmt.Errorf("histogram: implausible dimensionality %d", dims)
+	}
+	per := 8 * (1 + int(dims))
+	n := r.Count(per, "histogram buckets")
+	h := &Histogram{dims: int(dims)}
+	for i := 0; i < n; i++ {
+		b := Bucket{Freq: r.F64("bucket freq"), Centroid: make([]float64, dims)}
+		for j := range b.Centroid {
+			b.Centroid[j] = r.F64("bucket centroid")
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		h.buckets = append(h.buckets, b)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// AppendBinary appends the equi-depth value histogram's binary form:
+// total, bucket count, then per bucket lo, hi, count, distinct-values.
+func (h *ValueHistogram) AppendBinary(buf []byte) []byte {
+	buf = appendU64(buf, uint64(h.total))
+	buf = appendU32(buf, uint32(len(h.buckets)))
+	for _, b := range h.buckets {
+		buf = appendI64(buf, b.lo)
+		buf = appendI64(buf, b.hi)
+		buf = appendU64(buf, uint64(b.count))
+		buf = appendU64(buf, uint64(b.dv))
+	}
+	return buf
+}
+
+// DecodeValueHistogramBinary decodes a value histogram appended by
+// AppendBinary, returning it with the unconsumed remainder of data.
+func DecodeValueHistogramBinary(data []byte) (*ValueHistogram, []byte, error) {
+	r := NewByteReader(data)
+	h, err := decodeValueHistogram(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, r.Rest(), nil
+}
+
+func decodeValueHistogram(r *ByteReader) (*ValueHistogram, error) {
+	h := &ValueHistogram{total: int(r.U64("value-histogram total"))}
+	n := r.Count(32, "value-histogram buckets")
+	for i := 0; i < n; i++ {
+		b := vbucket{
+			lo:    r.I64("value-bucket lo"),
+			hi:    r.I64("value-bucket hi"),
+			count: int(r.U64("value-bucket count")),
+			dv:    int(r.U64("value-bucket dv")),
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if b.hi < b.lo {
+			return nil, fmt.Errorf("histogram: value bucket %d has inverted range [%d, %d]", i, b.lo, b.hi)
+		}
+		if b.count < 0 || b.dv < 0 {
+			return nil, fmt.Errorf("histogram: value bucket %d has negative counts", i)
+		}
+		h.buckets = append(h.buckets, b)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if h.total < 0 {
+		return nil, fmt.Errorf("histogram: negative value-histogram total %d", h.total)
+	}
+	return h, nil
+}
+
+// AppendBinary appends the wavelet synopsis's binary form: lo, hi, grid,
+// total, then the retained coefficients as (index, value) pairs in
+// ascending index order (deterministic bytes for equal synopses).
+func (w *Wavelet) AppendBinary(buf []byte) []byte {
+	buf = appendI64(buf, w.lo)
+	buf = appendI64(buf, w.hi)
+	buf = appendU32(buf, uint32(w.grid))
+	buf = appendU64(buf, uint64(w.total))
+	idxs := make([]int, 0, len(w.coeffs))
+	//lint:allow maporder indices are sorted immediately below for deterministic output
+	for i := range w.coeffs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	buf = appendU32(buf, uint32(len(idxs)))
+	for _, i := range idxs {
+		buf = appendU32(buf, uint32(i))
+		buf = appendF64(buf, w.coeffs[i])
+	}
+	return buf
+}
+
+// DecodeWaveletBinary decodes a wavelet synopsis appended by AppendBinary,
+// returning it with the unconsumed remainder of data. The reconstruction
+// cache is rebuilt eagerly, exactly as NewWavelet does, so the decoded
+// synopsis is safe for concurrent Selectivity calls.
+func DecodeWaveletBinary(data []byte) (*Wavelet, []byte, error) {
+	r := NewByteReader(data)
+	w, err := decodeWavelet(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, r.Rest(), nil
+}
+
+func decodeWavelet(r *ByteReader) (*Wavelet, error) {
+	w := &Wavelet{
+		lo:     r.I64("wavelet lo"),
+		hi:     r.I64("wavelet hi"),
+		grid:   int(r.U32("wavelet grid")),
+		total:  int(r.U64("wavelet total")),
+		coeffs: map[int]float64{},
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if w.grid < 1 || w.grid > 1<<20 || w.grid&(w.grid-1) != 0 {
+		return nil, fmt.Errorf("histogram: wavelet grid %d is not a positive power of two", w.grid)
+	}
+	if w.total < 0 {
+		return nil, fmt.Errorf("histogram: negative wavelet total %d", w.total)
+	}
+	if w.hi < w.lo {
+		return nil, fmt.Errorf("histogram: wavelet range [%d, %d] inverted", w.lo, w.hi)
+	}
+	n := r.Count(12, "wavelet coefficients")
+	for i := 0; i < n; i++ {
+		idx := int(r.U32("coefficient index"))
+		val := r.F64("coefficient value")
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if idx < 0 || idx >= w.grid {
+			return nil, fmt.Errorf("histogram: wavelet coefficient index %d outside grid %d", idx, w.grid)
+		}
+		if _, dup := w.coeffs[idx]; dup {
+			return nil, fmt.Errorf("histogram: duplicate wavelet coefficient index %d", idx)
+		}
+		w.coeffs[idx] = val
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	w.reconstruct()
+	return w, nil
+}
+
+// AppendValueSummaryBinary appends a kind-tagged value summary (nil, an
+// equi-depth histogram, or a wavelet synopsis).
+func AppendValueSummaryBinary(buf []byte, s ValueSummary) ([]byte, error) {
+	switch v := s.(type) {
+	case nil:
+		return append(buf, valueSummaryNone), nil
+	case *ValueHistogram:
+		return v.AppendBinary(append(buf, valueSummaryHist)), nil
+	case *Wavelet:
+		return v.AppendBinary(append(buf, valueSummaryWavelet)), nil
+	default:
+		return nil, fmt.Errorf("histogram: cannot encode value summary of type %T", s)
+	}
+}
+
+// DecodeValueSummaryBinary decodes a kind-tagged value summary appended by
+// AppendValueSummaryBinary; a nil summary decodes to nil.
+func DecodeValueSummaryBinary(data []byte) (ValueSummary, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, fmt.Errorf("histogram: truncated input reading value-summary kind")
+	}
+	kind, rest := data[0], data[1:]
+	switch kind {
+	case valueSummaryNone:
+		return nil, rest, nil
+	case valueSummaryHist:
+		h, rest, err := DecodeValueHistogramBinary(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return h, rest, nil
+	case valueSummaryWavelet:
+		w, rest, err := DecodeWaveletBinary(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return w, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("histogram: unknown value-summary kind %d", kind)
+	}
+}

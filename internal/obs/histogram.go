@@ -120,12 +120,19 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
-// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts by
-// linear interpolation inside the selected bucket, the same estimate
-// Prometheus's histogram_quantile computes server-side. It returns 0 when
+// Quantile estimates the q-quantile from the bucket counts by linear
+// interpolation inside the selected bucket, the same estimate
+// Prometheus's histogram_quantile computes server-side. q is clamped to
+// [0, 1] (NaN counts as 0), so out-of-range inputs can never interpolate
+// past a bucket edge into negative or inflated values. It returns 0 when
 // nothing has been observed; samples landing in the +Inf bucket clamp to
 // the largest finite bound.
 func (h *Histogram) Quantile(q float64) float64 {
+	if !(q > 0) { // catches q <= 0 and NaN
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	total := h.count.Load()
 	if total == 0 {
 		return 0

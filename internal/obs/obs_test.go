@@ -164,6 +164,31 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileClampsQ is the regression test for out-of-range q:
+// q < 0 used to interpolate below the bucket's lower edge (negative
+// latencies), q > 1 walked past every bucket, and NaN poisoned the rank
+// arithmetic. All now clamp to [0, 1].
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("clamp_seconds", "q", []float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	lo, hi := h.Quantile(0), h.Quantile(1)
+	for _, q := range []float64{-1, -0.001, 1.001, 50, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		got := h.Quantile(q)
+		if math.IsNaN(got) || got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", q, got, lo, hi)
+		}
+	}
+	if got := h.Quantile(-5); got != lo {
+		t.Errorf("Quantile(-5) = %v, want Quantile(0) = %v", got, lo)
+	}
+	if got := h.Quantile(5); got != hi {
+		t.Errorf("Quantile(5) = %v, want Quantile(1) = %v", got, hi)
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	r := NewRegistry()
 	h := r.NewHistogram("c_seconds", "c", []float64{1})

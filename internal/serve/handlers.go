@@ -93,6 +93,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, tid, err)
 		return
 	}
+	// One atomic load pins this request to a single synopsis generation:
+	// a concurrent hot swap never changes the sketch mid-estimate.
+	st := e.state.Load()
 	q, err := twig.Parse(req.Query)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, tid, fmt.Errorf("malformed twig query: %w", err))
@@ -115,9 +118,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		// Hot path: serve from the sketch's compiled-plan cache. The plan
 		// is bit-identical to the interpreter, so flipping the planner on
 		// or off never changes a response body.
-		res, err = e.Sketch.Sketch.EstimatePlanContext(ctx, e.Sketch.Sketch.PlanQuery(q))
+		res, err = st.sk.EstimatePlanContext(ctx, st.sk.PlanQuery(q))
 	} else {
-		res, err = e.Sketch.Sketch.EstimateQueryTraced(ctx, q, rec)
+		res, err = st.sk.EstimateQueryTraced(ctx, q, rec)
 	}
 	if err != nil {
 		s.writeEstimateError(w, tid, err)
@@ -127,10 +130,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.m.estLatency.Observe(elapsed.Seconds())
 	s.m.observeTrace(rec)
 	if res.Truncated {
-		s.m.truncated.With(e.Name).Inc()
+		s.m.truncated.With(e.name).Inc()
 	}
 	resp := estimateResponse{
-		Sketch:         e.Name,
+		Sketch:         e.name,
 		Query:          q.String(),
 		Estimate:       res.Estimate,
 		Truncated:      res.Truncated,
@@ -154,6 +157,7 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, tid, err)
 		return
 	}
+	st := e.state.Load()
 	if len(req.Queries) == 0 {
 		s.writeError(w, http.StatusBadRequest, tid, errors.New("empty batch"))
 		return
@@ -205,9 +209,9 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var results []core.EstimateResult
 	if s.cfg.DisablePlanner {
-		results, err = e.Sketch.Sketch.EstimateBatchContext(ctx, plainQueries, workers)
+		results, err = st.sk.EstimateBatchContext(ctx, plainQueries, workers)
 	} else {
-		results, err = e.Sketch.Sketch.EstimateBatchPlannedContext(ctx, plainQueries, workers)
+		results, err = st.sk.EstimateBatchPlannedContext(ctx, plainQueries, workers)
 	}
 	if err != nil {
 		s.writeEstimateError(w, tid, err)
@@ -224,7 +228,7 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		rec := trace.NewRecorder(trace.Options{})
-		res, err := e.Sketch.Sketch.EstimateQueryTraced(ctx, queries[i], rec)
+		res, err := st.sk.EstimateQueryTraced(ctx, queries[i], rec)
 		if err == nil && s.testHookExplainItem != nil {
 			err = s.testHookExplainItem(i)
 		}
@@ -241,11 +245,11 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	s.m.batchSize.Add(uint64(len(queries)))
 	for i := range out {
 		if out[i].Truncated {
-			s.m.truncated.With(e.Name).Inc()
+			s.m.truncated.With(e.name).Inc()
 		}
 	}
 	s.writeJSON(w, http.StatusOK, batchResponse{
-		Sketch:         e.Name,
+		Sketch:         e.name,
 		Count:          len(out),
 		Results:        out,
 		ElapsedSeconds: elapsed.Seconds(),
@@ -260,6 +264,7 @@ type sketchInfo struct {
 	Nodes     int           `json:"nodes"`
 	Edges     int           `json:"edges"`
 	SizeBytes int           `json:"size_bytes"`
+	Swaps     uint64        `json:"swaps"`
 	Estimator estimatorInfo `json:"estimator"`
 }
 
@@ -275,18 +280,20 @@ func (s *Server) handleSketches(w http.ResponseWriter, r *http.Request) {
 	out := make([]sketchInfo, 0, len(s.names))
 	for _, name := range s.names {
 		e := s.entries[name]
-		st := e.view.Snapshot()
+		st := e.state.Load()
+		cs := st.view.Snapshot()
 		out = append(out, sketchInfo{
-			Name:      e.Name,
-			Source:    e.Source,
-			Nodes:     e.nodes,
-			Edges:     e.edges,
-			SizeBytes: e.sizeBytes,
+			Name:      e.name,
+			Source:    st.source,
+			Nodes:     st.nodes,
+			Edges:     st.edges,
+			SizeBytes: st.sizeBytes,
+			Swaps:     e.swaps.Load(),
 			Estimator: estimatorInfo{
-				Hits:      st.Hits,
-				Misses:    st.Misses,
-				Evictions: st.Evictions,
-				HitRate:   st.HitRate(),
+				Hits:      cs.Hits,
+				Misses:    cs.Misses,
+				Evictions: cs.Evictions,
+				HitRate:   cs.HitRate(),
 			},
 		})
 	}

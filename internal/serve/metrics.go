@@ -23,6 +23,8 @@ type metrics struct {
 
 	batchItemErrs *obs.Counter // xserve_batch_item_errors_total
 
+	reloadErrs *obs.Counter // xserve_reload_errors_total
+
 	traced      *obs.Counter      // xserve_traced_requests_total
 	stageLat    *obs.HistogramVec // xserve_estimate_stage_latency_seconds{stage}
 	traceEvents *obs.CounterVec   // xserve_trace_events_total{kind}
@@ -52,6 +54,8 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 			"Estimates whose embedding enumeration hit MaxEmbeddings.", "sketch"),
 		batchItemErrs: reg.NewCounter("xserve_batch_item_errors_total",
 			"Batch items answered with a per-item error (the batch itself succeeded)."),
+		reloadErrs: reg.NewCounter("xserve_reload_errors_total",
+			"Failed /admin/reload attempts (the served sketch stayed untouched)."),
 		traced: reg.NewCounter("xserve_traced_requests_total",
 			"Estimates served with explain tracing enabled."),
 		stageLat: reg.NewHistogramVec("xserve_estimate_stage_latency_seconds",
@@ -89,17 +93,23 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 		"Compiled plans dropped for capacity or staleness per served sketch.", "counter")
 	planSize := reg.NewFuncFamily("xserve_sketch_plan_cache_size",
 		"Compiled plans currently cached per served sketch.", "gauge")
+	swaps := reg.NewFuncFamily("xserve_sketch_swaps_total",
+		"Hot swaps applied per served sketch (/admin/reload, SIGHUP, SwapSketch).", "counter")
+	// Every closure loads the entry's current state, so a scrape right
+	// after a hot swap reports the new synopsis — and the swap counter is
+	// pre-created per name, so its zero is visible before the first swap.
 	for _, name := range s.names {
 		e := s.entries[name]
-		hits.Attach(func() float64 { return float64(e.view.Snapshot().Hits) }, "sketch", name)
-		misses.Attach(func() float64 { return float64(e.view.Snapshot().Misses) }, "sketch", name)
-		evictions.Attach(func() float64 { return float64(e.view.Snapshot().Evictions) }, "sketch", name)
-		ratio.Attach(func() float64 { return e.view.Snapshot().HitRate() }, "sketch", name)
-		size.Attach(func() float64 { return float64(e.sizeBytes) }, "sketch", name)
-		planHits.Attach(func() float64 { return float64(e.Sketch.Sketch.PlanCacheStats().Hits) }, "sketch", name)
-		planMisses.Attach(func() float64 { return float64(e.Sketch.Sketch.PlanCacheStats().Misses) }, "sketch", name)
-		planEvictions.Attach(func() float64 { return float64(e.Sketch.Sketch.PlanCacheStats().Evictions) }, "sketch", name)
-		planSize.Attach(func() float64 { return float64(e.Sketch.Sketch.PlanCacheStats().Size) }, "sketch", name)
+		hits.Attach(func() float64 { return float64(e.state.Load().view.Snapshot().Hits) }, "sketch", name)
+		misses.Attach(func() float64 { return float64(e.state.Load().view.Snapshot().Misses) }, "sketch", name)
+		evictions.Attach(func() float64 { return float64(e.state.Load().view.Snapshot().Evictions) }, "sketch", name)
+		ratio.Attach(func() float64 { return e.state.Load().view.Snapshot().HitRate() }, "sketch", name)
+		size.Attach(func() float64 { return float64(e.state.Load().sizeBytes) }, "sketch", name)
+		planHits.Attach(func() float64 { return float64(e.state.Load().sk.PlanCacheStats().Hits) }, "sketch", name)
+		planMisses.Attach(func() float64 { return float64(e.state.Load().sk.PlanCacheStats().Misses) }, "sketch", name)
+		planEvictions.Attach(func() float64 { return float64(e.state.Load().sk.PlanCacheStats().Evictions) }, "sketch", name)
+		planSize.Attach(func() float64 { return float64(e.state.Load().sk.PlanCacheStats().Size) }, "sketch", name)
+		swaps.Attach(func() float64 { return float64(e.swaps.Load()) }, "sketch", name)
 	}
 
 	// Pre-create one stage series per pipeline stage so the scrape catalog

@@ -36,6 +36,8 @@ var documentedSeries = map[string]string{
 	"xserve_sketch_plan_cache_evictions_total": "counter",
 	"xserve_sketch_plan_cache_size":            "gauge",
 	"xserve_batch_item_errors_total":           "counter",
+	"xserve_sketch_swaps_total":                "counter",
+	"xserve_reload_errors_total":               "counter",
 	"xserve_sketch_size_bytes":                 "gauge",
 	"xserve_goroutines":                        "gauge",
 	"xserve_uptime_seconds":                    "gauge",

@@ -38,6 +38,11 @@ type Config struct {
 	DisablePlanner bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof.
 	EnablePprof bool
+	// CatalogDir is the sketch-catalog directory backing hot reloads: a
+	// POST /admin/reload (or a SIGHUP in cmd/xserve) without an explicit
+	// path re-opens the named entry from here. Empty disables the
+	// directory default; reloads then require a path in the request.
+	CatalogDir string
 	// Logger receives one structured JSON line per request; nil disables
 	// logging.
 	Logger *obs.Logger
@@ -71,14 +76,41 @@ type Sketch struct {
 	Sketch *core.Sketch
 }
 
-// entry is a served sketch plus its per-sketch telemetry handles.
-type entry struct {
-	Sketch
+// sketchState is one immutable generation of a served synopsis: the
+// sketch, its cache view, and the size figures reported by /sketches and
+// the per-sketch gauges. A hot swap publishes a brand-new state; nothing
+// in an old state is ever mutated, so a request that loaded the pointer
+// keeps a fully consistent synopsis until it finishes.
+type sketchState struct {
+	source    string
+	sk        *core.Sketch
 	view      core.EstimatorCacheView
-	truncated *obs.Counter
 	sizeBytes int
 	nodes     int
 	edges     int
+}
+
+func newSketchState(source string, sk *core.Sketch) *sketchState {
+	return &sketchState{
+		source:    source,
+		sk:        sk,
+		view:      sk.EstimatorCache(),
+		sizeBytes: sk.SizeBytes(),
+		nodes:     sk.Syn.NumNodes(),
+		edges:     sk.Syn.NumEdges(),
+	}
+}
+
+// entry is one served sketch name. The name set is fixed at New; what a
+// name serves is the atomically swappable state (the same
+// pointer-generation idiom as the estimator and plan caches): handlers
+// load the pointer once per request, SwapSketch stores a new one, and
+// in-flight estimates finish on the state they loaded — no request ever
+// observes a half-loaded synopsis.
+type entry struct {
+	name  string
+	state atomic.Pointer[sketchState]
+	swaps atomic.Uint64
 }
 
 // Server is the xserve HTTP service: a fixed set of sketches, the
@@ -131,13 +163,9 @@ func New(cfg Config, sketches []Sketch) (*Server, error) {
 		if _, dup := s.entries[sk.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate sketch name %q", sk.Name)
 		}
-		s.entries[sk.Name] = &entry{
-			Sketch:    sk,
-			view:      sk.Sketch.EstimatorCache(),
-			sizeBytes: sk.Sketch.SizeBytes(),
-			nodes:     sk.Sketch.Syn.NumNodes(),
-			edges:     sk.Sketch.Syn.NumEdges(),
-		}
+		e := &entry{name: sk.Name}
+		e.state.Store(newSketchState(sk.Source, sk.Sketch))
+		s.entries[sk.Name] = e
 		s.names = append(s.names, sk.Name)
 	}
 	sort.Strings(s.names)
@@ -148,6 +176,7 @@ func New(cfg Config, sketches []Sketch) (*Server, error) {
 	s.mux.HandleFunc("GET /sketches", s.instrument("/sketches", s.handleSketches))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /admin/reload", s.instrument("/admin/reload", s.handleReload))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

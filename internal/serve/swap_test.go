@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"xsketch/internal/catalog"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmlgen"
+	core "xsketch/internal/xsketch"
+)
+
+// newScaledSketch builds an IMDB sketch at the given scale, so tests can
+// swap between two synopses with observably different estimates.
+func newScaledSketch(t *testing.T, scale float64) *core.Sketch {
+	t.Helper()
+	d := xmlgen.Generate("imdb", xmlgen.Config{Seed: 1, Scale: scale})
+	return core.New(d, core.DefaultConfig())
+}
+
+func estimateOnce(t *testing.T, url string) float64 {
+	t.Helper()
+	resp, body := postJSON(t, url+"/estimate", fmt.Sprintf(`{"sketch":"imdb","query":%q}`, testQuery))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status %d, body %s", resp.StatusCode, body)
+	}
+	var er estimateResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return er.Estimate
+}
+
+// TestSwapSketch: a swap atomically changes what a name answers with, and
+// the listing plus swap metric reflect it.
+func TestSwapSketch(t *testing.T) {
+	small := newScaledSketch(t, 0.02)
+	big := newScaledSketch(t, 0.05)
+	wantSmall := small.EstimateQuery(twig.MustParse(testQuery))
+	wantBig := big.EstimateQuery(twig.MustParse(testQuery))
+	if math.Float64bits(wantSmall) == math.Float64bits(wantBig) {
+		t.Fatalf("fixture sketches estimate identically; swap would be unobservable")
+	}
+
+	s, ts := newTestServer(t, small, nil)
+	if got := estimateOnce(t, ts.URL); math.Float64bits(got) != math.Float64bits(wantSmall) {
+		t.Fatalf("pre-swap estimate %v, want %v", got, wantSmall)
+	}
+	if err := s.SwapSketch("imdb", "test:big", big); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	if got := estimateOnce(t, ts.URL); math.Float64bits(got) != math.Float64bits(wantBig) {
+		t.Fatalf("post-swap estimate %v, want %v", got, wantBig)
+	}
+	if n := s.Swaps("imdb"); n != 1 {
+		t.Fatalf("swap count %d, want 1", n)
+	}
+
+	_, body := getBody(t, ts.URL+"/sketches")
+	var infos []sketchInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatalf("unmarshal sketches: %v", err)
+	}
+	if len(infos) != 1 || infos[0].Swaps != 1 || infos[0].Source != "test:big" {
+		t.Fatalf("listing after swap: %+v", infos)
+	}
+	if infos[0].Nodes != big.Syn.NumNodes() || infos[0].SizeBytes != big.SizeBytes() {
+		t.Fatalf("listing still reports old sketch: %+v", infos[0])
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `xserve_sketch_swaps_total{sketch="imdb"} 1`) {
+		t.Fatalf("swap metric not incremented:\n%s", metrics)
+	}
+
+	if err := s.SwapSketch("nope", "x", big); err == nil {
+		t.Fatalf("swap of unknown name succeeded")
+	}
+	if err := s.SwapSketch("imdb", "x", nil); err == nil {
+		t.Fatalf("swap with nil sketch succeeded")
+	}
+}
+
+// TestSwapDrainOrdering is the acceptance check for hot-swap under load:
+// an estimate admitted before the swap finishes on the sketch it loaded —
+// the swap neither drops nor retargets it — while requests after the swap
+// see only the new synopsis.
+func TestSwapDrainOrdering(t *testing.T) {
+	small := newScaledSketch(t, 0.02)
+	big := newScaledSketch(t, 0.05)
+	wantSmall := small.EstimateQuery(twig.MustParse(testQuery))
+	wantBig := big.EstimateQuery(twig.MustParse(testQuery))
+
+	s, ts := newTestServer(t, small, nil)
+	admitted := make(chan struct{})
+	proceed := make(chan struct{})
+	var hookOnce sync.Once
+	s.testHookEstimate = func() {
+		hookOnce.Do(func() {
+			close(admitted)
+			<-proceed
+		})
+	}
+
+	res := make(chan float64, 1)
+	go func() {
+		res <- estimateOnce(t, ts.URL)
+	}()
+	<-admitted
+	// The first request sits inside the handler, holding its loaded state.
+	if err := s.SwapSketch("imdb", "test:big", big); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	close(proceed)
+	if got := <-res; math.Float64bits(got) != math.Float64bits(wantSmall) {
+		t.Fatalf("in-flight estimate %v, want pre-swap %v", got, wantSmall)
+	}
+	if got := estimateOnce(t, ts.URL); math.Float64bits(got) != math.Float64bits(wantBig) {
+		t.Fatalf("post-swap estimate %v, want %v", got, wantBig)
+	}
+}
+
+// TestReloadEndpoint drives POST /admin/reload against a real catalog
+// directory: a successful reload swaps in the detached sketch with
+// bit-identical estimates, and every failure mode leaves the served
+// synopsis untouched while counting xserve_reload_errors_total.
+func TestReloadEndpoint(t *testing.T) {
+	live := newScaledSketch(t, 0.02)
+	want := live.EstimateQuery(twig.MustParse(testQuery))
+	dir := t.TempDir()
+	if _, err := catalog.Write(dir, "imdb", live); err != nil {
+		t.Fatalf("catalog write: %v", err)
+	}
+
+	s, ts := newTestServer(t, live, func(c *Config) { c.CatalogDir = dir })
+
+	resp, body := postJSON(t, ts.URL+"/admin/reload", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d, body %s", resp.StatusCode, body)
+	}
+	var rr reloadResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("unmarshal reload response: %v", err)
+	}
+	if rr.Sketch != "imdb" || rr.Swaps != 1 || rr.Nodes != live.Syn.NumNodes() {
+		t.Fatalf("reload response %+v", rr)
+	}
+	// The reloaded sketch is the detached catalog form; estimates must be
+	// bit-identical to the document-backed original.
+	if got := estimateOnce(t, ts.URL); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("estimate after reload %v, want %v", got, want)
+	}
+
+	// Unknown sketch name: 404, no swap.
+	resp, body = postJSON(t, ts.URL+"/admin/reload", `{"sketch":"nope"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("reload of unknown sketch: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Corrupt catalog file: 422, served sketch untouched.
+	bad := filepath.Join(dir, "broken.xsb")
+	if err := os.WriteFile(bad, []byte("XSKBgarbage"), 0o644); err != nil {
+		t.Fatalf("write corrupt file: %v", err)
+	}
+	resp, body = postJSON(t, ts.URL+"/admin/reload", fmt.Sprintf(`{"path":%q}`, bad))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("reload of corrupt file: status %d, body %s", resp.StatusCode, body)
+	}
+	if got := estimateOnce(t, ts.URL); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("estimate changed after failed reload: %v, want %v", got, want)
+	}
+	if n := s.Swaps("imdb"); n != 1 {
+		t.Fatalf("failed reloads changed swap count to %d", n)
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "xserve_reload_errors_total 2") {
+		t.Fatalf("reload error counter not at 2:\n%s", metrics)
+	}
+}
+
+// TestReloadWithoutCatalogDir: with no directory configured and no path in
+// the request, reload fails cleanly.
+func TestReloadWithoutCatalogDir(t *testing.T) {
+	live := newScaledSketch(t, 0.02)
+	_, ts := newTestServer(t, live, nil)
+	resp, body := postJSON(t, ts.URL+"/admin/reload", `{}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("reload without catalog dir: status %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "no catalog directory") {
+		t.Fatalf("unexpected error body %s", body)
+	}
+}

@@ -1,0 +1,29 @@
+package xmltree
+
+import "fmt"
+
+// NewStubDocument builds a single-element document carrying a prescribed
+// tag table: tags[i] is interned with TagID i, and the lone root element
+// carries rootTag. Standalone synopsis loading (internal/catalog) uses
+// stubs to satisfy the estimator's two remaining document needs — label
+// lookup (LookupTag) and the root element (Root) — without materializing
+// the original tree. A stub is not a valid estimation target itself: it
+// has one element and no values.
+func NewStubDocument(tags []string, rootTag TagID) (*Document, error) {
+	if len(tags) == 0 {
+		return nil, fmt.Errorf("xmltree: stub document needs at least one tag")
+	}
+	if rootTag < 0 || int(rootTag) >= len(tags) {
+		return nil, fmt.Errorf("xmltree: stub root tag %d outside table of %d tags", rootTag, len(tags))
+	}
+	d := &Document{tagIndex: make(map[string]TagID, len(tags))}
+	for i, t := range tags {
+		if _, dup := d.tagIndex[t]; dup {
+			return nil, fmt.Errorf("xmltree: duplicate tag %q in stub tag table", t)
+		}
+		d.tags = append(d.tags, t)
+		d.tagIndex[t] = TagID(i)
+	}
+	d.Nodes = append(d.Nodes, Node{Parent: NilNode, Tag: rootTag})
+	return d, nil
+}

@@ -184,6 +184,9 @@ func (sk *Sketch) RebuildAll() {
 // invalidates the estimation cache: memoized sub-results reference the
 // synopsis structure and the summaries, both of which may have changed.
 func (sk *Sketch) RebuildNode(id graphsyn.NodeID) {
+	if sk.Syn.Detached() {
+		panic("xsketch: cannot rebuild a detached sketch (loaded without its document)")
+	}
 	sk.InvalidateEstimatorCache()
 	s := sk.Summaries[id]
 	if s == nil {

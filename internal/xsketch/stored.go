@@ -1,0 +1,36 @@
+package xsketch
+
+import (
+	"fmt"
+
+	"xsketch/internal/graphsyn"
+)
+
+// FromStored assembles a sketch directly from a decoded synopsis and
+// fully-populated summaries, without replaying construction against a
+// document. It is the entry point for the standalone binary format
+// (internal/catalog): the summaries must already carry their scopes and
+// histograms — nothing is rebuilt — and the synopsis is typically detached
+// (graphsyn.FromDetached). The assembled sketch is validated: every node
+// needs a summary with a histogram whose dimensionality matches its scope,
+// and every scope edge must lie within the node's twig stable neighborhood
+// exactly as Validate enforces for built sketches.
+func FromStored(syn *graphsyn.Synopsis, summaries map[graphsyn.NodeID]*NodeSummary, cfg Config) (*Sketch, error) {
+	if syn == nil {
+		return nil, fmt.Errorf("xsketch: stored sketch has no synopsis")
+	}
+	if len(summaries) != syn.NumNodes() {
+		return nil, fmt.Errorf("xsketch: %d summaries for %d synopsis nodes", len(summaries), syn.NumNodes())
+	}
+	sk := &Sketch{Syn: syn, Summaries: summaries, Cfg: cfg}
+	if err := sk.Validate(); err != nil {
+		return nil, fmt.Errorf("xsketch: stored sketch invalid: %w", err)
+	}
+	return sk, nil
+}
+
+// Detached reports whether the sketch was loaded from the standalone
+// stored form (no document, no extents). Detached sketches support every
+// estimation path — interpreter, compiled plans, batches, tracing — but
+// cannot be rebuilt or refined: RebuildNode and RebuildAll panic.
+func (sk *Sketch) Detached() bool { return sk.Syn.Detached() }

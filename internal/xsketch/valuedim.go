@@ -169,6 +169,12 @@ func (sk *Sketch) valueDimValid(id graphsyn.NodeID, vd *ValueDim) bool {
 			return false
 		}
 	}
+	if sk.Syn.Detached() {
+		// No extents to consult; the bin-shape and source checks above are
+		// the full detached validation (a stored dimension was valid when
+		// the sketch was built, and detached sketches never rebuild).
+		return true
+	}
 	d := sk.Syn.Doc
 	for _, e := range sk.Syn.Node(vd.Source).Extent {
 		if d.Node(e).HasValue {
