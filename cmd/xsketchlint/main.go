@@ -1,14 +1,24 @@
 // Command xsketchlint runs the repo's invariant analyzers (divguard,
-// maporder, sketchmutate, nondeterminism, pkgdoc) over Go packages.
+// maporder, sketchmutate, nondeterminism, pkgdoc, atomicsnap, poolscratch,
+// hotalloc, ctxflow, detachedmutate) over Go packages.
 //
 // Standalone use, from anywhere in the module:
 //
 //	go run ./cmd/xsketchlint ./...
 //	go run ./cmd/xsketchlint -only pkgdoc ./...
+//	go run ./cmd/xsketchlint -format sarif ./... > lint.sarif
+//	go run ./cmd/xsketchlint -audit-suppressions ./...
 //
-// It exits 1 and prints file:line:col: message [analyzer] lines when
-// unsuppressed findings exist, 0 when clean. It also speaks enough of the
-// vet tool protocol (-V=full plus *.cfg package units) to be used as
+// It exits 1 when unsuppressed findings exist, 0 when clean, and 2 when the
+// tool itself failed (a package failed to load, a pattern matched nothing,
+// or an analyzer returned an error) — so a broken run can never read as a
+// clean one. -format selects text (file:line:col: message [analyzer]
+// lines), json (an array of finding objects), or sarif (a SARIF 2.1.0 log
+// with repo-relative paths, uploadable to code-scanning UIs).
+// -audit-suppressions inverts the run: instead of findings it reports every
+// //lint:allow directive that no longer suppresses anything. It also speaks
+// enough of the vet tool protocol (-V=full plus *.cfg package units) to be
+// used as
 //
 //	go vet -vettool=$(which xsketchlint) ./...
 package main
@@ -40,13 +50,21 @@ func main() {
 	}
 	version := flag.String("V", "", "print version and exit (vet protocol)")
 	only := flag.String("only", "", "comma-separated analyzer names to report (default: all)")
+	format := flag.String("format", "text", "output format: text, json or sarif")
+	audit := flag.Bool("audit-suppressions", false, "report stale //lint:allow directives instead of findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xsketchlint [-only analyzers] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: xsketchlint [-only analyzers] [-format text|json|sarif] [-audit-suppressions] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "xsketchlint: unknown -format %q (want text, json or sarif)\n", *format)
+		os.Exit(2)
+	}
 	if *version != "" {
 		// `go vet` probes the tool with -V=full and requires the line to
 		// end in a buildID= field it can cache against; hash the binary so
@@ -82,12 +100,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	findings, err := lint.Run(dir, args...)
+	run := lint.Run
+	if *audit {
+		run = lint.AuditSuppressions
+	}
+	findings, err := run(dir, args...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *only != "" {
+	if *only != "" && !*audit {
 		// Malformed-suppression findings (analyzer "lint") always survive
 		// the filter: a broken directive must not hide behind -only.
 		keep := map[string]bool{"lint": true}
@@ -111,16 +133,35 @@ func main() {
 		}
 		findings = kept
 	}
-	lint.Print(os.Stdout, findings)
-	if len(findings) > 0 {
-		os.Exit(1)
+	var werr error
+	switch *format {
+	case "json":
+		werr = lint.PrintJSON(os.Stdout, findings)
+	case "sarif":
+		werr = lint.PrintSARIF(os.Stdout, dir, findings)
+	default:
+		lint.Print(os.Stdout, findings)
 	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		os.Exit(2)
+	}
+	code := 0
+	for _, f := range findings {
+		code = 1
+		if f.Internal {
+			code = 2
+			break
+		}
+	}
+	os.Exit(code)
 }
 
 // vetConfig is the subset of the JSON package unit `go vet` hands a vettool.
 type vetConfig struct {
 	Dir         string
 	ImportPath  string
+	ModulePath  string
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
@@ -141,6 +182,14 @@ func runVetUnit(path string) int {
 		fmt.Fprintf(os.Stderr, "xsketchlint: parsing %s: %v\n", path, err)
 		return 2
 	}
+	// `go vet` hands the tool every dependency unit — including the
+	// standard library — so fact-based analyzers can run modularly. This
+	// suite keeps no facts and its rules are repo invariants, so analyzing
+	// the stdlib would only spray pkgdoc findings over code we don't own.
+	// Standard-library units are the ones outside any module.
+	if cfg.ModulePath == "" {
+		return 0
+	}
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -156,6 +205,11 @@ func runVetUnit(path string) int {
 			return 2
 		}
 		files = append(files, f)
+	}
+	// External test packages (foo_test) consist entirely of _test.go files,
+	// all filtered above; there is nothing left to analyze.
+	if len(files) == 0 {
+		return 0
 	}
 	lookup := func(importPath string) (io.ReadCloser, error) {
 		if mapped, ok := cfg.ImportMap[importPath]; ok {

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "xsketchlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Dir = filepath.Join(repoRoot(t), "cmd", "xsketchlint")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building tool: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = repoRoot(t)
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running tool: %v", err)
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+// TestExitCodes pins the 0/1/2 contract: clean run, findings, tool failure.
+// The load-failure case is the regression test for the bug where a mistyped
+// pattern silently analyzed zero packages and exited 0.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the tool")
+	}
+	bin := buildTool(t)
+
+	_, stderr, code := runTool(t, bin, "./does/not/exist")
+	if code != 2 {
+		t.Errorf("nonexistent pattern: exit = %d, want 2 (stderr %q)", code, stderr)
+	}
+	if stderr == "" {
+		t.Error("nonexistent pattern: want a loader error on stderr")
+	}
+
+	_, stderr, code = runTool(t, bin, "./does/not/exist/...")
+	if code != 2 {
+		t.Errorf("no-match pattern: exit = %d, want 2 (stderr %q)", code, stderr)
+	}
+
+	_, stderr, code = runTool(t, bin, "-format", "bogus", "./internal/plan/")
+	if code != 2 {
+		t.Errorf("unknown -format: exit = %d, want 2 (stderr %q)", code, stderr)
+	}
+
+	stdout, _, code := runTool(t, bin, "./internal/plan/")
+	if code != 0 {
+		t.Errorf("clean package: exit = %d, want 0 (stdout %q)", code, stdout)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the tool")
+	}
+	bin := buildTool(t)
+	stdout, stderr, code := runTool(t, bin, "-format", "sarif", "./internal/plan/")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr %q)", code, stderr)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version/runs = %q/%d, want 2.1.0/1", log.Version, len(log.Runs))
+	}
+	if log.Runs[0].Tool.Driver.Name != "xsketchlint" || len(log.Runs[0].Tool.Driver.Rules) == 0 {
+		t.Error("SARIF run missing tool driver or rule table")
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean package produced %d SARIF results", len(log.Runs[0].Results))
+	}
+}
+
+// TestVetToolSkipsStdlib is the regression test for vettool mode reporting
+// pkgdoc findings against standard-library dependency units: `go vet` hands
+// the tool every dependency's package unit, and units outside any module
+// must be skipped, not analyzed.
+func TestVetToolSkipsStdlib(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/plan/")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on a clean package: %v\n%s", err, out)
+	}
+}
+
+func TestAuditSuppressionsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the tool")
+	}
+	bin := buildTool(t)
+	stdout, stderr, code := runTool(t, bin, "-audit-suppressions", "./internal/plan/")
+	if code != 0 {
+		t.Fatalf("audit of directive-free package: exit = %d, want 0 (stdout %q stderr %q)", code, stdout, stderr)
+	}
+}

@@ -253,7 +253,6 @@ func (w *Wavelet) AppendBinary(buf []byte) []byte {
 	buf = appendU32(buf, uint32(w.grid))
 	buf = appendU64(buf, uint64(w.total))
 	idxs := make([]int, 0, len(w.coeffs))
-	//lint:allow maporder indices are sorted immediately below for deterministic output
 	for i := range w.coeffs {
 		idxs = append(idxs, i)
 	}

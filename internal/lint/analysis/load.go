@@ -89,17 +89,27 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, p := range listed {
-		if p.Module == nil || p.Standard || len(p.GoFiles) == 0 {
+		if p.Standard {
 			continue
 		}
+		// The error check must precede the module/file skips: a mistyped
+		// pattern lists as an error package with no module and no Go files,
+		// and skipping it first would silently yield zero packages — a
+		// "clean" run that analyzed nothing.
 		if p.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Module == nil || len(p.GoFiles) == 0 {
+			continue
 		}
 		pkg, err := ld.check(p)
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("lint: no packages matched %s", strings.Join(patterns, " "))
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	// internal/lint/analysis/load_test.go → repo root is four levels up.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// TestLoadBadPatternErrors is the regression test for the false-clean bug:
+// a mistyped pattern used to list as an error package with no module and no
+// Go files, be skipped before the error check, and yield zero packages — so
+// the runner printed nothing and exited 0 without analyzing a single file.
+func TestLoadBadPatternErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	root := moduleRoot(t)
+	if _, err := Load(root, "./does/not/exist"); err == nil {
+		t.Error("Load with a nonexistent directory pattern must error, not read as clean")
+	}
+	// The ... form matches nothing without listing an error package; the
+	// zero-packages guard must catch that shape too.
+	if _, err := Load(root, "./does/not/exist/..."); err == nil {
+		t.Error("Load with a pattern matching no packages must error")
+	} else if !strings.Contains(err.Error(), "no packages matched") && !strings.Contains(err.Error(), "does/not/exist") {
+		t.Errorf("unexpected error shape: %v", err)
+	}
+}
+
+func TestLoadValidPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list and type-checks")
+	}
+	root := moduleRoot(t)
+	pkgs, err := Load(root, "./internal/lint/analysis")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "xsketch/internal/lint/analysis" {
+		t.Fatalf("Load = %d packages (first %v), want exactly this package", len(pkgs), pkgs)
+	}
+	if len(pkgs[0].Files) == 0 || pkgs[0].Types == nil || pkgs[0].Info == nil {
+		t.Error("loaded package missing files or type information")
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// AuditSuppressions loads the packages matching patterns under dir and
+// reports every //lint:allow directive that has gone stale: the analyzers
+// run with suppression filtering disabled, and a directive whose analyzer
+// reports nothing on the directive's line or the line below it is no longer
+// suppressing anything. Directives naming an unknown analyzer, or one not
+// in scope for the package, are stale by construction. Stale directives are
+// returned as findings under the pseudo-analyzer "audit" so runners print
+// and exit on them uniformly.
+func AuditSuppressions(dir string, patterns ...string) ([]Finding, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, auditPackage(pkg)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// auditPackage audits one loaded package's directives against its raw
+// (unsuppressed) findings.
+func auditPackage(pkg *analysis.Package) []Finding {
+	sup := buildSuppressions(pkg.Fset, pkg.Files)
+	if len(sup.directives) == 0 {
+		return nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(Analyzers))
+	for _, a := range Analyzers {
+		byName[a.Name] = a
+	}
+	raw := analyzerFindings(pkg, nil)
+	hit := make(map[string]bool, len(raw))
+	errored := make(map[string]bool)
+	var out []Finding
+	for _, f := range raw {
+		if f.Internal {
+			// The analyzer died before reporting, so its directives cannot
+			// be judged; surface the failure instead of a bogus "stale".
+			errored[f.Analyzer] = true
+			out = append(out, f)
+			continue
+		}
+		hit[suppressKey(f.File, f.Line, f.Analyzer)] = true
+	}
+	for _, d := range sup.directives {
+		p := pkg.Fset.Position(d.pos)
+		stale := ""
+		switch {
+		case byName[d.analyzer] == nil:
+			stale = fmt.Sprintf("no analyzer named %q exists", d.analyzer)
+		case errored[d.analyzer]:
+			continue
+		case !analyzerApplies(byName[d.analyzer], pkg.ImportPath):
+			stale = fmt.Sprintf("%s is not in scope for %s", d.analyzer, pkg.ImportPath)
+		case !hit[suppressKey(d.file, d.line, d.analyzer)] && !hit[suppressKey(d.file, d.line+1, d.analyzer)]:
+			stale = fmt.Sprintf("%s reports nothing on this line or the line below", d.analyzer)
+		default:
+			continue
+		}
+		out = append(out, Finding{
+			Position: p.String(),
+			File:     p.Filename, Line: p.Line, Col: p.Column,
+			Analyzer: "audit",
+			Message:  fmt.Sprintf("stale //lint:allow %s (%s): %s; remove the directive", d.analyzer, d.reason, stale),
+		})
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAuditPackage(t *testing.T) {
+	src := `package p
+
+func f(a, b float64) float64 {
+	//lint:allow divguard caller guarantees a non-zero denominator
+	return a / b
+}
+
+//lint:allow divguard nothing divides on this line
+var x = 1.0
+
+//lint:allow nosuch not a real analyzer
+var y = 2.0
+`
+	pkg := typecheckSrc(t, "xsketch/internal/xsketch", src)
+	out := auditPackage(pkg)
+	if len(out) != 2 {
+		for _, f := range out {
+			t.Logf("finding: %s: %s", f.Position, f.Message)
+		}
+		t.Fatalf("stale findings = %d, want 2 (the live directive must not report)", len(out))
+	}
+	for _, f := range out {
+		if f.Analyzer != "audit" {
+			t.Errorf("finding analyzer = %q, want audit", f.Analyzer)
+		}
+	}
+	if !strings.Contains(out[0].Message, "reports nothing on this line") {
+		t.Errorf("line-8 directive message = %q, want a no-finding explanation", out[0].Message)
+	}
+	if !strings.Contains(out[1].Message, `no analyzer named "nosuch"`) {
+		t.Errorf("nosuch directive message = %q, want an unknown-analyzer explanation", out[1].Message)
+	}
+}
+
+func TestAuditOutOfScopeDirective(t *testing.T) {
+	src := `package cli
+
+//lint:allow divguard divguard does not even run here
+var z = 1.0
+`
+	pkg := typecheckSrc(t, "xsketch/internal/cli", src)
+	out := auditPackage(pkg)
+	if len(out) != 1 {
+		t.Fatalf("stale findings = %d, want 1", len(out))
+	}
+	if !strings.Contains(out[0].Message, "not in scope") {
+		t.Errorf("message = %q, want an out-of-scope explanation", out[0].Message)
+	}
+}
+
+func TestAuditNoDirectivesIsCheap(t *testing.T) {
+	pkg := typecheckSrc(t, "xsketch/internal/xsketch", `package p
+func f(a, b float64) float64 { return a / b }
+`)
+	// An unguarded division exists, but with no directives the audit has
+	// nothing to judge and must stay silent — it reports stale
+	// suppressions, not findings.
+	if out := auditPackage(pkg); len(out) != 0 {
+		t.Fatalf("audit of directive-free package = %d findings, want 0", len(out))
+	}
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// This file is the lint suite's lightweight intra-procedural dataflow
+// layer: a def-use index built over the same ancestor-stack walk the
+// guard-style analyzers use. Analyzers that care where a value came from —
+// was this variable loaded from an atomic.Pointer snapshot? does this
+// append target derive from a caller-provided buffer? — resolve the
+// question through origins/refOrigins instead of re-implementing ad-hoc
+// alias chasing.
+//
+// The model is deliberately small: definitions are recorded per object
+// (every RHS ever assigned to it), and resolution follows those
+// definitions transitively until it reaches expressions that actually
+// produce a value. There is no path sensitivity and no inter-procedural
+// reach; a variable with two definitions simply has two origins, and
+// analyzers treat "any origin matches" as the conservative answer.
+
+// defUse is the def-use index of one syntax region (typically a file or a
+// function body): for each object, every expression ever assigned to it.
+type defUse struct {
+	pass *analysis.Pass
+	defs map[types.Object][]ast.Expr
+}
+
+// collectDefUse builds the def-use index for every definition under root:
+// plain and short-form assignments, var specs with initializers, and range
+// bindings (recorded against the ranged expression).
+func collectDefUse(pass *analysis.Pass, root ast.Node) *defUse {
+	d := &defUse{pass: pass, defs: make(map[types.Object][]ast.Expr)}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch {
+			case len(n.Lhs) == len(n.Rhs):
+				for i, l := range n.Lhs {
+					d.record(l, n.Rhs[i])
+				}
+			case len(n.Rhs) == 1:
+				// Multi-value form (call, type assertion, map index):
+				// every LHS is defined by the one RHS expression.
+				for _, l := range n.Lhs {
+					d.record(l, n.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			switch {
+			case len(n.Names) == len(n.Values):
+				for i, name := range n.Names {
+					d.record(name, n.Values[i])
+				}
+			case len(n.Values) == 1:
+				for _, name := range n.Names {
+					d.record(name, n.Values[0])
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				d.record(n.Key, n.X)
+			}
+			if n.Value != nil {
+				d.record(n.Value, n.X)
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// record adds one definition: lvalue must be a plain identifier (selector
+// and index writes define no new local object).
+func (d *defUse) record(lvalue ast.Expr, rhs ast.Expr) {
+	id, ok := stripParens(lvalue).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := identObj(d.pass, id)
+	if obj == nil {
+		return
+	}
+	d.defs[obj] = append(d.defs[obj], rhs)
+}
+
+// maxOriginDepth bounds the transitive definition chase; real code is a
+// handful of hops, the bound only guards degenerate definition chains the
+// visited set does not already cut.
+const maxOriginDepth = 32
+
+// origins resolves e to the set of expressions its value may come from,
+// following identifier definitions, parens, slice expressions and append's
+// base operand. Parameters and otherwise-undefined identifiers are
+// terminal and appear in the result as *ast.Ident; selectors, calls and
+// literals are terminal as-is. This is the value-identity question the
+// hotalloc append rule asks: "which buffer does this slice grow".
+func (d *defUse) origins(e ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	seen := make(map[types.Object]bool)
+	var walk func(e ast.Expr, depth int)
+	walk = func(e ast.Expr, depth int) {
+		e = stripParens(e)
+		if depth > maxOriginDepth {
+			out = append(out, e)
+			return
+		}
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := identObj(d.pass, x)
+			if obj == nil {
+				out = append(out, x)
+				return
+			}
+			if seen[obj] {
+				// A definition cycle (out = append(out, ...)): the object's
+				// other definitions carry the real sources, so the repeat
+				// visit contributes nothing. A purely cyclic chain resolves
+				// to an empty origin set.
+				return
+			}
+			seen[obj] = true
+			defs := d.defs[obj]
+			if len(defs) == 0 {
+				out = append(out, x)
+				return
+			}
+			for _, def := range defs {
+				walk(def, depth+1)
+			}
+		case *ast.SliceExpr:
+			walk(x.X, depth+1)
+		case *ast.CallExpr:
+			if isBuiltinCall(d.pass, x, "append") && len(x.Args) > 0 {
+				walk(x.Args[0], depth+1)
+				return
+			}
+			out = append(out, x)
+		default:
+			out = append(out, e)
+		}
+	}
+	walk(e, 0)
+	return out
+}
+
+// refOrigins resolves the state-reference roots of e: the expressions the
+// memory reachable through e was obtained from. Access layers (selectors,
+// indexing, dereference, slicing, address-of, type assertions) are peeled
+// unconditionally, while definition hops (x := expr) are followed only
+// while the defined variable has reference semantics — assigning a value
+// type copies, severing the link to the source. This is the reach question
+// atomicsnap asks: "does this write land in memory loaded from an
+// atomic.Pointer snapshot".
+func (d *defUse) refOrigins(e ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	seen := make(map[types.Object]bool)
+	var walk func(e ast.Expr, depth int)
+	walk = func(e ast.Expr, depth int) {
+		e = stripParens(e)
+		if depth > maxOriginDepth {
+			out = append(out, e)
+			return
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			walk(x.X, depth+1)
+		case *ast.IndexExpr:
+			walk(x.X, depth+1)
+		case *ast.StarExpr:
+			walk(x.X, depth+1)
+		case *ast.SliceExpr:
+			walk(x.X, depth+1)
+		case *ast.TypeAssertExpr:
+			walk(x.X, depth+1)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				walk(x.X, depth+1)
+				return
+			}
+			out = append(out, x)
+		case *ast.CallExpr:
+			if isBuiltinCall(d.pass, x, "append") && len(x.Args) > 0 {
+				walk(x.Args[0], depth+1)
+				return
+			}
+			out = append(out, x)
+		case *ast.Ident:
+			obj := identObj(d.pass, x)
+			if obj == nil {
+				out = append(out, x)
+				return
+			}
+			if seen[obj] {
+				return
+			}
+			seen[obj] = true
+			// A value-typed variable is a copy: writes through it (or
+			// through an address taken of it) stay local, so the chase
+			// ends here.
+			if !isRefShaped(obj.Type()) {
+				out = append(out, x)
+				return
+			}
+			defs := d.defs[obj]
+			if len(defs) == 0 {
+				out = append(out, x)
+				return
+			}
+			for _, def := range defs {
+				walk(def, depth+1)
+			}
+		default:
+			out = append(out, e)
+		}
+	}
+	walk(e, 0)
+	return out
+}
+
+// anyRefOrigin reports whether any reference root of e satisfies pred.
+func (d *defUse) anyRefOrigin(e ast.Expr, pred func(ast.Expr) bool) bool {
+	for _, o := range d.refOrigins(e) {
+		if pred(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRefShaped reports whether values of t have reference semantics:
+// writing through such a value mutates state shared with whatever the
+// value was read from (pointers, maps, slices, channels, interfaces).
+func isRefShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// methodOnNamed resolves call to a method named name on a receiver whose
+// named type is typeName inside a package named or pathed pkg (matching
+// either the package name or the full import path, so analysistest
+// fixtures exercise the same rule as the real packages). It returns the
+// resolved *types.Func, or nil.
+func methodOnNamed(pass *analysis.Pass, call *ast.CallExpr, pkg, typeName, name string) *types.Func {
+	fn := typeFuncOf(pass, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg().Name() != pkg && fn.Pkg().Path() != pkg {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	named := namedTypeOf(sig.Recv().Type())
+	if named == nil || named.Obj() == nil || named.Obj().Name() != typeName {
+		return nil
+	}
+	return fn
+}
+
+// isAtomicPointerLoad reports whether e is a call to
+// (*sync/atomic.Pointer[T]).Load — the snapshot acquisition the atomicsnap
+// analyzer tracks.
+func isAtomicPointerLoad(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := stripParens(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return methodOnNamed(pass, call, "sync/atomic", "Pointer", "Load") != nil
+}
+
+// isPoolGet reports whether e is a call to (*sync.Pool).Get, optionally
+// wrapped in a type assertion (`pool.Get().(*T)`).
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	e = stripParens(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = stripParens(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return methodOnNamed(pass, call, "sync", "Pool", "Get") != nil
+}
+
+// isPoolPut reports whether call is (*sync.Pool).Put.
+func isPoolPut(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return methodOnNamed(pass, call, "sync", "Pool", "Put") != nil
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// originStrs resolves origins(e) for the i-th sink argument and renders
+// each origin to source form.
+func originStrs(t *testing.T, src string, i int) []string {
+	t.Helper()
+	pkg := typecheckSrc(t, "xsketch/internal/dftest", src)
+	d := collectDefUse(passFor(pkg), pkg.Files[0])
+	args := sinkArgs(pkg)
+	if i >= len(args) {
+		t.Fatalf("only %d sink calls, want index %d", len(args), i)
+	}
+	var out []string
+	for _, o := range d.origins(args[i]) {
+		out = append(out, exprStr(o))
+	}
+	return out
+}
+
+func TestOriginsMultiValueAssign(t *testing.T) {
+	got := originStrs(t, `package p
+func two() ([]int, error) { return nil, nil }
+func sink(v any) {}
+func f() {
+	a, err := two()
+	_ = err
+	sink(a)
+}`, 0)
+	if len(got) != 1 || got[0] != "two()" {
+		t.Errorf("origins of multi-value binding = %v, want [two()]", got)
+	}
+}
+
+func TestOriginsRangeBinding(t *testing.T) {
+	got := originStrs(t, `package p
+func sink(v any) {}
+func f(xs [][]int) {
+	for _, v := range xs {
+		sink(v)
+	}
+}`, 0)
+	if len(got) != 1 || got[0] != "xs" {
+		t.Errorf("origins of range value = %v, want [xs] (the ranged expression)", got)
+	}
+}
+
+func TestOriginsPureCycleIsEmpty(t *testing.T) {
+	// var-then-self-append never names an external buffer: the cycle
+	// contributes nothing and the origin set must come out empty (hotalloc
+	// treats that as "no caller-provided buffer").
+	got := originStrs(t, `package p
+func sink(v any) {}
+func f(x int) {
+	var out []int
+	out = append(out, x)
+	sink(out)
+}`, 0)
+	if len(got) != 0 {
+		t.Errorf("origins of self-append cycle = %v, want empty", got)
+	}
+}
+
+func TestOriginsCycleKeepsExternalSeed(t *testing.T) {
+	// The sanctioned reuse idiom: the cycle edge contributes nothing but
+	// the buf[:0] definition survives, naming the parameter.
+	got := originStrs(t, `package p
+func sink(v any) {}
+func f(buf []byte, b byte) {
+	out := buf[:0]
+	out = append(out, b)
+	sink(out)
+}`, 0)
+	if len(got) != 1 || got[0] != "buf" {
+		t.Errorf("origins of seeded append cycle = %v, want [buf]", got)
+	}
+}
+
+func TestOriginsUnderscoreNotRecorded(t *testing.T) {
+	pkg := typecheckSrc(t, "xsketch/internal/dftest", `package p
+func two() (int, error) { return 0, nil }
+func f() {
+	_, err := two()
+	_ = err
+}`)
+	d := collectDefUse(passFor(pkg), pkg.Files[0])
+	for obj := range d.defs {
+		if obj.Name() == "_" {
+			t.Error("blank identifier must not be recorded as a definition")
+		}
+	}
+}
+
+func TestRefOriginsValueCopyCuts(t *testing.T) {
+	src := `package p
+type state struct {
+	count int
+	names []string
+}
+func sink(v any) {}
+func f(get func() *state) {
+	st := get()
+	ns := *st
+	sink(&ns.count)
+	names := st.names
+	sink(names)
+	sink(&st.count)
+}`
+	pkg := typecheckSrc(t, "xsketch/internal/dftest", src)
+	d := collectDefUse(passFor(pkg), pkg.Files[0])
+	args := sinkArgs(pkg)
+	if len(args) != 3 {
+		t.Fatalf("sink calls = %d, want 3", len(args))
+	}
+	isCall := func(e ast.Expr) bool { _, ok := e.(*ast.CallExpr); return ok }
+	if d.anyRefOrigin(args[0], isCall) {
+		t.Error("&ns.count: ns is a value copy, the chase must cut before get()")
+	}
+	if !d.anyRefOrigin(args[1], isCall) {
+		t.Error("names: a slice field shares backing, the chase must reach get()")
+	}
+	if !d.anyRefOrigin(args[2], isCall) {
+		t.Error("&st.count: st is a pointer, the chase must reach get()")
+	}
+}
+
+func TestRefOriginsPeelsAccessLayers(t *testing.T) {
+	src := `package p
+type inner struct{ v int }
+type state struct {
+	m   map[string]*inner
+	arr [4]int
+}
+func sink(v any) {}
+func f(get func() *state) {
+	st := get()
+	sink(st.m["k"].v)
+	sink(st.arr[1:2])
+}`
+	pkg := typecheckSrc(t, "xsketch/internal/dftest", src)
+	d := collectDefUse(passFor(pkg), pkg.Files[0])
+	isCall := func(e ast.Expr) bool { _, ok := e.(*ast.CallExpr); return ok }
+	for i, arg := range sinkArgs(pkg) {
+		if !d.anyRefOrigin(arg, isCall) {
+			t.Errorf("sink #%d: selector/index/slice layers must peel through to get()", i)
+		}
+	}
+}
+
+func TestIsRefShaped(t *testing.T) {
+	src := `package p
+type s struct{ v int }
+var (
+	a *s
+	b map[int]int
+	c []int
+	d chan int
+	e any
+	f s
+	g int
+	h [3]int
+)`
+	pkg := typecheckSrc(t, "xsketch/internal/dftest", src)
+	want := map[string]bool{
+		"a": true, "b": true, "c": true, "d": true, "e": true,
+		"f": false, "g": false, "h": false,
+	}
+	scope := pkg.Types.Scope()
+	for name, wantRef := range want {
+		obj := scope.Lookup(name)
+		if obj == nil {
+			t.Fatalf("no object %q", name)
+		}
+		if got := isRefShaped(obj.Type()); got != wantRef {
+			t.Errorf("isRefShaped(%s %s) = %v, want %v", name, obj.Type(), got, wantRef)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func TestRootIdent(t *testing.T) {
+	src := `package p
+type s struct{ buckets []float64 }
+func sink(v any) {}
+func f(h *s, i int) {
+	sink(h.buckets[i])
+	sink((*h).buckets)
+	sink(&h.buckets)
+	sink(1 + 2)
+}`
+	pkg := typecheckSrc(t, "xsketch/internal/eutest", src)
+	args := sinkArgs(pkg)
+	want := []string{"h", "h", "h", ""}
+	for i, arg := range args {
+		id := rootIdent(arg)
+		got := ""
+		if id != nil {
+			got = id.Name
+		}
+		if got != want[i] {
+			t.Errorf("rootIdent(sink #%d) = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestStripParens(t *testing.T) {
+	src := `package p
+func sink(v any) {}
+func f(x int) { sink(((x))) }`
+	pkg := typecheckSrc(t, "xsketch/internal/eutest", src)
+	arg := sinkArgs(pkg)[0]
+	if _, ok := stripParens(arg).(*ast.Ident); !ok {
+		t.Errorf("stripParens(((x))) = %T, want *ast.Ident", stripParens(arg))
+	}
+}
+
+func TestNumericTypePredicates(t *testing.T) {
+	src := `package p
+type myFloat float32
+var (
+	a float64
+	b myFloat
+	c int
+	d uint8
+	e string
+)`
+	pkg := typecheckSrc(t, "xsketch/internal/eutest", src)
+	scope := pkg.Types.Scope()
+	cases := []struct {
+		name          string
+		float, intger bool
+	}{
+		{"a", true, false},
+		{"b", true, false},
+		{"c", false, true},
+		{"d", false, true},
+		{"e", false, false},
+	}
+	for _, c := range cases {
+		tp := scope.Lookup(c.name).Type()
+		if got := isFloat(tp); got != c.float {
+			t.Errorf("isFloat(%s) = %v, want %v", tp, got, c.float)
+		}
+		if got := isInteger(tp); got != c.intger {
+			t.Errorf("isInteger(%s) = %v, want %v", tp, got, c.intger)
+		}
+	}
+	if isFloat(nil) || isInteger(nil) {
+		t.Error("nil type must satisfy neither predicate")
+	}
+}
+
+func TestConstPredicates(t *testing.T) {
+	src := `package p
+func sink(v any) {}
+func f(x float64) {
+	sink(2.0)
+	sink(-3)
+	sink(0)
+	sink(x)
+}`
+	pkg := typecheckSrc(t, "xsketch/internal/eutest", src)
+	pass := passFor(pkg)
+	args := sinkArgs(pkg)
+	type want struct{ nonZero, positive bool }
+	wants := []want{
+		{true, true},   // 2.0
+		{true, false},  // -3
+		{false, false}, // 0
+		{false, false}, // x: not a constant at all
+	}
+	for i, arg := range args {
+		if got := isNonZeroConst(pass, arg); got != wants[i].nonZero {
+			t.Errorf("isNonZeroConst(sink #%d) = %v, want %v", i, got, wants[i].nonZero)
+		}
+		if got := isPositiveConst(pass, arg); got != wants[i].positive {
+			t.Errorf("isPositiveConst(sink #%d) = %v, want %v", i, got, wants[i].positive)
+		}
+	}
+}
+
+func TestTypeFuncOfAndBuiltin(t *testing.T) {
+	src := `package p
+type s struct{}
+func (s) m() {}
+func g() {}
+func f(xs []int, fn func()) {
+	var v s
+	v.m()
+	g()
+	fn()
+	_ = append(xs, 1)
+}`
+	pkg := typecheckSrc(t, "xsketch/internal/eutest", src)
+	pass := passFor(pkg)
+	var calls []*ast.CallExpr
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	if len(calls) != 4 {
+		t.Fatalf("calls = %d, want 4", len(calls))
+	}
+	if fn := typeFuncOf(pass, calls[0]); fn == nil || fn.Name() != "m" {
+		t.Errorf("typeFuncOf(v.m()) = %v, want method m", fn)
+	}
+	if fn := typeFuncOf(pass, calls[1]); fn == nil || fn.Name() != "g" {
+		t.Errorf("typeFuncOf(g()) = %v, want func g", fn)
+	}
+	if fn := typeFuncOf(pass, calls[2]); fn != nil {
+		t.Errorf("typeFuncOf(fn()) = %v, want nil for a function value", fn)
+	}
+	if fn := typeFuncOf(pass, calls[3]); fn != nil {
+		t.Errorf("typeFuncOf(append(...)) = %v, want nil for a builtin", fn)
+	}
+	if !isBuiltinCall(pass, calls[3], "append") {
+		t.Error("append call not recognized as builtin append")
+	}
+	if isBuiltinCall(pass, calls[1], "append") || isBuiltinCall(pass, calls[3], "delete") {
+		t.Error("isBuiltinCall must match both the name and the builtin object")
+	}
+}
+
+func TestEnclosingFuncName(t *testing.T) {
+	src := `package p
+func sink(v any) {}
+func outer() {
+	fn := func() {
+		sink(1)
+	}
+	fn()
+}`
+	pkg := typecheckSrc(t, "xsketch/internal/eutest", src)
+	// Reconstruct the ancestor stack by hand: FuncDecl(outer) is the only
+	// frame enclosingFuncName should report, even from inside the closure.
+	var fd *ast.FuncDecl
+	for _, d := range pkg.Files[0].Decls {
+		if f, ok := d.(*ast.FuncDecl); ok && f.Name.Name == "outer" {
+			fd = f
+		}
+	}
+	var lit *ast.FuncLit
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+	got := enclosingFuncName([]ast.Node{pkg.Files[0], fd, lit})
+	if got != "outer" {
+		t.Errorf("enclosingFuncName through a closure = %q, want %q", got, "outer")
+	}
+	if enclosingFuncName([]ast.Node{pkg.Files[0]}) != "" {
+		t.Error("enclosingFuncName at package scope must be empty")
+	}
+}
+
+func TestDeclaredWithin(t *testing.T) {
+	src := `package p
+var global []int
+func sink(v any) {}
+func f() {
+	local := []int{1}
+	sink(local)
+	sink(global)
+}`
+	pkg := typecheckSrc(t, "xsketch/internal/eutest", src)
+	pass := passFor(pkg)
+	var fd *ast.FuncDecl
+	for _, d := range pkg.Files[0].Decls {
+		if f, ok := d.(*ast.FuncDecl); ok && f.Name.Name == "f" {
+			fd = f
+		}
+	}
+	args := sinkArgs(pkg)
+	if !declaredWithin(pass, args[0], fd.Pos(), fd.End()) {
+		t.Error("local must be declaredWithin f")
+	}
+	if declaredWithin(pass, args[1], fd.Pos(), fd.End()) {
+		t.Error("global must not be declaredWithin f")
+	}
+}

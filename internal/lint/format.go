@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// PrintJSON writes findings as an indented JSON array (never null, so
+// consumers can index unconditionally).
+func PrintJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// sarifLog is the subset of SARIF 2.1.0 the suite emits: one run, one rule
+// per analyzer, one result per finding. Internal tool failures map to level
+// "error", ordinary findings to "warning".
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifRules returns the rule table: every registered analyzer plus the two
+// pseudo-rules the runner itself reports under ("lint" for malformed
+// directives, "audit" for stale ones).
+func sarifRules() []sarifRule {
+	rules := make([]sarifRule, 0, len(Analyzers)+2)
+	for _, a := range Analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	rules = append(rules,
+		sarifRule{ID: "lint", ShortDescription: sarifText{Text: "malformed //lint:allow suppression directives"}},
+		sarifRule{ID: "audit", ShortDescription: sarifText{Text: "stale //lint:allow suppression directives"}},
+	)
+	return rules
+}
+
+// PrintSARIF writes findings as a SARIF 2.1.0 log. File paths are emitted
+// relative to base (forward-slashed) when possible, so the log uploads
+// cleanly as a repository-rooted artifact; paths outside base, and the
+// package-level positions of internal errors, pass through verbatim.
+func PrintSARIF(w io.Writer, base string, findings []Finding) error {
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		r := sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: f.Message},
+		}
+		if f.Internal {
+			r.Level = "error"
+		}
+		uri := f.File
+		if base != "" && filepath.IsAbs(uri) {
+			if rel, err := filepath.Rel(base, uri); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+				uri = rel
+			}
+		}
+		loc := sarifLocation{PhysicalLocation: sarifPhysical{
+			ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+		}}
+		if f.Line > 0 {
+			loc.PhysicalLocation.Region = &sarifRegion{StartLine: f.Line, StartColumn: f.Col}
+		}
+		r.Locations = []sarifLocation{loc}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "xsketchlint", Rules: sarifRules()}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// hasDotDotPrefix reports whether rel escapes its base ("../x" but not
+// "..x").
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[0] == '.' && rel[1] == '.' && (rel[2] == '/' || rel[2] == filepath.Separator)
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPrintJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty finding list = %q, want [] (never null)", got)
+	}
+
+	in := []Finding{
+		{Position: "a.go:1:2", File: "a.go", Line: 1, Col: 2, Analyzer: "divguard", Message: "m1"},
+		{Position: "pkg/x", File: "pkg/x", Analyzer: "hotalloc", Message: "analyzer error: boom", Internal: true},
+	}
+	buf.Reset()
+	if err := PrintJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []Finding
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("decoding own output: %v", err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Errorf("round-trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestPrintSARIF(t *testing.T) {
+	findings := []Finding{
+		{Position: "/base/pkg/file.go:3:7", File: "/base/pkg/file.go", Line: 3, Col: 7, Analyzer: "divguard", Message: "unguarded division"},
+		{Position: "xsketch/internal/x", File: "xsketch/internal/x", Analyzer: "hotalloc", Message: "analyzer error: boom", Internal: true},
+	}
+	var buf bytes.Buffer
+	if err := PrintSARIF(&buf, "/base", findings); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("decoding own output: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "xsketchlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range Analyzers {
+		if !ruleIDs[a.Name] {
+			t.Errorf("rule table missing analyzer %q", a.Name)
+		}
+	}
+	for _, pseudo := range []string{"lint", "audit"} {
+		if !ruleIDs[pseudo] {
+			t.Errorf("rule table missing pseudo-rule %q", pseudo)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "divguard" || r0.Level != "warning" {
+		t.Errorf("result 0 = %s/%s, want divguard/warning", r0.RuleID, r0.Level)
+	}
+	loc0 := r0.Locations[0].PhysicalLocation
+	if loc0.ArtifactLocation.URI != "pkg/file.go" {
+		t.Errorf("result 0 uri = %q, want base-relative pkg/file.go", loc0.ArtifactLocation.URI)
+	}
+	if loc0.Region == nil || loc0.Region.StartLine != 3 || loc0.Region.StartColumn != 7 {
+		t.Errorf("result 0 region = %+v, want 3:7", loc0.Region)
+	}
+	r1 := run.Results[1]
+	if r1.Level != "error" {
+		t.Errorf("internal finding level = %q, want error", r1.Level)
+	}
+	if r1.Locations[0].PhysicalLocation.Region != nil {
+		t.Error("package-level internal finding must carry no region")
+	}
+	if got := r1.Locations[0].PhysicalLocation.ArtifactLocation.URI; got != "xsketch/internal/x" {
+		t.Errorf("non-file position must pass through verbatim, got %q", got)
+	}
+}

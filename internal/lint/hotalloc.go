@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// HotAlloc enforces the zero-allocation contract of functions annotated
+// with //lint:hotpath in their doc comment — the compiled-plan cache-hit
+// path and the histogram scratch-buffer kernels, whose AllocsPerRun
+// regression tests assert zero allocations per call. Inside an annotated
+// function the analyzer flags the allocating constructs: make/new, map and
+// slice literals, heap-escaping &T{} literals, closure literals (which
+// also covers capturing loop variables), fmt calls, appends that do not
+// grow a caller-provided or scratch buffer, and interface conversions that
+// box a non-pointer-shaped value. Pointer-shaped values (pointers, maps,
+// channels, funcs) are stored directly in an interface word and are
+// allowed — `pool.Put(scratch)` boxes a *Scratch without allocating.
+//
+// The append rule resolves the base operand through the def-use layer:
+// the base is acceptable when every origin is a parameter, a receiver, or
+// a field/element of one (the persistent scratch idiom `out := buf[:0]`),
+// and a violation otherwise — a locally made slice is already flagged at
+// its make site, but an un-preallocated `var out []T; out = append(...)`
+// only surfaces here.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbids allocating constructs in functions annotated //lint:hotpath",
+	Run:  runHotAlloc,
+}
+
+// hotPathDirective is the annotation marking a function as subject to the
+// zero-allocation contract.
+const hotPathDirective = "//lint:hotpath"
+
+// isHotPath reports whether the function's doc comment carries the
+// //lint:hotpath directive (optionally followed by explanatory text).
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotPathDirective || strings.HasPrefix(c.Text, hotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	d := collectDefUse(pass, fd.Body)
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, d, n)
+		case *ast.CompositeLit:
+			checkHotComposite(pass, n, stack)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"closure literal allocates in a //lint:hotpath function; hoist it to a method or package function, or add //lint:allow hotalloc")
+		}
+	})
+}
+
+// checkHotCall flags allocating calls: make/new, fmt.*, un-preallocated
+// append, interface-boxing argument conversions, and explicit conversions
+// to an interface type.
+func checkHotCall(pass *analysis.Pass, fd *ast.FuncDecl, d *defUse, call *ast.CallExpr) {
+	if isBuiltinCall(pass, call, "make") || isBuiltinCall(pass, call, "new") {
+		pass.Reportf(call.Pos(),
+			"%s allocates in a //lint:hotpath function; preallocate in setup code, or add //lint:allow hotalloc",
+			exprStr(call.Fun))
+		return
+	}
+	if isBuiltinCall(pass, call, "append") {
+		checkHotAppend(pass, fd, d, call)
+		return
+	}
+	if fn := typeFuncOf(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(),
+			"fmt.%s allocates in a //lint:hotpath function; move formatting off the hot path, or add //lint:allow hotalloc",
+			fn.Name())
+		return
+	}
+	// Explicit conversion to an interface type: any(x), error(x), ...
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type.Underlying()) && len(call.Args) == 1 {
+			reportBoxing(pass, call.Args[0])
+		}
+		return
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		reportBoxing(pass, arg)
+	}
+}
+
+// reportBoxing flags arg when passing it to an interface-typed slot boxes
+// a non-pointer-shaped value (which allocates). Values already of
+// interface type, nils, and pointer-shaped values are free.
+func reportBoxing(pass *analysis.Pass, arg ast.Expr) {
+	at := pass.TypeOf(arg)
+	if at == nil || types.IsInterface(at.Underlying()) {
+		return
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if isPointerShaped(at) {
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		"interface conversion of %s (%s) allocates in a //lint:hotpath function; pass a pointer-shaped value, or add //lint:allow hotalloc",
+		exprStr(arg), at.String())
+}
+
+// isPointerShaped reports whether values of t occupy exactly one pointer
+// word, so an interface conversion stores them directly without boxing.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// checkHotAppend flags appends whose base buffer is not caller-provided or
+// persistent scratch: every origin of the base must be a parameter or
+// receiver identifier, or a selector/index expression (a field of the
+// receiver or an element of a scratch arena).
+func checkHotAppend(pass *analysis.Pass, fd *ast.FuncDecl, d *defUse, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := call.Args[0]
+	origins := d.origins(base)
+	ok := len(origins) > 0 // an all-cycle chain (var out []T; out = append(out, ...)) has no source buffer
+	for _, o := range origins {
+		if !hotAppendBaseOK(pass, fd, o) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append to %s may allocate a fresh buffer in a //lint:hotpath function; grow a caller-provided or scratch buffer instead, or add //lint:allow hotalloc",
+		exprStr(base))
+}
+
+func hotAppendBaseOK(pass *analysis.Pass, fd *ast.FuncDecl, o ast.Expr) bool {
+	switch x := o.(type) {
+	case *ast.Ident:
+		return isParamOrReceiver(pass, fd, identObj(pass, x))
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// isParamOrReceiver reports whether obj is declared in fd's signature
+// (parameter, named result, or receiver).
+func isParamOrReceiver(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= fd.Type.Pos() && obj.Pos() <= fd.Type.End()
+}
+
+// checkHotComposite flags composite literals that allocate: map and slice
+// literals always, and any literal whose address is taken (&T{} escapes to
+// the heap). A by-value struct literal stays on the stack and is allowed.
+func checkHotComposite(pass *analysis.Pass, lit *ast.CompositeLit, stack []ast.Node) {
+	t := pass.TypeOf(lit)
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Map:
+			pass.Reportf(lit.Pos(),
+				"map literal allocates in a //lint:hotpath function; hoist it to setup code, or add //lint:allow hotalloc")
+			return
+		case *types.Slice:
+			pass.Reportf(lit.Pos(),
+				"slice literal allocates in a //lint:hotpath function; hoist it to setup code, or add //lint:allow hotalloc")
+			return
+		}
+	}
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			pass.Reportf(u.Pos(),
+				"&%s heap-allocates in a //lint:hotpath function; reuse a scratch value, or add //lint:allow hotalloc",
+				exprStr(lit))
+		}
+	}
+}

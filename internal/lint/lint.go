@@ -9,6 +9,11 @@ var Analyzers = []*analysis.Analyzer{
 	SketchMutate,
 	Nondeterminism,
 	PkgDoc,
+	AtomicSnap,
+	PoolScratch,
+	HotAlloc,
+	CtxFlow,
+	DetachedMutate,
 }
 
 // targets maps each analyzer to the import-path suffixes it runs on; a nil
@@ -34,6 +39,22 @@ var targets = map[string][]string{
 	},
 	"sketchmutate": nil,
 	"pkgdoc":       nil,
+	// The dataflow analyzers run everywhere: the constructs they track
+	// (atomic.Pointer snapshots, sync.Pool scratch, //lint:hotpath
+	// annotations, ...Context signatures) are self-selecting, so packages
+	// without them cost nothing.
+	"atomicsnap":  nil,
+	"poolscratch": nil,
+	"hotalloc":    nil,
+	"ctxflow":     nil,
+	// detachedmutate is scoped to the catalog-served code paths: only
+	// there can a sketch be detached at runtime (attached builds go
+	// through xbuild/estimator code that owns its documents).
+	"detachedmutate": {
+		"internal/serve",
+		"internal/catalog",
+		"cmd/xserve",
+	},
 	"nondeterminism": {
 		"internal/xsketch",
 		"internal/histogram",

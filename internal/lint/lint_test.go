@@ -26,6 +26,29 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestSuiteIncludesAllAnalyzers pins the registered suite, so a refactor
+// that drops an analyzer from the Analyzers slice (silently exempting the
+// whole repo from its rule, including TestRepoIsClean above) fails loudly.
+// CI runs this test by name next to TestRepoIsClean.
+func TestSuiteIncludesAllAnalyzers(t *testing.T) {
+	want := []string{
+		"divguard", "maporder", "sketchmutate", "nondeterminism", "pkgdoc",
+		"atomicsnap", "poolscratch", "hotalloc", "ctxflow", "detachedmutate",
+	}
+	registered := make(map[string]bool, len(Analyzers))
+	for _, a := range Analyzers {
+		registered[a.Name] = true
+	}
+	for _, name := range want {
+		if !registered[name] {
+			t.Errorf("analyzer %q missing from the registered suite", name)
+		}
+	}
+	if len(Analyzers) != len(want) {
+		t.Errorf("suite has %d analyzers, want %d — update this list and DESIGN.md together", len(Analyzers), len(want))
+	}
+}
+
 func repoRoot(t *testing.T) string {
 	t.Helper()
 	_, file, _, ok := runtime.Caller(0)

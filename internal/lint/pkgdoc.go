@@ -19,6 +19,9 @@ var PkgDoc = &analysis.Analyzer{
 }
 
 func runPkgDoc(pass *analysis.Pass) (interface{}, error) {
+	if len(pass.Files) == 0 {
+		return nil, nil
+	}
 	// The package comment may sit on any file (conventionally doc.go).
 	// When missing, anchor the diagnostic to the lexically first file so
 	// the finding's position is stable across runs.

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// PoolScratch checks the lifecycle of sync.Pool objects: a value obtained
+// from (*sync.Pool).Get must be returned with Put on every path out of the
+// function that acquired it, and it must never escape — returned, stored
+// into a field or other non-local lvalue, placed in a composite literal,
+// or sent on a channel. The plan executor's Scratch arena depends on this:
+// a leaked scratch silently degrades the zero-alloc cache-hit path back to
+// per-request allocation, and an escaped one is mutated concurrently by
+// the next request that draws it from the pool.
+//
+// The analysis is intra-procedural and alias-aware through the def-use
+// layer: `t := s` joins t to s's acquisition, and a Put of either name
+// releases it. Put coverage is established by a deferred Put (direct or
+// inside a deferred closure) or by a Put statement textually preceding
+// the return along its ancestor path; a Put only reachable conditionally
+// can therefore mask a leaking branch — the analyzer trades that false
+// negative for not flagging the common guard-then-put shapes. Passing the
+// object to a callee inside the return expression itself
+// (`return p.finish(s)`) is treated as an ownership transfer.
+var PoolScratch = &analysis.Analyzer{
+	Name: "poolscratch",
+	Doc:  "sync.Pool objects must be Put on every return path and must not escape",
+	Run:  runPoolScratch,
+}
+
+func runPoolScratch(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPoolFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// poolAcq is one Get site and the alias-closed set of objects holding its
+// result. primary is the identifier defined directly from the Get call,
+// used to name the object in diagnostics.
+type poolAcq struct {
+	pos     token.Pos
+	primary types.Object
+	objs    map[types.Object]bool
+}
+
+// collectPooled computes the function's pool acquisitions: objects with a
+// (*sync.Pool).Get definition, closed under ident-to-ident aliasing, and
+// grouped by Get site.
+func collectPooled(pass *analysis.Pass, d *defUse) []*poolAcq {
+	byPos := make(map[token.Pos]*poolAcq)
+	memberOf := make(map[types.Object]*poolAcq)
+	for changed := true; changed; {
+		changed = false
+		for obj, defs := range d.defs {
+			if memberOf[obj] != nil {
+				continue
+			}
+			for _, def := range defs {
+				if isPoolGet(pass, def) {
+					acq := byPos[def.Pos()]
+					if acq == nil {
+						acq = &poolAcq{pos: def.Pos(), primary: obj, objs: make(map[types.Object]bool)}
+						byPos[def.Pos()] = acq
+					}
+					acq.objs[obj] = true
+					memberOf[obj] = acq
+					changed = true
+					break
+				}
+				if id, ok := stripParens(def).(*ast.Ident); ok {
+					if src := identObj(pass, id); src != nil {
+						if acq := memberOf[src]; acq != nil {
+							acq.objs[obj] = true
+							memberOf[obj] = acq
+							changed = true
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	acqs := make([]*poolAcq, 0, len(byPos))
+	for _, acq := range byPos {
+		acqs = append(acqs, acq)
+	}
+	return acqs
+}
+
+func checkPoolFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	d := collectDefUse(pass, fd.Body)
+	acqs := collectPooled(pass, d)
+	if len(acqs) == 0 {
+		return
+	}
+
+	acqOf := func(e ast.Expr) *poolAcq {
+		id, ok := stripParens(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := identObj(pass, id)
+		if obj == nil {
+			return nil
+		}
+		for _, acq := range acqs {
+			if acq.objs[obj] {
+				return acq
+			}
+		}
+		return nil
+	}
+
+	deferReleased := collectDeferredPuts(pass, fd.Body, acqOf)
+
+	analysis.WalkStack(fd, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if insideFuncLit(stack) {
+				return
+			}
+			checkPoolReturn(pass, n, stack, acqs, deferReleased, acqOf)
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				acq := acqOf(n.Rhs[i])
+				if acq == nil {
+					continue
+				}
+				if _, plain := stripParens(l).(*ast.Ident); plain {
+					continue
+				}
+				pass.Reportf(n.Rhs[i].Pos(),
+					"pooled %s stored into %s; sync.Pool objects must not be retained beyond the request, or add //lint:allow poolscratch",
+					acq.primary.Name(), exprStr(l))
+			}
+		case *ast.SendStmt:
+			if acq := acqOf(n.Value); acq != nil {
+				pass.Reportf(n.Value.Pos(),
+					"pooled %s sent on a channel escapes its pool lifecycle; copy the data instead, or add //lint:allow poolscratch",
+					acq.primary.Name())
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if acq := acqOf(v); acq != nil {
+					pass.Reportf(v.Pos(),
+						"pooled %s captured in a composite literal escapes its pool lifecycle, or add //lint:allow poolscratch",
+						acq.primary.Name())
+				}
+			}
+		}
+	})
+
+	checkFallThroughEnd(pass, fd, acqs, deferReleased, acqOf)
+}
+
+// collectDeferredPuts returns the Get sites released by a deferred Put:
+// `defer pool.Put(s)` directly, or a Put of a pooled object anywhere
+// inside a deferred closure.
+func collectDeferredPuts(pass *analysis.Pass, body *ast.BlockStmt, acqOf func(ast.Expr) *poolAcq) map[token.Pos]bool {
+	released := make(map[token.Pos]bool)
+	markPutArgs := func(call *ast.CallExpr) {
+		if !isPoolPut(pass, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			if acq := acqOf(arg); acq != nil {
+				released[acq.pos] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		markPutArgs(ds.Call)
+		if fl, ok := stripParens(ds.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					markPutArgs(call)
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return released
+}
+
+// insideFuncLit reports whether the innermost enclosing function of the
+// node whose ancestors are stack is a function literal — such a return
+// leaves the closure, not the declared function under analysis.
+func insideFuncLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit:
+			return true
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// checkPoolReturn verifies one return path: every acquisition live at the
+// return must be deferred-released, Put along the path, or transferred
+// inside the return expression — and returning the object itself is an
+// escape.
+func checkPoolReturn(pass *analysis.Pass, ret *ast.ReturnStmt, stack []ast.Node,
+	acqs []*poolAcq, deferReleased map[token.Pos]bool, acqOf func(ast.Expr) *poolAcq) {
+
+	// Acquisitions are alias-closed, so a returned pooled value is always
+	// named by a pooled identifier directly.
+	escaped := make(map[token.Pos]bool)
+	for _, r := range ret.Results {
+		if acq := acqOf(r); acq != nil {
+			escaped[acq.pos] = true
+			pass.Reportf(r.Pos(),
+				"pooled %s returned to the caller escapes its sync.Pool; copy the result out and Put the scratch, or add //lint:allow poolscratch",
+				acq.primary.Name())
+		}
+	}
+
+	for _, acq := range acqs {
+		if ret.Pos() <= acq.pos || deferReleased[acq.pos] || escaped[acq.pos] {
+			continue
+		}
+		if transferredInReturn(pass, ret, acq) {
+			continue
+		}
+		if putBeforeOnPath(pass, ret, stack, acq) {
+			continue
+		}
+		pass.Reportf(ret.Pos(),
+			"return without Put of pooled %s; release it on every path (defer the Put after Get), or add //lint:allow poolscratch",
+			acq.primary.Name())
+	}
+}
+
+// transferredInReturn reports whether the return expression passes one of
+// the acquisition's objects as an argument to some call — ownership handed
+// to the callee.
+func transferredInReturn(pass *analysis.Pass, ret *ast.ReturnStmt, acq *poolAcq) bool {
+	found := false
+	for _, r := range ret.Results {
+		ast.Inspect(r, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := stripParens(arg).(*ast.Ident); ok && acq.objs[identObj(pass, id)] {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// putBeforeOnPath scans the return's ancestor chain for a Put of the
+// acquisition in a statement preceding the path at each block level.
+func putBeforeOnPath(pass *analysis.Pass, ret ast.Node, stack []ast.Node, acq *poolAcq) bool {
+	inner := ret
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch s := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		case *ast.BlockStmt:
+			list = s.List
+		case *ast.CaseClause:
+			list = s.Body
+		case *ast.CommClause:
+			list = s.Body
+		}
+		if list != nil {
+			idx := -1
+			for j, st := range list {
+				if ast.Node(st) == inner {
+					idx = j
+					break
+				}
+			}
+			for j := 0; j < idx; j++ {
+				if stmtPuts(pass, list[j], acq) {
+					return true
+				}
+			}
+		}
+		inner = stack[i]
+	}
+	return false
+}
+
+// stmtPuts reports whether st contains a (*sync.Pool).Put whose argument
+// resolves to one of the acquisition's objects.
+func stmtPuts(pass *analysis.Pass, st ast.Stmt, acq *poolAcq) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolPut(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := stripParens(arg).(*ast.Ident); ok && acq.objs[identObj(pass, id)] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFallThroughEnd covers the path that falls off the end of a function
+// without a return statement: if the body's end is reachable and an
+// acquisition has no Put anywhere (and no deferred release), the Get
+// itself is reported.
+func checkFallThroughEnd(pass *analysis.Pass, fd *ast.FuncDecl,
+	acqs []*poolAcq, deferReleased map[token.Pos]bool, acqOf func(ast.Expr) *poolAcq) {
+	if fd.Type.Results != nil && len(fd.Type.Results.List) > 0 {
+		// Every terminating path of a value-returning function ends in a
+		// return (or panics); those paths are checked at the returns.
+		return
+	}
+	if blockDiverges(fd.Body) {
+		return
+	}
+	for _, acq := range acqs {
+		if deferReleased[acq.pos] {
+			continue
+		}
+		if anyPutInBody(pass, fd.Body, acq) {
+			continue
+		}
+		pass.Reportf(acq.pos,
+			"pooled %s from sync.Pool.Get is never Put back; release it before the function ends, or add //lint:allow poolscratch",
+			acq.primary.Name())
+	}
+}
+
+func anyPutInBody(pass *analysis.Pass, body *ast.BlockStmt, acq *poolAcq) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if st, ok := n.(ast.Stmt); ok && !found {
+			if stmtPuts(pass, st, acq) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"xsketch/internal/lint"
+	"xsketch/internal/lint/analysistest"
+)
+
+func TestPoolScratch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.PoolScratch, "poolscratch")
+}

@@ -11,14 +11,21 @@ import (
 // Finding is one unsuppressed diagnostic, ready to print.
 type Finding struct {
 	// Position is the finding's file:line:col.
-	Position string
+	Position string `json:"position"`
 	// File, Line, Col order findings deterministically.
-	File      string
-	Line, Col int
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
 	// Analyzer is the reporting analyzer's name.
-	Analyzer string
+	Analyzer string `json:"analyzer"`
 	// Message describes the problem.
-	Message string
+	Message string `json:"message"`
+	// Internal marks a failure of the tool itself (an analyzer panic or
+	// load error surfaced as a finding) rather than a diagnosis of the
+	// analyzed code. Runners exit 2 on these, distinct from the ordinary
+	// findings-exist exit 1, so automation can tell "code is dirty" from
+	// "the linter broke".
+	Internal bool `json:"internal,omitempty"`
 }
 
 // Run loads the packages matching patterns under dir, applies every
@@ -54,6 +61,17 @@ func RunOnPackage(pkg *analysis.Package) []Finding {
 			Message:  fmt.Sprintf("malformed suppression %q: want //lint:allow <analyzer> <reason>", m.text),
 		})
 	}
+	findings = append(findings, analyzerFindings(pkg, sup)...)
+	sortFindings(findings)
+	return findings
+}
+
+// analyzerFindings applies every in-scope analyzer to pkg. With sup non-nil
+// suppressed findings are dropped; with sup nil every raw finding survives —
+// the suppression audit uses that mode to learn what each directive would
+// have suppressed.
+func analyzerFindings(pkg *analysis.Package, sup *suppressionIndex) []Finding {
+	var findings []Finding
 	for _, a := range Analyzers {
 		if !analyzerApplies(a, pkg.ImportPath) {
 			continue
@@ -67,7 +85,7 @@ func RunOnPackage(pkg *analysis.Package) []Finding {
 		}
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {
-			if sup.allowed(pkg.Fset, d.Pos, name) {
+			if sup != nil && sup.allowed(pkg.Fset, d.Pos, name) {
 				return
 			}
 			p := pkg.Fset.Position(d.Pos)
@@ -84,10 +102,10 @@ func RunOnPackage(pkg *analysis.Package) []Finding {
 				File:     pkg.ImportPath,
 				Analyzer: name,
 				Message:  fmt.Sprintf("analyzer error: %v", err),
+				Internal: true,
 			})
 		}
 	}
-	sortFindings(findings)
 	return findings
 }
 

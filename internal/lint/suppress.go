@@ -14,9 +14,22 @@ import (
 type suppressionIndex struct {
 	// byLine maps "file:line:analyzer" to the directive's reason.
 	byLine map[string]string
+	// directives lists every well-formed directive in scan order; the
+	// suppression audit walks it to find directives that no longer match
+	// any finding.
+	directives []directive
 	// malformed are directives missing an analyzer name or a reason; the
 	// runner reports them so a typo cannot silently disable a check.
 	malformed []malformedDirective
+}
+
+// directive is one well-formed //lint:allow occurrence.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
 }
 
 type malformedDirective struct {
@@ -42,6 +55,13 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex
 				analyzer, reason := fields[0], strings.Join(fields[1:], " ")
 				pos := fset.Position(c.Pos())
 				idx.byLine[suppressKey(pos.Filename, pos.Line, analyzer)] = reason
+				idx.directives = append(idx.directives, directive{
+					pos:      c.Pos(),
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: analyzer,
+					reason:   reason,
+				})
 			}
 		}
 	}

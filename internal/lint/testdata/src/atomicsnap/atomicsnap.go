@@ -1,0 +1,66 @@
+// Package atomicsnap exercises the atomicsnap analyzer: writes through
+// atomic.Pointer.Load snapshots are flagged, while value copies, local
+// state and snapshot rebinding are not.
+package atomicsnap
+
+import "sync/atomic"
+
+type inner struct{ n int }
+
+type view struct{ total float64 }
+
+type state struct {
+	count int
+	names []string
+	m     map[string]int
+	sub   *inner
+	view  view
+}
+
+type server struct {
+	state atomic.Pointer[state]
+}
+
+func (s *server) directWrites() {
+	st := s.state.Load()
+	st.count = 1      // want "write to st.count mutates state loaded from an atomic.Pointer snapshot"
+	st.names[0] = "x" // want "mutates state loaded from an atomic.Pointer snapshot"
+	st.sub.n = 2      // want "mutates state loaded from an atomic.Pointer snapshot"
+	st.count++        // want "mutates state loaded from an atomic.Pointer snapshot"
+	delete(st.m, "k") // want "mutates state loaded from an atomic.Pointer snapshot"
+}
+
+func (s *server) aliasedWrites() {
+	st := s.state.Load()
+	alias := st
+	alias.count = 3 // want "mutates state loaded from an atomic.Pointer snapshot"
+	names := st.names
+	names[0] = "y" // want "mutates state loaded from an atomic.Pointer snapshot"
+	p := &st.count
+	*p = 4 // want "mutates state loaded from an atomic.Pointer snapshot"
+	sub := st.sub
+	sub.n = 5 // want "mutates state loaded from an atomic.Pointer snapshot"
+}
+
+func (s *server) allowedUses() {
+	st := s.state.Load()
+	ns := *st    // value copy severs the reference chain
+	ns.count = 1 // writes to the copy stay local
+	v := st.view
+	v.total = 2
+	local := &state{count: st.count}
+	local.count = 9 // fresh local state, fine to mutate
+	st = s.state.Load()
+	cp := make([]string, len(st.names))
+	copy(cp, st.names)
+	cp[0] = "z"
+	s.state.Store(local) // publishing via Store is the approved path
+	_ = ns
+	_ = v
+}
+
+func (s *server) suppressed() {
+	st := s.state.Load()
+	//lint:allow atomicsnap single-writer startup path, no concurrent readers yet
+	st.count = 7
+}

@@ -1,0 +1,59 @@
+// Package ctxflow exercises the ctxflow analyzer: exported ...Context
+// functions must propagate their ctx into context-taking calls.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+type store struct{}
+
+func (s *store) fetch(ctx context.Context, k string) int { _ = ctx; return len(k) }
+
+// LookupContext propagates ctx directly: clean.
+func (s *store) LookupContext(ctx context.Context, k string) int {
+	return s.fetch(ctx, k)
+}
+
+// DerivedContext derives a child context from ctx: clean.
+func (s *store) DerivedContext(ctx context.Context, k string) int {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return s.fetch(cctx, k)
+}
+
+// DropsContext replaces the caller's ctx with a fresh one.
+func (s *store) DropsContext(ctx context.Context, k string) int {
+	_ = ctx.Err()
+	return s.fetch(context.Background(), k) // want "context.Background in exported DropsContext drops the caller's ctx"
+}
+
+// MixedContext propagates ctx once but routes a TODO into the second call.
+func (s *store) MixedContext(ctx context.Context, k string) int {
+	n := s.fetch(ctx, k)
+	todo := context.TODO()      // want "context.TODO in exported MixedContext drops the caller's ctx"
+	return n + s.fetch(todo, k) // want "MixedContext passes todo where the caller's ctx should flow"
+}
+
+// IgnoredContext takes a ctx and never consults it.
+func (s *store) IgnoredContext(ctx context.Context, k string) int { // want "exported IgnoredContext never uses its ctx"
+	return len(k)
+}
+
+// helperContext is unexported: out of the contract's scope.
+func (s *store) helperContext(ctx context.Context, k string) int {
+	return s.fetch(context.Background(), k)
+}
+
+// NewContext has no ctx parameter: it produces contexts, not consumes them.
+func NewContext() context.Context {
+	return context.Background()
+}
+
+// SuppressedContext documents an accepted drop.
+func (s *store) SuppressedContext(ctx context.Context, k string) int {
+	_ = ctx.Err()
+	//lint:allow ctxflow background refresh must outlive the request
+	return s.fetch(context.Background(), k)
+}

@@ -1,0 +1,71 @@
+// Package hotalloc exercises the hotalloc analyzer: functions annotated
+// //lint:hotpath may not contain allocating constructs, while unannotated
+// functions are left alone.
+package hotalloc
+
+import "fmt"
+
+type item struct{ v float64 }
+
+type eng struct {
+	scratch []item
+	bufs    [][]item
+}
+
+func give(v any)       { _ = v }
+func giveAll(v ...any) { _ = v }
+
+//lint:hotpath cache-hit estimate path
+func (e *eng) hotOK(buf []item, x *item) []item {
+	out := buf[:0]
+	for i := 0; i < 4; i++ {
+		out = append(out, *x) // growing a caller-provided buffer is the sanctioned idiom
+	}
+	e.scratch = append(e.scratch, *x) // field scratch is persistent
+	e.bufs[0] = append(e.bufs[0], *x) // arena element, same
+	give(x)                           // boxing a pointer is free
+	return out
+}
+
+//lint:hotpath
+func (e *eng) hotAllocs(n int) []item {
+	s := make([]item, n) // want "make allocates in a //lint:hotpath function"
+	p := new(item)       // want "new allocates in a //lint:hotpath function"
+	_ = p
+	m := map[string]int{} // want "map literal allocates in a //lint:hotpath function"
+	_ = m
+	lit := []item{{v: 1}} // want "slice literal allocates in a //lint:hotpath function"
+	_ = lit
+	q := &item{v: 2} // want "heap-allocates in a //lint:hotpath function"
+	_ = q
+	f := func() {} // want "closure literal allocates in a //lint:hotpath function"
+	f()
+	fmt.Println(n) // want "fmt.Println allocates in a //lint:hotpath function"
+	var out []item
+	out = append(out, item{}) // want "append to out may allocate a fresh buffer"
+	_ = out
+	return s
+}
+
+//lint:hotpath
+func (e *eng) hotBoxing(x *item, f float64) {
+	give(x)       // pointer-shaped: stored directly in the interface word
+	give(f)       // want "interface conversion of f"
+	giveAll(x, f) // want "interface conversion of f"
+	_ = any(f)    // want "interface conversion of f"
+	var v any = x
+	_ = v
+}
+
+//lint:hotpath
+func (e *eng) hotSuppressed(n int) {
+	//lint:allow hotalloc one-time growth, amortized across the run
+	e.scratch = make([]item, n)
+}
+
+func cold(n int) []item {
+	m := map[string]int{"a": 1}
+	_ = m
+	fmt.Println(n)
+	return make([]item, n)
+}

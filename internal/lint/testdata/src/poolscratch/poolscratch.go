@@ -1,0 +1,112 @@
+// Package poolscratch exercises the poolscratch analyzer: sync.Pool
+// objects must be Put on every return path and must not escape.
+package poolscratch
+
+import (
+	"errors"
+	"sync"
+)
+
+type scratch struct{ buf []byte }
+
+type engine struct {
+	pool sync.Pool
+	kept *scratch
+	sink chan *scratch
+}
+
+var errFail = errors.New("fail")
+
+func (e *engine) goodDefer() int {
+	s := e.pool.Get().(*scratch)
+	defer e.pool.Put(s)
+	return len(s.buf)
+}
+
+func (e *engine) goodDeferClosure() int {
+	s := e.pool.Get().(*scratch)
+	defer func() {
+		s.buf = s.buf[:0]
+		e.pool.Put(s)
+	}()
+	return len(s.buf)
+}
+
+func (e *engine) goodExplicit(fail bool) (int, error) {
+	s := e.pool.Get().(*scratch)
+	if fail {
+		e.pool.Put(s)
+		return 0, errFail
+	}
+	n := len(s.buf)
+	e.pool.Put(s)
+	return n, nil
+}
+
+func (e *engine) goodAliasPut() int {
+	s := e.pool.Get().(*scratch)
+	t := s
+	n := len(t.buf)
+	e.pool.Put(t) // releasing through the alias releases the acquisition
+	return n
+}
+
+func (e *engine) missingPutOnBranch(fail bool) int {
+	s := e.pool.Get().(*scratch)
+	if fail {
+		return -1 // want "return without Put of pooled s"
+	}
+	e.pool.Put(s)
+	return 0
+}
+
+func (e *engine) missingPutEverywhere() int {
+	s := e.pool.Get().(*scratch)
+	return len(s.buf) // want "return without Put of pooled s"
+}
+
+func (e *engine) neverPut() {
+	s := e.pool.Get().(*scratch) // want "pooled s from sync.Pool.Get is never Put back"
+	s.buf = s.buf[:0]
+}
+
+func (e *engine) escapesViaReturn() *scratch {
+	s := e.pool.Get().(*scratch)
+	return s // want "pooled s returned to the caller escapes its sync.Pool"
+}
+
+func (e *engine) retainedInField() {
+	s := e.pool.Get().(*scratch)
+	e.kept = s // want "pooled s stored into e.kept"
+	e.pool.Put(s)
+}
+
+func (e *engine) sentOnChannel() {
+	s := e.pool.Get().(*scratch)
+	e.sink <- s // want "pooled s sent on a channel escapes its pool lifecycle"
+	e.pool.Put(s)
+}
+
+func (e *engine) capturedInComposite() {
+	s := e.pool.Get().(*scratch)
+	pair := []*scratch{s} // want "pooled s captured in a composite literal escapes its pool lifecycle"
+	_ = pair
+	e.pool.Put(s)
+}
+
+func (e *engine) transfersOwnership() int {
+	s := e.pool.Get().(*scratch)
+	return e.finish(s) // handing the object to a callee transfers ownership
+}
+
+func (e *engine) finish(s *scratch) int {
+	n := len(s.buf)
+	e.pool.Put(s)
+	return n
+}
+
+func (e *engine) suppressed() *scratch {
+	s := e.pool.Get().(*scratch)
+	//lint:allow poolscratch caller is the pool's documented drain hook
+	return s
+}

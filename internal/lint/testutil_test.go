@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"xsketch/internal/lint/analysis"
+)
+
+// typecheckSrc parses and type-checks one in-memory file as a package with
+// the given import path, ready for white-box calls into the analyzers and
+// the dataflow layer. Standard-library imports resolve through export data,
+// like the fixture loader.
+func typecheckSrc(t *testing.T, importPath, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	imp := importer.ForCompiler(fset, "gc", analysis.StdlibExportLookup())
+	tpkg, info, err := analysis.TypeCheck(fset, importPath, []*ast.File{f}, imp)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &analysis.Package{
+		ImportPath: importPath,
+		Dir:        ".",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      tpkg,
+		Info:       info,
+	}
+}
+
+// passFor wraps a loaded package as a Pass for helpers that only need type
+// information (no Report hook).
+func passFor(pkg *analysis.Package) *analysis.Pass {
+	return &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+}
+
+// sinkArgs returns the first argument of every call to a function named
+// sink, in source order — the conventional way these tests mark the
+// expressions under inspection.
+func sinkArgs(pkg *analysis.Package) []ast.Expr {
+	var out []ast.Expr
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" && len(call.Args) > 0 {
+				out = append(out, call.Args[0])
+			}
+			return true
+		})
+	}
+	return out
+}

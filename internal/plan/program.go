@@ -187,6 +187,8 @@ func (p *Program) Estimate() (float64, bool) {
 // EstimateContext is Estimate with cooperative cancellation, checked
 // between embeddings exactly like the interpreter's context-aware entry
 // points. On error the partial value is discarded.
+//
+//lint:hotpath cache-hit execution path, zero allocations asserted by TestPlannedZeroAllocsOnHit
 func (p *Program) EstimateContext(ctx context.Context) (float64, bool, error) {
 	s := p.pool.Get().(*Scratch)
 	total := 0.0
@@ -214,6 +216,8 @@ func (p *Program) String() string {
 // exec evaluates one compiled node. It mirrors the interpreter's contrib
 // (internal/xsketch/estimate.go) term for term — same multiplication
 // order, same early zero returns — so the result is bit-identical.
+//
+//lint:hotpath per-node execution kernel under EstimateContext
 func (p *Program) exec(n *Node, s *Scratch) float64 {
 	switch n.Mode {
 	case ModeZero:
