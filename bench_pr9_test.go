@@ -1,0 +1,160 @@
+// Open-loop serving benchmarks for the router work: a fixed arrival rate
+// driven at (a) one replica directly and (b) a two-replica fleet behind
+// the consistent-hash router, comparing achieved throughput and latency
+// quantiles.
+//
+// TestEmitBenchPR9 (gated by EMIT_BENCH=1) runs both topologies with the
+// loadgen package and writes BENCH_PR9.json; TestBenchPR9Shape validates
+// the checked-in file so a stale or hand-edited report fails loudly.
+// SCALING.md interprets the numbers.
+package xsketch_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"xsketch/internal/loadgen"
+	"xsketch/internal/router"
+	"xsketch/internal/serve"
+	"xsketch/internal/xmlgen"
+	core "xsketch/internal/xsketch"
+)
+
+// pr9Report is the BENCH_PR9.json shape: one loadgen.Result per topology
+// at a shared arrival rate.
+type pr9Report struct {
+	PR         int                       `json:"pr"`
+	Dataset    string                    `json:"dataset"`
+	Scale      float64                   `json:"scale"`
+	RateRPS    float64                   `json:"rate_rps"`
+	DurationS  float64                   `json:"duration_seconds"`
+	Queries    []string                  `json:"queries"`
+	Topologies map[string]loadgen.Result `json:"topologies"`
+}
+
+// pr9Queries mixes point and branching twigs so the plan cache sees a few
+// distinct shapes, as a real workload would.
+var pr9Queries = []string{
+	"t0 in movie, t1 in t0/actor",
+	"t0 in movie, t1 in t0/actor, t2 in t0/director",
+	"t0 in movie, t1 in t0//name",
+}
+
+// newPR9Replica builds one serving replica over a freshly built IMDB
+// sketch (each replica gets its own copy, as separate processes would).
+func newPR9Replica(tb testing.TB) *httptest.Server {
+	tb.Helper()
+	d := xmlgen.Generate("imdb", xmlgen.Config{Seed: 1, Scale: 0.02})
+	sk := core.New(d, core.DefaultConfig())
+	s, err := serve.New(serve.Config{}, []serve.Sketch{{Name: "imdb", Source: "bench", Sketch: sk}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(ts.Close)
+	return ts
+}
+
+// TestEmitBenchPR9 writes BENCH_PR9.json when EMIT_BENCH=1: the same
+// open-loop workload against one direct replica and against a two-replica
+// fleet behind the router.
+func TestEmitBenchPR9(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") == "" {
+		t.Skip("set EMIT_BENCH=1 to write BENCH_PR9.json")
+	}
+	const (
+		rate     = 400.0
+		duration = 3 * time.Second
+	)
+	report := pr9Report{
+		PR: 9, Dataset: "imdb", Scale: 0.02,
+		RateRPS: rate, DurationS: duration.Seconds(),
+		Queries:    pr9Queries,
+		Topologies: make(map[string]loadgen.Result),
+	}
+	run := func(name, url string) {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			TargetURL: url,
+			Sketch:    "imdb",
+			Queries:   pr9Queries,
+			Rate:      rate,
+			Duration:  duration,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Errors > 0 {
+			t.Fatalf("%s: %d transport errors — benchmark environment unhealthy", name, res.Errors)
+		}
+		report.Topologies[name] = res
+		t.Logf("%s: achieved %.1f req/s, p50 %.6fs p95 %.6fs p99 %.6fs",
+			name, res.AchievedRPS, res.P50Seconds, res.P95Seconds, res.P99Seconds)
+	}
+
+	direct := newPR9Replica(t)
+	run("direct-1", direct.URL)
+
+	r1 := newPR9Replica(t)
+	r2 := newPR9Replica(t)
+	rt, err := router.New(router.Config{}, []string{r1.URL, r2.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	run("router-2", front.URL)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR9.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_PR9.json")
+}
+
+// TestBenchPR9Shape validates the checked-in BENCH_PR9.json: both
+// topologies present, open-loop bookkeeping consistent, quantiles
+// ordered, and zero requests lost in either topology.
+func TestBenchPR9Shape(t *testing.T) {
+	data, err := os.ReadFile("BENCH_PR9.json")
+	if err != nil {
+		t.Skipf("BENCH_PR9.json not present (regenerate with EMIT_BENCH=1): %v", err)
+	}
+	var rep pr9Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_PR9.json: %v", err)
+	}
+	if rep.PR != 9 || rep.RateRPS <= 0 || rep.DurationS <= 0 || len(rep.Queries) == 0 {
+		t.Fatalf("malformed header: %+v", rep)
+	}
+	for _, name := range []string{"direct-1", "router-2"} {
+		res, ok := rep.Topologies[name]
+		if !ok {
+			t.Errorf("topology %s missing", name)
+			continue
+		}
+		check := func(cond bool, format string, args ...any) {
+			if !cond {
+				t.Errorf("%s: %s", name, fmt.Sprintf(format, args...))
+			}
+		}
+		check(res.Sent > 0, "sent %d, want > 0", res.Sent)
+		check(res.Completed == res.Sent, "completed %d of %d sent — requests lost", res.Completed, res.Sent)
+		check(res.Errors == 0, "%d transport errors", res.Errors)
+		check(res.StatusCounts["200"] == res.Completed, "status counts %v don't account for %d completions", res.StatusCounts, res.Completed)
+		check(res.AchievedRPS > 0, "achieved rps %v", res.AchievedRPS)
+		// Open-loop at a modest rate: the server must keep up with the
+		// offered load within a generous margin.
+		check(res.AchievedRPS >= rep.RateRPS*0.5, "achieved %.1f rps below half the %.1f target", res.AchievedRPS, rep.RateRPS)
+		check(res.P50Seconds > 0 && res.P50Seconds <= res.P95Seconds && res.P95Seconds <= res.P99Seconds,
+			"quantiles not ordered: p50=%v p95=%v p99=%v", res.P50Seconds, res.P95Seconds, res.P99Seconds)
+		check(res.MaxSeconds >= res.P99Seconds, "max %v below p99 %v", res.MaxSeconds, res.P99Seconds)
+	}
+}

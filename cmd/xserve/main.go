@@ -29,6 +29,18 @@
 // POST /admin/reload, GET /healthz, GET /metrics, /debug/pprof (disable
 // with -pprof=false). SIGINT/SIGTERM drains in-flight requests before
 // exiting; SIGHUP hot-reloads from the catalog.
+//
+// With -router the binary instead becomes a stateless consistent-hash
+// router in front of replica processes (see SCALING.md):
+//
+//	xserve -router -backend http://127.0.0.1:8081 -backend http://127.0.0.1:8082
+//
+// Router mode loads no sketches — -sketch and -catalog are rejected —
+// and adds -probe-interval, -probe-timeout, -attempt-timeout and
+// -retry-backoff. The router proxies /estimate and /estimate/batch
+// shard-wise with one retry against the next ring candidate, probes
+// backend /healthz endpoints in the background, and serves its own
+// /healthz and xrouter_* /metrics.
 package main
 
 import (
@@ -48,9 +60,46 @@ import (
 	"xsketch/internal/catalog"
 	"xsketch/internal/cli"
 	"xsketch/internal/obs"
+	"xsketch/internal/router"
 	"xsketch/internal/serve"
 	core "xsketch/internal/xsketch"
 )
+
+// backendFlags collects repeated -backend values.
+type backendFlags []string
+
+func (f *backendFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *backendFlags) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty backend URL")
+	}
+	*f = append(*f, v)
+	return nil
+}
+
+// validateRouterFlags checks the flag combinations that select router
+// mode: backends are required, and sketch-loading flags are meaningless
+// there (the router holds no sketches) so they are rejected loudly
+// rather than silently ignored.
+func validateRouterFlags(routerOn bool, backends []string, sketchFlags int, catalogDir string) error {
+	if !routerOn {
+		if len(backends) > 0 {
+			return fmt.Errorf("-backend requires -router")
+		}
+		return nil
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("-router requires at least one -backend URL")
+	}
+	if sketchFlags > 0 {
+		return fmt.Errorf("-sketch cannot be combined with -router: the router loads no sketches")
+	}
+	if catalogDir != "" {
+		return fmt.Errorf("-catalog cannot be combined with -router: the router loads no sketches")
+	}
+	return nil
+}
 
 // sketchSpec is one parsed -sketch flag.
 type sketchSpec struct {
@@ -288,6 +337,14 @@ func loadCatalog(dir string, logger *obs.Logger) ([]serve.Sketch, error) {
 
 func main() {
 	var sketches sketchFlags
+	var backends backendFlags
+	var (
+		routerMode     = flag.Bool("router", false, "run as a consistent-hash router over -backend replicas instead of serving sketches")
+		probeInterval  = flag.Duration("probe-interval", time.Second, "router: backend health-probe period")
+		probeTimeout   = flag.Duration("probe-timeout", 2*time.Second, "router: per-probe timeout")
+		attemptTimeout = flag.Duration("attempt-timeout", 15*time.Second, "router: per-proxy-attempt timeout")
+		retryBackoff   = flag.Duration("retry-backoff", 25*time.Millisecond, "router: pause before retrying on the next ring candidate")
+	)
 	var (
 		listen        = flag.String("listen", ":8080", "address to serve on")
 		catalogDir    = flag.String("catalog", "", "sketch catalog directory: serve every *.xsb entry and enable /admin/reload + SIGHUP hot swaps")
@@ -303,6 +360,7 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
 	)
 	flag.Var(&sketches, "sketch", "sketch to serve: name=dataset:<name>|xml:<path>|synopsis:<file>[,scale=F][,seed=N][,budget=N][,synopsis=FILE] (repeatable; bare NAME = dataset shorthand)")
+	flag.Var(&backends, "backend", "router: backend replica base URL (repeatable, requires -router)")
 	flag.Parse()
 
 	var logger *obs.Logger
@@ -313,6 +371,22 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "-log must be json or off, got %q\n", *logMode)
 		os.Exit(2)
+	}
+
+	if err := validateRouterFlags(*routerMode, backends, len(sketches), *catalogDir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *routerMode {
+		os.Exit(runRouter(router.Config{
+			AttemptTimeout:  *attemptTimeout,
+			RetryBackoff:    *retryBackoff,
+			ProbeInterval:   *probeInterval,
+			ProbeTimeout:    *probeTimeout,
+			MaxBodyBytes:    *maxBody,
+			MaxBatchQueries: *maxBatch,
+			Logger:          logger,
+		}, backends, *listen, *drainTimeout, logger))
 	}
 
 	if len(sketches) == 0 && *catalogDir == "" {
@@ -411,4 +485,53 @@ serveLoop:
 		os.Exit(1)
 	}
 	logger.Info("stopped")
+}
+
+// runRouter is router mode's main loop: build the ring, settle initial
+// backend states with one synchronous probe round, serve, and drain
+// gracefully on SIGINT/SIGTERM. Returns the process exit code.
+func runRouter(cfg router.Config, backends []string, listen string, drainTimeout time.Duration, logger *obs.Logger) int {
+	rt, err := router.New(cfg, backends)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// One synchronous probe round before taking traffic, so a dead
+	// backend is already routed around at the first request.
+	rt.ProbeOnce(ctx)
+	stopProbing := rt.StartProbing()
+	defer stopProbing()
+
+	httpSrv := &http.Server{
+		Addr:              listen,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("router listening", "addr", listen, "backends", strings.Join(rt.Backends(), ","))
+	fmt.Fprintf(os.Stderr, "xserve router listening on %s, backends %v\n", listen, rt.Backends())
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+	// Graceful drain, same contract as replica mode: flip /healthz to 503
+	// (with draining:true) first so upstream load balancers stop sending
+	// new work, then let in-flight proxies finish.
+	rt.SetDraining(true)
+	logger.Info("draining", "timeout", drainTimeout.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+		return 1
+	}
+	logger.Info("stopped")
+	return 0
 }

@@ -91,3 +91,52 @@ func TestParseSketchSpec(t *testing.T) {
 		})
 	}
 }
+
+func TestValidateRouterFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		routerOn bool
+		backends []string
+		sketches int
+		catalog  string
+		wantErr  string
+	}{
+		{name: "replica mode, no router flags", routerOn: false},
+		{name: "backend without router", backends: []string{"http://a"}, wantErr: "-backend requires -router"},
+		{name: "router without backends", routerOn: true, wantErr: "at least one -backend"},
+		{name: "router with one backend", routerOn: true, backends: []string{"http://a"}},
+		{name: "router with several backends", routerOn: true, backends: []string{"http://a", "http://b"}},
+		{name: "router rejects -sketch", routerOn: true, backends: []string{"http://a"}, sketches: 1, wantErr: "-sketch cannot be combined"},
+		{name: "router rejects -catalog", routerOn: true, backends: []string{"http://a"}, catalog: "./sketches", wantErr: "-catalog cannot be combined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateRouterFlags(tc.routerOn, tc.backends, tc.sketches, tc.catalog)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBackendFlagsSet(t *testing.T) {
+	var f backendFlags
+	if err := f.Set("http://a"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := f.Set("http://b"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := f.Set(""); err == nil {
+		t.Fatal("empty backend accepted")
+	}
+	if got := f.String(); got != "http://a,http://b" {
+		t.Errorf("String() = %q", got)
+	}
+}

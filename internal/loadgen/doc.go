@@ -1,0 +1,15 @@
+// Package loadgen is an open-loop HTTP load generator for xserve and its
+// router: requests launch on a fixed arrival schedule regardless of how
+// fast responses come back, which is what distinguishes measured latency
+// from the closed-loop (back-to-back) numbers a benchmark harness
+// produces. Closed-loop clients slow down when the server slows down,
+// hiding queueing delay exactly when it matters; an open-loop schedule
+// keeps arriving at the target rate, so p95/p99 reflect what a real
+// client population would see (the coordinated-omission problem).
+//
+// The schedule is self-correcting: request i is due at start+i/rate, and
+// a generator that falls behind (a GC pause, a slow response hogging a
+// connection) bursts to catch up rather than silently stretching the
+// measured interval. Latencies are recorded raw and quantiles computed
+// exactly from the sorted sample, not from histogram buckets.
+package loadgen

@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config describes one open-loop run.
+type Config struct {
+	// TargetURL is the server base URL (e.g. "http://127.0.0.1:8080");
+	// requests go to TargetURL+"/estimate".
+	TargetURL string
+	// Sketch names the synopsis to estimate against; empty selects the
+	// server's single-sketch default.
+	Sketch string
+	// Queries are cycled through round-robin, one per request. At least
+	// one is required.
+	Queries []string
+	// Rate is the arrival rate in requests per second. Required.
+	Rate float64
+	// Duration is how long to keep arriving. Required.
+	Duration time.Duration
+	// Timeout bounds one request (default 10s). Timed-out requests count
+	// as errors.
+	Timeout time.Duration
+	// Client overrides the HTTP client (the default derives one from
+	// Timeout). Tests inject httptest clients here.
+	Client *http.Client
+}
+
+// Result is one run's measurements, shaped for direct JSON emission into
+// a BENCH report.
+type Result struct {
+	TargetRate      float64        `json:"target_rate_rps"`
+	Duration        float64        `json:"duration_seconds"`
+	Sent            int            `json:"sent"`
+	Completed       int            `json:"completed"`
+	Errors          int            `json:"errors"`
+	StatusCounts    map[string]int `json:"status_counts"`
+	AchievedRPS     float64        `json:"achieved_rps"`
+	P50Seconds      float64        `json:"p50_seconds"`
+	P95Seconds      float64        `json:"p95_seconds"`
+	P99Seconds      float64        `json:"p99_seconds"`
+	MeanSeconds     float64        `json:"mean_seconds"`
+	MaxSeconds      float64        `json:"max_seconds"`
+	MaxLateArrivals int            `json:"max_late_arrivals"`
+}
+
+// Run executes one open-loop run: requests launch at Config.Rate per
+// second for Config.Duration, each in its own goroutine, and Run returns
+// once every launched request has completed. Cancelling ctx stops the
+// schedule early; in-flight requests still finish.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.TargetURL == "" {
+		return Result{}, fmt.Errorf("loadgen: TargetURL required")
+	}
+	if len(cfg.Queries) == 0 {
+		return Result{}, fmt.Errorf("loadgen: at least one query required")
+	}
+	if cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+
+	// Pre-marshal one body per distinct query; the schedule loop must not
+	// spend its budget on JSON encoding.
+	bodies := make([][]byte, len(cfg.Queries))
+	for i, q := range cfg.Queries {
+		b, err := json.Marshal(map[string]string{"sketch": cfg.Sketch, "query": q})
+		if err != nil {
+			return Result{}, fmt.Errorf("loadgen: marshal query %d: %w", i, err)
+		}
+		bodies[i] = b
+	}
+
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+
+	type sample struct {
+		latency time.Duration
+		status  int
+		err     bool
+	}
+	samples := make([]sample, total)
+	var wg sync.WaitGroup
+	url := cfg.TargetURL + "/estimate"
+
+	start := time.Now()
+	sent := 0
+	late := 0
+	for i := 0; i < total; i++ {
+		// Open-loop, self-correcting: request i is due at start+i*interval
+		// no matter how long earlier requests take. When the generator
+		// falls behind it bursts to catch up instead of stretching the
+		// schedule (which would silently lower the offered rate).
+		due := start.Add(time.Duration(i) * interval)
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				i = total // stop scheduling; fallthrough to wait for in-flight
+				continue
+			}
+		} else if wait < -interval {
+			late++
+		}
+		sent++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				samples[i] = sample{err: true}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			lat := time.Since(t0)
+			if err != nil {
+				samples[i] = sample{latency: lat, err: true}
+				return
+			}
+			resp.Body.Close()
+			samples[i] = sample{latency: lat, status: resp.StatusCode}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		TargetRate:      cfg.Rate,
+		Duration:        cfg.Duration.Seconds(),
+		Sent:            sent,
+		StatusCounts:    make(map[string]int),
+		MaxLateArrivals: late,
+	}
+	var latencies []float64
+	var sum float64
+	for _, s := range samples[:sent] {
+		if s.err {
+			res.Errors++
+			continue
+		}
+		res.Completed++
+		res.StatusCounts[strconv.Itoa(s.status)]++
+		sec := s.latency.Seconds()
+		latencies = append(latencies, sec)
+		sum += sec
+		if sec > res.MaxSeconds {
+			res.MaxSeconds = sec
+		}
+	}
+	if elapsed > 0 {
+		res.AchievedRPS = float64(res.Completed) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		res.P50Seconds = quantile(latencies, 0.50)
+		res.P95Seconds = quantile(latencies, 0.95)
+		res.P99Seconds = quantile(latencies, 0.99)
+		res.MeanSeconds = sum / float64(len(latencies))
+	}
+	return res, nil
+}
+
+// quantile reads the q-th quantile from an ascending sample by
+// nearest-rank; exact because the raw latencies are all retained.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

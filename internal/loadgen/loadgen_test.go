@@ -1,0 +1,158 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOpenLoop(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/estimate" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"estimate":1,"truncated":false,"trace_id":"x"}`))
+	}))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Config{
+		TargetURL: ts.URL,
+		Sketch:    "imdb",
+		Queries:   []string{"t0 in movie", "t0 in movie, t1 in t0/actor"},
+		Rate:      200,
+		Duration:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := int(200 * 0.25)
+	if res.Sent != want {
+		t.Errorf("sent %d, want %d", res.Sent, want)
+	}
+	if res.Completed != want || res.Errors != 0 {
+		t.Errorf("completed %d errors %d, want %d / 0", res.Completed, res.Errors, want)
+	}
+	if int(hits.Load()) != want {
+		t.Errorf("server saw %d requests, want %d", hits.Load(), want)
+	}
+	if res.StatusCounts["200"] != want {
+		t.Errorf("status counts %v, want %d x 200", res.StatusCounts, want)
+	}
+	if res.P50Seconds <= 0 || res.P99Seconds < res.P95Seconds || res.P95Seconds < res.P50Seconds {
+		t.Errorf("quantiles not ordered: p50=%v p95=%v p99=%v", res.P50Seconds, res.P95Seconds, res.P99Seconds)
+	}
+	if res.MaxSeconds < res.P99Seconds || res.MeanSeconds <= 0 {
+		t.Errorf("max %v below p99 %v, or mean %v <= 0", res.MaxSeconds, res.P99Seconds, res.MeanSeconds)
+	}
+	if res.AchievedRPS <= 0 {
+		t.Errorf("achieved rps %v, want > 0", res.AchievedRPS)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Config{
+		TargetURL: ts.URL,
+		Queries:   []string{"q"},
+		Rate:      100,
+		Duration:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Non-2xx responses are completions (the server answered), tallied by
+	// status; only transport-level failures count as errors.
+	if res.StatusCounts["429"] != res.Completed || res.Completed == 0 {
+		t.Errorf("status counts %v with %d completed", res.StatusCounts, res.Completed)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors %d, want 0 for answered requests", res.Errors)
+	}
+
+	ts.Close() // now everything is a transport failure
+	res, err = Run(context.Background(), Config{
+		TargetURL: ts.URL,
+		Queries:   []string{"q"},
+		Rate:      100,
+		Duration:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != res.Sent || res.Completed != 0 {
+		t.Errorf("dead server: %d errors / %d completed of %d sent, want all errors", res.Errors, res.Completed, res.Sent)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{TargetURL: "http://x"},
+		{TargetURL: "http://x", Queries: []string{"q"}},
+		{TargetURL: "http://x", Queries: []string{"q"}, Rate: 10},
+		{TargetURL: "http://x", Queries: []string{"q"}, Rate: -1, Duration: time.Second},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("case %d: no error for invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"estimate":1}`))
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Config{
+		TargetURL: ts.URL,
+		Queries:   []string{"q"},
+		Rate:      10,
+		Duration:  10 * time.Second, // would run far past the test without the cancel
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not stop the schedule")
+	}
+	if res.Sent >= 100 {
+		t.Errorf("sent %d of 100 scheduled despite early cancel", res.Sent)
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0.5); q != 5 {
+		t.Errorf("p50 = %v, want 5", q)
+	}
+	if q := quantile(sorted, 0); q != 1 {
+		t.Errorf("p0 = %v, want 1", q)
+	}
+	if q := quantile(sorted, 1); q != 10 {
+		t.Errorf("p100 = %v, want 10", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	if q := quantile([]float64{math.Pi}, 0.99); q != math.Pi {
+		t.Errorf("single-sample quantile = %v", q)
+	}
+}

@@ -240,6 +240,43 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	return g
 }
 
+// A GaugeVec is a gauge family with one series per label set (e.g. the
+// router's per-backend health flags keyed by backend address).
+type GaugeVec struct {
+	f    *family
+	keys []string
+	mu   sync.Mutex
+	got  map[string]*Gauge
+}
+
+// NewGaugeVec registers a gauge family whose series are distinguished by
+// the given label keys.
+func (r *Registry) NewGaugeVec(name, help string, keys ...string) *GaugeVec {
+	return &GaugeVec{f: r.addFamily(name, help, "gauge"), keys: keys, got: make(map[string]*Gauge)}
+}
+
+// With returns the gauge for the given label values (one per key),
+// creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.keys) {
+		panic("obs: label value count mismatch for " + v.f.name)
+	}
+	pairs := make([]string, 0, 2*len(values))
+	for i, k := range v.keys {
+		pairs = append(pairs, k, values[i])
+	}
+	ls := Labels(pairs...)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.got[ls]
+	if !ok {
+		g = &Gauge{}
+		v.got[ls] = g
+		v.f.add(ls, g)
+	}
+	return g
+}
+
 // funcSeries samples a callback at scrape time.
 type funcSeries func() float64
 

@@ -55,6 +55,29 @@ func TestCounterVecLabels(t *testing.T) {
 	}
 }
 
+func TestGaugeVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("backend_up", "per-backend health", "backend")
+	v.With("http://a:1").Set(1)
+	v.With("http://b:2").Set(0)
+	v.With("http://a:1").Add(-1)
+	if got := v.With("http://a:1").Value(); got != 0 {
+		t.Fatalf("With returned a fresh gauge, value %v", got)
+	}
+	var b bytes.Buffer
+	r.WriteTo(&b)
+	out := b.String()
+	if !strings.Contains(out, "# TYPE backend_up gauge\n") {
+		t.Errorf("missing gauge TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `backend_up{backend="http://a:1"} 0`) {
+		t.Errorf("missing labeled series:\n%s", out)
+	}
+	if !strings.Contains(out, `backend_up{backend="http://b:2"} 0`) {
+		t.Errorf("missing labeled series:\n%s", out)
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	got := Labels("k", "a\"b\\c\nd")
 	want := `{k="a\"b\\c\nd"}`

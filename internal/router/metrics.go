@@ -1,0 +1,95 @@
+package router
+
+import (
+	"time"
+
+	"xsketch/internal/obs"
+)
+
+// Error kinds recorded in xrouter_shard_errors_total{shard,kind}.
+const (
+	// errKindTransport is a failed connection or a request that died on
+	// the wire — the strongest signal a replica is gone.
+	errKindTransport = "transport"
+	// errKindUnavailable is a replica answering 502/503 — shedding,
+	// draining mid-request, or an upstream of its own misbehaving.
+	errKindUnavailable = "unavailable"
+	// errKindExhausted marks a request whose every retry candidate failed;
+	// the client saw the router's own 502.
+	errKindExhausted = "exhausted"
+)
+
+// metrics bundles the router's instrument handles. Every family rendered
+// at the router's /metrics is declared here and documented in SERVING.md's
+// catalog; TestRouterMetricsMatchDocumentedCatalog cross-checks the two.
+type metrics struct {
+	requests *obs.CounterVec   // xrouter_requests_total{path,code}
+	shardReq *obs.CounterVec   // xrouter_shard_requests_total{shard}
+	shardErr *obs.CounterVec   // xrouter_shard_errors_total{shard,kind}
+	retries  *obs.Counter      // xrouter_retry_total
+	shardLat *obs.HistogramVec // xrouter_shard_latency_seconds{shard}
+	fanout   *obs.Histogram    // xrouter_batch_fanout_shards
+	up       *obs.GaugeVec     // xrouter_backend_up{backend}
+	draining *obs.GaugeVec     // xrouter_backend_draining{backend}
+}
+
+// newRouterMetrics registers every family on the router's registry and
+// pre-creates the per-shard series for each configured backend, so a
+// scrape taken before any traffic (or any failure) already shows the full
+// shard catalog at zero.
+func newRouterMetrics(reg *obs.Registry, rt *Router, backends []string) *metrics {
+	m := &metrics{
+		requests: reg.NewCounterVec("xrouter_requests_total",
+			"HTTP requests at the router by path and status code.", "path", "code"),
+		shardReq: reg.NewCounterVec("xrouter_shard_requests_total",
+			"Proxy attempts sent to each backend shard (retries count again).", "shard"),
+		shardErr: reg.NewCounterVec("xrouter_shard_errors_total",
+			"Failed proxy attempts by shard and kind (transport, unavailable, exhausted).", "shard", "kind"),
+		retries: reg.NewCounter("xrouter_retry_total",
+			"Proxy attempts re-sent to the next ring candidate after a failure."),
+		shardLat: reg.NewHistogramVec("xrouter_shard_latency_seconds",
+			"Latency of proxy attempts per backend shard.", nil, "shard"),
+		fanout: reg.NewHistogram("xrouter_batch_fanout_shards",
+			"Distinct shards each batch request fanned out to.",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+		up: reg.NewGaugeVec("xrouter_backend_up",
+			"1 while the backend's last probe (or proxy attempt) succeeded, else 0.", "backend"),
+		draining: reg.NewGaugeVec("xrouter_backend_draining",
+			"1 while the backend reports draining:true on /healthz, else 0.", "backend"),
+	}
+	for _, b := range backends {
+		m.shardReq.With(b)
+		m.shardErr.With(b, errKindTransport)
+		m.shardErr.With(b, errKindUnavailable)
+		m.shardErr.With(b, errKindExhausted)
+		m.shardLat.With(b)
+		// Backends start healthy until the first probe says otherwise, so
+		// the gauges begin at 1/0.
+		m.up.With(b).Set(1)
+		m.draining.With(b).Set(0)
+	}
+
+	reg.NewFuncFamily("xrouter_healthy_backends",
+		"Backends currently routable (healthy, not draining, not down).", "gauge").
+		Attach(func() float64 { return float64(rt.routableCount()) })
+	reg.NewFuncFamily("xrouter_uptime_seconds",
+		"Seconds since the router started.", "gauge").
+		Attach(func() float64 { return time.Since(rt.start).Seconds() })
+	return m
+}
+
+// observeState mirrors one backend's state transition into the health
+// gauges.
+func (m *metrics) observeState(addr string, st backendState) {
+	switch st {
+	case stateHealthy:
+		m.up.With(addr).Set(1)
+		m.draining.With(addr).Set(0)
+	case stateDraining:
+		m.up.With(addr).Set(0)
+		m.draining.With(addr).Set(1)
+	default:
+		m.up.With(addr).Set(0)
+		m.draining.With(addr).Set(0)
+	}
+}

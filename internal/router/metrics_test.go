@@ -1,0 +1,163 @@
+package router
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// catalogRow matches one SERVING.md metrics-catalog table row, e.g.
+// | `xrouter_requests_total{path,code}` | counter | ... |
+var catalogRow = regexp.MustCompile("^\\| `(xrouter_[a-z_]+)(?:\\{[^}]*\\})?` \\| (counter|gauge|histogram) \\|")
+
+// documentedRouterSeries reads the router families promised in SERVING.md's
+// metrics catalog, keyed by family name with the documented type.
+func documentedRouterSeries(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile("../../SERVING.md")
+	if err != nil {
+		t.Fatalf("reading SERVING.md: %v", err)
+	}
+	out := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		if m := catalogRow.FindStringSubmatch(sc.Text()); m != nil {
+			if _, dup := out[m[1]]; dup {
+				t.Errorf("SERVING.md documents %s twice", m[1])
+			}
+			out[m[1]] = m[2]
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no xrouter_* rows found in SERVING.md metrics catalog")
+	}
+	return out
+}
+
+// parseExposition validates the Prometheus text format and returns TYPE
+// declarations plus every sample keyed by full series.
+func parseExposition(t *testing.T, text string) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = make(map[string]string)
+	samples = make(map[string]float64)
+	helped := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if !helped[parts[0]] {
+				t.Errorf("TYPE before HELP for %s", parts[0])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		val, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		if _, dup := samples[line[:idx]]; dup {
+			t.Errorf("duplicate series %q", line[:idx])
+		}
+		samples[line[:idx]] = val
+	}
+	return types, samples
+}
+
+// TestRouterMetricsMatchDocumentedCatalog cross-checks SERVING.md's
+// xrouter_* catalog against the live /metrics exposition in both
+// directions: every documented family must render, every rendered family
+// must be documented, and types must agree.
+func TestRouterMetricsMatchDocumentedCatalog(t *testing.T) {
+	documented := documentedRouterSeries(t)
+
+	good := batchStub(t, 3)
+	bad := newStub(t, http.StatusServiceUnavailable, `{"error":"no","trace_id":"x"}`)
+	rt, ts := newTestRouter(t, testConfig(), good.URL, bad.URL)
+
+	// Drive traffic over every instrumented path, including a retry and a
+	// batch fan-out, so labeled series materialize.
+	postJSON(t, ts.URL+"/estimate", fmt.Sprintf(`{"sketch":"imdb","query":%q}`, testQuery))
+	qb, _ := json.Marshal([]string{testQuery, testQuery + " x", testQuery + " y"})
+	postJSON(t, ts.URL+"/estimate/batch", fmt.Sprintf(`{"sketch":"imdb","queries":%s}`, qb))
+	getBody(t, ts.URL+"/healthz")
+	rt.ProbeOnce(t.Context())
+
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	types, samples := parseExposition(t, string(body))
+
+	for name, typ := range documented {
+		got, ok := types[name]
+		if !ok {
+			t.Errorf("documented family %s missing from /metrics", name)
+			continue
+		}
+		if got != typ {
+			t.Errorf("family %s has type %s, documented as %s", name, got, typ)
+		}
+	}
+	for name := range types {
+		if !strings.HasPrefix(name, "xrouter_") {
+			t.Errorf("non-router family %s on the router registry", name)
+			continue
+		}
+		if _, ok := documented[name]; !ok {
+			t.Errorf("undocumented family %s exposed at /metrics", name)
+		}
+	}
+
+	// Spot-check series driven by the traffic above.
+	if v := samples[`xrouter_requests_total{path="/estimate",code="200"}`]; v != 1 {
+		t.Errorf("estimate request count %v, want 1", v)
+	}
+	if v := samples[fmt.Sprintf(`xrouter_shard_requests_total{shard=%q}`, good.URL)]; v < 1 {
+		t.Errorf("good shard attempts %v, want >= 1", v)
+	}
+	if v := samples["xrouter_batch_fanout_shards_count"]; v != 1 {
+		t.Errorf("fanout observations %v, want 1", v)
+	}
+	if v := samples["xrouter_healthy_backends"]; v < 1 {
+		t.Errorf("healthy backends %v, want >= 1", v)
+	}
+	for _, b := range []string{good.URL, bad.URL} {
+		if _, ok := samples[fmt.Sprintf(`xrouter_backend_up{backend=%q}`, b)]; !ok {
+			t.Errorf("xrouter_backend_up series missing for %s", b)
+		}
+		if _, ok := samples[fmt.Sprintf(`xrouter_backend_draining{backend=%q}`, b)]; !ok {
+			t.Errorf("xrouter_backend_draining series missing for %s", b)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// probeHealth is the slice of a replica's /healthz body the prober reads:
+// just enough to tell a draining replica from a dead one.
+type probeHealth struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+}
+
+// classifyProbe maps one probe outcome to a backend state. A 200 is
+// healthy. A non-200 whose body admits to draining (the explicit flag, or
+// the status string for older replicas) is draining — deliberate, not a
+// failure. Everything else is down.
+func classifyProbe(code int, body []byte) backendState {
+	if code == http.StatusOK {
+		return stateHealthy
+	}
+	var h probeHealth
+	if err := json.Unmarshal(body, &h); err == nil && (h.Draining || h.Status == "draining") {
+		return stateDraining
+	}
+	return stateDown
+}
+
+// probeBackend runs one /healthz probe against one backend and applies the
+// resulting state transition.
+func (rt *Router) probeBackend(ctx context.Context, b *backend) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.addr+"/healthz", nil)
+	if err != nil {
+		rt.setState(b, stateDown, "probe request: "+err.Error())
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.setState(b, stateDown, "probe transport failure")
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		rt.setState(b, stateDown, "probe body read failure")
+		return
+	}
+	st := classifyProbe(resp.StatusCode, body)
+	reason := "probe"
+	switch st {
+	case stateDraining:
+		reason = "probe reported draining"
+	case stateDown:
+		reason = "probe failed"
+	}
+	rt.setState(b, st, reason)
+}
+
+// ProbeOnce probes every backend concurrently and waits for the round to
+// finish. Call it at startup to settle initial states before taking
+// traffic; tests use it to drive the prober deterministically.
+func (rt *Router) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, addr := range rt.ring.Backends() {
+		b := rt.backends[addr]
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			rt.probeBackend(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// StartProbing launches the background probe loop at the configured
+// interval and returns a stop function that halts it and waits for the
+// in-flight round to finish.
+func (rt *Router) StartProbing() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(rt.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				rt.ProbeOnce(ctx)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

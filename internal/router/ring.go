@@ -1,0 +1,128 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the number of ring points each backend
+// contributes. 64 points per backend keeps the load imbalance across a
+// handful of replicas within a few percent while the ring stays small
+// enough to rebuild instantly.
+const DefaultVirtualNodes = 64
+
+// A Ring is a consistent-hash ring over backend addresses. Construction
+// is deterministic and seed-free: every backend contributes a fixed set
+// of virtual points at positions derived only from its address and
+// the point index, so two routers configured with the same backends — in
+// any order — route every key identically. Lookups walk the ring
+// clockwise and return each distinct backend once, which is exactly the
+// retry candidate order.
+type Ring struct {
+	points   []ringPoint // sorted by hash
+	backends []string    // sorted, distinct
+}
+
+// ringPoint is one virtual node: a position on the ring owned by a backend.
+type ringPoint struct {
+	hash    uint64
+	backend string
+}
+
+// NewRing builds a ring over the given backend addresses with vnodes
+// virtual points per backend (<= 0 selects DefaultVirtualNodes).
+// Duplicate addresses collapse to one backend.
+func NewRing(backends []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(backends))
+	distinct := make([]string, 0, len(backends))
+	for _, b := range backends {
+		if !seen[b] {
+			seen[b] = true
+			distinct = append(distinct, b)
+		}
+	}
+	sort.Strings(distinct)
+	r := &Ring{
+		points:   make([]ringPoint, 0, len(distinct)*vnodes),
+		backends: distinct,
+	}
+	for _, b := range distinct {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(b + "#" + strconv.Itoa(i)), backend: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on the backend address so the
+		// ring order never depends on sort stability.
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r
+}
+
+// ringHash is the ring's position function: 64-bit FNV-1a of the key,
+// pushed through an avalanche finalizer. The finalizer is load-bearing:
+// FNV's per-byte multiply spreads differing prefixes well, but keys that
+// differ only in a short suffix (exactly what a batch of near-identical
+// queries produces) end up within a ~2^48-wide window of each other on a
+// 2^64 ring — close enough to land on one backend's arc and defeat the
+// fan-out entirely. Full avalanche makes neighboring keys uniform.
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Stafford variant 13): every input
+// bit flips every output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Backends returns the distinct backend addresses on the ring, sorted.
+func (r *Ring) Backends() []string {
+	return append([]string(nil), r.backends...)
+}
+
+// Candidates returns every backend in ring order starting at the key's
+// position: the first entry is the key's owner, the rest are the retry
+// candidates in the order a failed attempt should try them. The slice is
+// freshly allocated and contains each backend exactly once.
+func (r *Ring) Candidates(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.backends))
+	seen := make(map[string]bool, len(r.backends))
+	for i := 0; i < len(r.points) && len(out) < len(r.backends); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}
+
+// Owner returns the backend owning the key (the first Candidates entry),
+// or "" for an empty ring.
+func (r *Ring) Owner(key string) string {
+	c := r.Candidates(key)
+	if len(c) == 0 {
+		return ""
+	}
+	return c[0]
+}

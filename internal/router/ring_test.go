@@ -1,0 +1,110 @@
+package router
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOrderAndDuplicateIndependence(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	b := NewRing([]string{"http://c", "http://a", "http://b", "http://a"}, 0)
+	if !reflect.DeepEqual(a.Backends(), b.Backends()) {
+		t.Fatalf("backends differ: %v vs %v", a.Backends(), b.Backends())
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("sketch-%d", i)
+		if !reflect.DeepEqual(a.Candidates(key), b.Candidates(key)) {
+			t.Fatalf("key %q routes differently: %v vs %v", key, a.Candidates(key), b.Candidates(key))
+		}
+	}
+}
+
+func TestRingCandidatesDistinctAndComplete(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(backends, 0)
+	for i := 0; i < 200; i++ {
+		cands := r.Candidates(fmt.Sprintf("key-%d", i))
+		if len(cands) != len(backends) {
+			t.Fatalf("key %d: %d candidates, want %d", i, len(cands), len(backends))
+		}
+		seen := make(map[string]bool)
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("key %d: duplicate candidate %s", i, c)
+			}
+			seen[c] = true
+		}
+	}
+	if got := r.Owner("key-0"); got != r.Candidates("key-0")[0] {
+		t.Errorf("Owner %q != first candidate", got)
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(backends, 0)
+	counts := make(map[string]int)
+	const keys = 30000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("sketch-%d\x00query-%d", i%97, i))]++
+	}
+	// With 64 virtual nodes per backend the split should be within a few
+	// percent of even; 15% is a very loose floor that still catches a
+	// broken hash or a collapsed vnode loop.
+	for _, b := range backends {
+		if frac := float64(counts[b]) / keys; frac < 0.15 {
+			t.Errorf("backend %s owns only %.1f%% of keys: %v", b, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingScaleOutMovesFewKeys(t *testing.T) {
+	before := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	after := NewRing([]string{"http://a", "http://b", "http://c", "http://d"}, 0)
+	const keys = 10000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	// Consistent hashing should move roughly 1/4 of the keys when growing
+	// 3 -> 4 backends; naive mod-N hashing would move ~3/4.
+	if frac := float64(moved) / keys; frac > 0.5 {
+		t.Errorf("%.1f%% of keys moved on scale-out, want well under 50%%", 100*frac)
+	}
+}
+
+// TestRingNearIdenticalKeysSpread is the regression test for the raw-FNV
+// clustering bug: keys differing only in a short suffix (a batch of
+// near-identical queries) hash within a ~2^48 window of each other and —
+// without the avalanche finalizer — all land on one backend's arc,
+// silently defeating batch fan-out.
+func TestRingNearIdenticalKeysSpread(t *testing.T) {
+	r := NewRing([]string{"http://127.0.0.1:40001", "http://127.0.0.1:40002"}, 0)
+	counts := make(map[string]int)
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("imdb\x00t0 in movie, t1 in t0/actor%d", i))]++
+	}
+	for b, n := range counts {
+		if n < keys/5 {
+			t.Errorf("backend %s owns %d/%d near-identical keys (clustered): %v", b, n, keys, counts)
+		}
+	}
+	if len(counts) != 2 {
+		t.Errorf("near-identical keys landed on %d backends, want 2: %v", len(counts), counts)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if c := r.Candidates("anything"); c != nil {
+		t.Errorf("empty ring candidates = %v, want nil", c)
+	}
+	if o := r.Owner("anything"); o != "" {
+		t.Errorf("empty ring owner = %q, want empty", o)
+	}
+}

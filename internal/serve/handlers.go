@@ -300,9 +300,14 @@ func (s *Server) handleSketches(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-// healthResponse is the body of GET /healthz.
+// healthResponse is the body of GET /healthz. The explicit Draining flag
+// exists for probers: a draining replica answers 503 exactly like a dead
+// one would (load balancers must stop routing either way), but the body
+// lets a router tell "drain soon, still finishing in-flight work" apart
+// from "gone" — and skip the replica without firing retry alarms.
 type healthResponse struct {
 	Status        string  `json:"status"`
+	Draining      bool    `json:"draining"`
 	Sketches      int     `json:"sketches"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -316,6 +321,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	if s.Draining() {
 		h.Status = "draining"
+		h.Draining = true
 		code = http.StatusServiceUnavailable
 	}
 	s.writeJSON(w, code, h)

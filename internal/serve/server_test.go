@@ -278,6 +278,9 @@ func TestHealthzAndDraining(t *testing.T) {
 	if err := json.Unmarshal(body, &h); err != nil || h.Status != "ok" {
 		t.Fatalf("healthz body %s (err %v)", body, err)
 	}
+	if h.Draining {
+		t.Error("healthy healthz body claims draining")
+	}
 
 	s.SetDraining(true)
 	resp, body = getBody(t, ts.URL+"/healthz")
@@ -287,6 +290,38 @@ func TestHealthzAndDraining(t *testing.T) {
 	json.Unmarshal(body, &h)
 	if h.Status != "draining" {
 		t.Errorf("draining status %q, want draining", h.Status)
+	}
+	if !h.Draining {
+		t.Error("draining healthz body missing draining:true — a prober cannot tell drain from dead")
+	}
+}
+
+// TestHealthzDrainProbeOrdering pins the drain/probe contract a router
+// relies on: the 503 flip and the draining:true body land atomically with
+// SetDraining, and flipping back restores a clean 200 ok body. A prober
+// must never observe 503 without the draining marker on a live replica.
+func TestHealthzDrainProbeOrdering(t *testing.T) {
+	s, ts := newTestServer(t, newTestSketch(t), nil)
+	for i := 0; i < 3; i++ {
+		s.SetDraining(true)
+		resp, body := getBody(t, ts.URL+"/healthz")
+		var h healthResponse
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("healthz body %s: %v", body, err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || !h.Draining {
+			t.Fatalf("round %d: draining replica answered %d draining=%v, want 503 draining=true",
+				i, resp.StatusCode, h.Draining)
+		}
+		s.SetDraining(false)
+		resp, body = getBody(t, ts.URL+"/healthz")
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("healthz body %s: %v", body, err)
+		}
+		if resp.StatusCode != http.StatusOK || h.Draining || h.Status != "ok" {
+			t.Fatalf("round %d: un-drained replica answered %d status=%q draining=%v, want 200 ok false",
+				i, resp.StatusCode, h.Status, h.Draining)
+		}
 	}
 }
 
