@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xsketch/internal/accuracy"
+)
+
+// writeLog writes records as a JSONL audit log under t.TempDir.
+func writeLog(t *testing.T, records []accuracy.Record) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			t.Fatalf("encode record: %v", err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("write log: %v", err)
+	}
+	return path
+}
+
+func testRecords() []accuracy.Record {
+	return []accuracy.Record{
+		{Sketch: "imdb", Query: "t0 in movie, t1 in t0/actor", Estimate: 10, TraceID: "a"},
+		{Sketch: "imdb", Query: "t0 in movie/type", Estimate: 3, TraceID: "b"},
+		{Sketch: "other", Query: "t0 in movie", Estimate: 1, TraceID: "c"},
+	}
+}
+
+func TestRunTextReport(t *testing.T) {
+	path := writeLog(t, testRecords())
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-log", path, "-dataset", "imdb", "-scale", "0.02"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "replayed 3 audit records over 2 sketch(es)") {
+		t.Errorf("missing header, got:\n%s", text)
+	}
+	for _, want := range []string{"imdb", "other", "worst queries for imdb:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q, got:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunJSONReportAndSketchFilter(t *testing.T) {
+	path := writeLog(t, testRecords())
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-log", path, "-dataset", "imdb", "-scale", "0.02",
+		"-sketch", "imdb", "-format", "json", "-top", "1"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	var rep accuracy.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Records != 2 || len(rep.Sketches) != 1 || rep.Sketches[0].Sketch != "imdb" {
+		t.Fatalf("filtered report shape: %+v", rep)
+	}
+	if len(rep.Sketches[0].Worst) != 1 {
+		t.Errorf("-top 1 kept %d worst entries", len(rep.Sketches[0].Worst))
+	}
+	if rep.Sketches[0].MaxQError < 1 {
+		t.Errorf("max q-error %v, want >= 1", rep.Sketches[0].MaxQError)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	path := writeLog(t, testRecords())
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"missing log", []string{"-dataset", "imdb"}, 2, "-log is required"},
+		{"bad format", []string{"-log", path, "-dataset", "imdb", "-format", "xml"}, 2, "unknown -format"},
+		{"negative top", []string{"-log", path, "-dataset", "imdb", "-top", "-1"}, 2, "-top must be non-negative"},
+		{"double stdin", []string{"-log", "-", "-in", "-"}, 2, "cannot both read stdin"},
+		{"no matching records", []string{"-log", path, "-dataset", "imdb", "-sketch", "nope"}, 1, "no audit records"},
+		{"unreadable log", []string{"-log", path + ".missing", "-dataset", "imdb"}, 1, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			if code := run(tc.args, &out, &errBuf); code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.code, errBuf.String())
+			}
+			if !strings.Contains(errBuf.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", errBuf.String(), tc.want)
+			}
+		})
+	}
+}

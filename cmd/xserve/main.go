@@ -56,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"xsketch/internal/accuracy"
 	"xsketch/internal/build"
 	"xsketch/internal/catalog"
 	"xsketch/internal/cli"
@@ -97,6 +98,44 @@ func validateRouterFlags(routerOn bool, backends []string, sketchFlags int, cata
 	}
 	if catalogDir != "" {
 		return fmt.Errorf("-catalog cannot be combined with -router: the router loads no sketches")
+	}
+	return nil
+}
+
+// auditSatellites are the -audit-* flags that tune the accuracy auditor;
+// each is meaningless without -audit-log, so setting one while auditing
+// is off fails loudly rather than being silently ignored.
+var auditSatellites = []string{
+	"audit-rate", "audit-queue", "audit-truth-interval",
+	"audit-window", "audit-drift-threshold",
+}
+
+// validateAuditFlags checks the -audit-* flag combinations: auditing is a
+// replica-mode feature (the router serves no estimates of its own), every
+// satellite flag requires -audit-log, and the sample rate must be a
+// probability.
+func validateAuditFlags(routerOn bool, set map[string]bool, logPath string, rate float64) error {
+	if routerOn {
+		if set["audit-log"] {
+			return fmt.Errorf("-audit-log cannot be combined with -router: the router serves no estimates to audit")
+		}
+		for _, name := range auditSatellites {
+			if set[name] {
+				return fmt.Errorf("-%s cannot be combined with -router: the router serves no estimates to audit", name)
+			}
+		}
+		return nil
+	}
+	if logPath == "" {
+		for _, name := range auditSatellites {
+			if set[name] {
+				return fmt.Errorf("-%s requires -audit-log", name)
+			}
+		}
+		return nil
+	}
+	if !(rate >= 0 && rate <= 1) {
+		return fmt.Errorf("-audit-rate must be in [0, 1], got %g", rate)
 	}
 	return nil
 }
@@ -359,6 +398,14 @@ func main() {
 		logMode       = flag.String("log", "json", "request logging: json (stderr) or off")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
 	)
+	var (
+		auditLog       = flag.String("audit-log", "", "enable accuracy auditing: append sampled estimates to this JSONL journal (replayable with xaudit)")
+		auditRate      = flag.Float64("audit-rate", 0.01, "fraction of estimates sampled into the audit (deterministic per trace ID, 0..1)")
+		auditQueue     = flag.Int("audit-queue", 0, "audit journal queue depth before sampled records drop (0 = default)")
+		auditTruthPace = flag.Duration("audit-truth-interval", 0, "minimum pause between ground-truth evaluations (0 = default pacing, negative = unpaced)")
+		auditWindow    = flag.Int("audit-window", 0, "q-error sliding-window size per sketch (0 = default)")
+		auditDrift     = flag.Float64("audit-drift-threshold", 0, "windowed mean q-error above which drift fires (0 disables drift detection)")
+	)
 	flag.Var(&sketches, "sketch", "sketch to serve: name=dataset:<name>|xml:<path>|synopsis:<file>[,scale=F][,seed=N][,budget=N][,synopsis=FILE] (repeatable; bare NAME = dataset shorthand)")
 	flag.Var(&backends, "backend", "router: backend replica base URL (repeatable, requires -router)")
 	flag.Parse()
@@ -374,6 +421,12 @@ func main() {
 	}
 
 	if err := validateRouterFlags(*routerMode, backends, len(sketches), *catalogDir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if err := validateAuditFlags(*routerMode, setFlags, *auditLog, *auditRate); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -420,6 +473,27 @@ func main() {
 		}
 	}
 
+	var auditFile *os.File
+	var auditCfg *accuracy.Config
+	if *auditLog != "" {
+		f, err := os.OpenFile(*auditLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opening -audit-log:", err)
+			os.Exit(1)
+		}
+		auditFile = f
+		auditCfg = &accuracy.Config{
+			SampleRate:     *auditRate,
+			Out:            auditFile,
+			QueueSize:      *auditQueue,
+			TruthInterval:  *auditTruthPace,
+			WindowSize:     *auditWindow,
+			DriftThreshold: *auditDrift,
+		}
+		logger.Info("accuracy auditing enabled",
+			"log", *auditLog, "rate", *auditRate, "drift_threshold", *auditDrift)
+	}
+
 	s, err := serve.New(serve.Config{
 		MaxConcurrent:   *maxConcurrent,
 		RequestTimeout:  *timeout,
@@ -430,6 +504,7 @@ func main() {
 		EnablePprof:     *pprofOn,
 		CatalogDir:      *catalogDir,
 		Logger:          logger,
+		Audit:           auditCfg,
 	}, served)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -483,6 +558,15 @@ serveLoop:
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "shutdown:", err)
 		os.Exit(1)
+	}
+	// The auditor closes after the HTTP drain so every admitted request's
+	// sample reaches the journal before the file does.
+	if aud := s.Auditor(); aud != nil {
+		aud.Close()
+		if err := auditFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "closing -audit-log:", err)
+			os.Exit(1)
+		}
 	}
 	logger.Info("stopped")
 }

@@ -125,6 +125,48 @@ func TestValidateRouterFlags(t *testing.T) {
 	}
 }
 
+func TestValidateAuditFlags(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := make(map[string]bool)
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name     string
+		routerOn bool
+		set      map[string]bool
+		logPath  string
+		rate     float64
+		wantErr  string
+	}{
+		{name: "auditing off, nothing set", set: set(), rate: 0.01},
+		{name: "auditing on with satellites", set: set("audit-log", "audit-rate", "audit-window"), logPath: "a.jsonl", rate: 0.5},
+		{name: "rate 0 and 1 are valid", set: set("audit-log"), logPath: "a.jsonl", rate: 1},
+		{name: "satellite without log", set: set("audit-rate"), rate: 0.5, wantErr: "-audit-rate requires -audit-log"},
+		{name: "drift threshold without log", set: set("audit-drift-threshold"), rate: 0.01, wantErr: "-audit-drift-threshold requires -audit-log"},
+		{name: "router rejects audit log", routerOn: true, set: set("audit-log"), logPath: "a.jsonl", rate: 0.01, wantErr: "-audit-log cannot be combined with -router"},
+		{name: "router rejects satellites", routerOn: true, set: set("audit-queue"), rate: 0.01, wantErr: "-audit-queue cannot be combined with -router"},
+		{name: "rate above one", set: set("audit-log"), logPath: "a.jsonl", rate: 1.5, wantErr: "must be in [0, 1]"},
+		{name: "negative rate", set: set("audit-log"), logPath: "a.jsonl", rate: -0.1, wantErr: "must be in [0, 1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateAuditFlags(tc.routerOn, tc.set, tc.logPath, tc.rate)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestBackendFlagsSet(t *testing.T) {
 	var f backendFlags
 	if err := f.Set("http://a"); err != nil {

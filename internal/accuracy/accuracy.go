@@ -1,0 +1,532 @@
+package accuracy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xsketch/internal/eval"
+	"xsketch/internal/obs"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+// A Record is one sampled estimate: everything the offline replay needs to
+// recompute the error the service observed. Estimates round-trip through
+// JSON bit-exactly (the encoder emits the shortest form that parses back
+// to the same float64), so a replayed q-error matches the online one.
+type Record struct {
+	// TS is the RFC3339Nano write timestamp, stamped by the audit writer
+	// (not the request path). Informational; replay ignores it.
+	TS string `json:"ts,omitempty"`
+	// Sketch is the served sketch name.
+	Sketch string `json:"sketch"`
+	// Query is the canonical twig query text (twig.Query.String form).
+	Query string `json:"query"`
+	// Estimate is the selectivity the service answered.
+	Estimate float64 `json:"estimate"`
+	// Truncated reports whether embedding enumeration hit MaxEmbeddings.
+	Truncated bool `json:"truncated"`
+	// Generation is the sketch entry's hot-swap count when the estimate
+	// was served, so replays can separate stale-generation error.
+	Generation uint64 `json:"generation"`
+	// TraceID correlates the record with the request's log lines.
+	TraceID string `json:"trace_id"`
+}
+
+// Config tunes an Auditor. Zero values select the defaults noted on each
+// field.
+type Config struct {
+	// SampleRate is the fraction of served estimates to audit, in [0, 1].
+	// The decision hashes the request's trace ID, so a fleet of replicas
+	// behind a router samples the same requests.
+	SampleRate float64
+	// Out receives one JSON object per sampled record, newline-delimited.
+	// nil journals nothing (the ground-truth loop still runs).
+	Out io.Writer
+	// QueueSize bounds the request-path-to-writer queue; a full queue
+	// drops the record and increments xserve_accuracy_dropped_total
+	// rather than blocking the request. Default: 1024.
+	QueueSize int
+	// TruthQueueSize bounds the writer-to-ground-truth queue; overflow is
+	// counted as a skip, the record stays in the log for offline replay.
+	// Default: QueueSize.
+	TruthQueueSize int
+	// TruthInterval is the minimum delay between ground-truth
+	// evaluations, bounding the worker's document-scan load. Default:
+	// 50ms; negative disables pacing.
+	TruthInterval time.Duration
+	// WindowSize is the per-sketch sliding window (in audited records)
+	// behind the mean/p95/max gauges and the drift detector. Default: 256.
+	WindowSize int
+	// DriftThreshold is the windowed mean q-error above which a sketch is
+	// considered drifted. Each upward crossing increments
+	// xserve_accuracy_drift_total and logs an "accuracy drift" event;
+	// recovery below the threshold re-arms the detector. <= 0 disables.
+	DriftThreshold float64
+	// Logger receives writer errors and drift events; nil discards.
+	Logger *obs.Logger
+	// Registry receives the xserve_accuracy_* families; nil uses a
+	// private registry (the metrics then render nowhere).
+	Registry *obs.Registry
+	// Sketches pre-creates per-sketch series and windows so zero-valued
+	// counters and gauges are visible from the first scrape.
+	Sketches []string
+	// Now overrides the record-timestamp clock, for tests. Default:
+	// time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.TruthQueueSize <= 0 {
+		c.TruthQueueSize = c.QueueSize
+	}
+	if c.TruthInterval == 0 {
+		c.TruthInterval = 50 * time.Millisecond
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 256
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// job carries one sampled estimate through the audit pipeline. doc and q
+// ride along (rather than being re-resolved later) so the ground truth is
+// computed against exactly the document generation that was served.
+type job struct {
+	rec Record
+	doc *xmltree.Document
+	q   *twig.Query
+}
+
+// An Auditor samples served estimates into an audit log and a ground-truth
+// loop. Create with New; Submit from the request path; Close on shutdown.
+// All methods are safe for concurrent use.
+type Auditor struct {
+	cfg       Config
+	log       *obs.Logger
+	m         *metrics
+	threshold uint64
+	sampleAll bool
+
+	recCh     chan job
+	truthCh   chan job
+	quitWrite chan struct{}
+	quitTruth chan struct{}
+	wgWrite   sync.WaitGroup
+	wgTruth   sync.WaitGroup
+	closed    atomic.Bool
+	// pending counts records accepted but not yet fully processed
+	// (written, and ground-truthed where applicable); Flush spins on it.
+	pending atomic.Int64
+
+	mu      sync.Mutex
+	windows map[string]*window
+}
+
+// New builds an Auditor and starts its writer and ground-truth workers.
+func New(cfg Config) (*Auditor, error) {
+	if math.IsNaN(cfg.SampleRate) || cfg.SampleRate < 0 || cfg.SampleRate > 1 {
+		return nil, fmt.Errorf("accuracy: sample rate %v outside [0, 1]", cfg.SampleRate)
+	}
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	a := &Auditor{
+		cfg:       cfg,
+		log:       cfg.Logger,
+		m:         newMetrics(reg),
+		recCh:     make(chan job, cfg.QueueSize),
+		truthCh:   make(chan job, cfg.TruthQueueSize),
+		quitWrite: make(chan struct{}),
+		quitTruth: make(chan struct{}),
+		windows:   make(map[string]*window),
+	}
+	switch {
+	case cfg.SampleRate >= 1:
+		a.sampleAll = true
+	case cfg.SampleRate > 0:
+		// float64(MaxUint64) is exactly 2^64, so the product is the
+		// threshold a uniform 64-bit hash falls under with probability
+		// SampleRate. Guard the conversion: a product at or above 2^64
+		// (impossible for rate < 1, but be safe) would overflow.
+		t := cfg.SampleRate * float64(math.MaxUint64)
+		if t >= float64(math.MaxUint64) {
+			a.sampleAll = true
+		} else {
+			a.threshold = uint64(t)
+		}
+	}
+	for _, name := range cfg.Sketches {
+		a.m.precreate(name)
+		a.mu.Lock()
+		a.windowFor(name)
+		a.mu.Unlock()
+	}
+	a.wgWrite.Add(1)
+	go a.writeLoop()
+	a.wgTruth.Add(1)
+	go a.truthLoop()
+	return a, nil
+}
+
+// SampleRate returns the configured sampling fraction.
+func (a *Auditor) SampleRate() float64 { return a.cfg.SampleRate }
+
+// ShouldSample reports whether the request carrying this trace ID falls in
+// the audit sample. The decision is a pure hash of the ID — deterministic
+// across replicas and across time — and never allocates.
+func (a *Auditor) ShouldSample(traceID string) bool {
+	if a.sampleAll {
+		return true
+	}
+	return hashString(traceID) < a.threshold
+}
+
+// ShouldSampleItem is ShouldSample for one item of a batch request: the
+// item index is mixed into the hash so a batch's items sample
+// independently instead of all-or-nothing on the shared trace ID.
+func (a *Auditor) ShouldSampleItem(traceID string, item int) bool {
+	if a.sampleAll {
+		return true
+	}
+	return mix64(hashString(traceID)+uint64(item)*0x9e3779b97f4a7c15) < a.threshold
+}
+
+// Submit hands one sampled estimate to the audit pipeline. doc is the
+// live source document backing the sketch (nil for detached catalog
+// sketches — the record is still journaled, ground truth is skipped) and
+// q is the parsed query. Submit never blocks: a full queue drops the
+// record and counts the drop.
+func (a *Auditor) Submit(rec Record, doc *xmltree.Document, q *twig.Query) {
+	if a.closed.Load() {
+		a.m.dropped.Inc()
+		return
+	}
+	a.pending.Add(1)
+	select {
+	case a.recCh <- job{rec: rec, doc: doc, q: q}:
+		a.m.sampled.With(rec.Sketch).Inc()
+	default:
+		a.pending.Add(-1)
+		a.m.dropped.Inc()
+	}
+}
+
+// Flush blocks until every accepted record has been written and, where a
+// ground truth was queued, audited. It exists for tests and for draining
+// before Close; it returns immediately once the auditor is closed.
+func (a *Auditor) Flush() {
+	for a.pending.Load() > 0 && !a.closed.Load() {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Close drains both queues and stops the workers. Submits racing Close
+// are dropped (and counted); Close is idempotent.
+func (a *Auditor) Close() {
+	if !a.closed.CompareAndSwap(false, true) {
+		return
+	}
+	// Writer first: it may still feed the truth queue, whose worker keeps
+	// running until the writer has fully drained.
+	close(a.quitWrite)
+	a.wgWrite.Wait()
+	// A Submit that read closed=false before the flip may have landed
+	// after the writer exited; count those as drops.
+	for {
+		select {
+		case <-a.recCh:
+			a.pending.Add(-1)
+			a.m.dropped.Inc()
+			continue
+		default:
+		}
+		break
+	}
+	close(a.quitTruth)
+	a.wgTruth.Wait()
+}
+
+// writeLoop is the audit-log writer: it stamps and journals records, then
+// forwards ground-truthable ones to the truth queue without blocking.
+func (a *Auditor) writeLoop() {
+	defer a.wgWrite.Done()
+	var enc *json.Encoder
+	if a.cfg.Out != nil {
+		enc = json.NewEncoder(a.cfg.Out)
+	}
+	for {
+		select {
+		case j := <-a.recCh:
+			a.handleRecord(enc, j)
+		case <-a.quitWrite:
+			for {
+				select {
+				case j := <-a.recCh:
+					a.handleRecord(enc, j)
+					continue
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+func (a *Auditor) handleRecord(enc *json.Encoder, j job) {
+	j.rec.TS = a.cfg.Now().UTC().Format(time.RFC3339Nano)
+	if enc != nil {
+		if err := enc.Encode(&j.rec); err != nil {
+			a.log.Error("audit log write failed", "error", err.Error(), "sketch", j.rec.Sketch)
+		}
+	}
+	if j.doc == nil || j.q == nil {
+		a.m.skipped.With(skipDetached).Inc()
+		a.pending.Add(-1)
+		return
+	}
+	select {
+	case a.truthCh <- j:
+	default:
+		a.m.skipped.With(skipQueueFull).Inc()
+		a.pending.Add(-1)
+	}
+}
+
+// truthLoop computes exact selectivities for sampled estimates, paced by
+// TruthInterval so audit load on the document stays bounded. After quit
+// it drains the queue unpaced: shutdown flushes, it does not dawdle.
+func (a *Auditor) truthLoop() {
+	defer a.wgTruth.Done()
+	for {
+		select {
+		case j := <-a.truthCh:
+			a.audit(j)
+			if a.cfg.TruthInterval > 0 {
+				select {
+				case <-time.After(a.cfg.TruthInterval):
+				case <-a.quitTruth:
+				}
+			}
+		case <-a.quitTruth:
+			for {
+				select {
+				case j := <-a.truthCh:
+					a.audit(j)
+					continue
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+// audit computes one record's ground truth and feeds the error metrics,
+// the sliding window, and the drift detector.
+func (a *Auditor) audit(j job) {
+	defer a.pending.Add(-1)
+	start := time.Now()
+	truth := eval.New(j.doc).Selectivity(j.q)
+	a.m.truthLat.Observe(time.Since(start).Seconds())
+	qe := QError(j.rec.Estimate, float64(truth))
+	a.m.audited.With(j.rec.Sketch).Inc()
+	a.m.qerror.With(j.rec.Sketch).Observe(qe)
+
+	a.mu.Lock()
+	w := a.windowFor(j.rec.Sketch)
+	w.push(qe, j.rec.Query)
+	crossed := false
+	if a.cfg.DriftThreshold > 0 {
+		if w.mean() > a.cfg.DriftThreshold {
+			if !w.inDrift {
+				w.inDrift = true
+				crossed = true
+			}
+		} else {
+			w.inDrift = false
+		}
+	}
+	mean := w.mean()
+	worst := w.max()
+	a.mu.Unlock()
+
+	if crossed {
+		a.m.drift.With(j.rec.Sketch).Inc()
+		a.log.Error("accuracy drift",
+			"sketch", j.rec.Sketch,
+			"window_mean_qerror", mean,
+			"threshold", a.cfg.DriftThreshold,
+			"worst_qerror", worst.qerr,
+			"worst_query", worst.query,
+			"generation", j.rec.Generation,
+		)
+	}
+}
+
+// windowFor returns the sketch's window, creating it (and attaching its
+// scrape-time gauges) on first use. Callers must hold a.mu; the attach is
+// safe because scrapes never hold a family lock while sampling a series.
+func (a *Auditor) windowFor(sketch string) *window {
+	w, ok := a.windows[sketch]
+	if !ok {
+		w = &window{cap: a.cfg.WindowSize}
+		a.windows[sketch] = w
+		for _, s := range []struct {
+			stat string
+			fn   func(*window) float64
+		}{
+			{"mean", (*window).mean},
+			{"p95", (*window).p95},
+			{"max", func(w *window) float64 { return w.max().qerr }},
+		} {
+			fn := s.fn
+			a.m.window.Attach(func() float64 {
+				a.mu.Lock()
+				defer a.mu.Unlock()
+				return fn(w)
+			}, "sketch", sketch, "stat", s.stat)
+		}
+	}
+	return w
+}
+
+// WindowStats is a snapshot of one sketch's sliding q-error window, for
+// tests and admin introspection.
+type WindowStats struct {
+	// Count is the number of audited records currently in the window.
+	Count int
+	// Mean, P95 and Max summarize the window (0 when empty); P95 is the
+	// nearest-rank quantile, matching internal/loadgen.
+	Mean, P95, Max float64
+	// QErrors lists the window's q-errors, oldest first.
+	QErrors []float64
+	// InDrift reports whether the window mean currently exceeds the drift
+	// threshold.
+	InDrift bool
+}
+
+// WindowStats returns the named sketch's current window snapshot.
+func (a *Auditor) WindowStats(sketch string) WindowStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w, ok := a.windows[sketch]
+	if !ok {
+		return WindowStats{}
+	}
+	return WindowStats{
+		Count:   w.len(),
+		Mean:    w.mean(),
+		P95:     w.p95(),
+		Max:     w.max().qerr,
+		QErrors: w.ordered(),
+		InDrift: w.inDrift,
+	}
+}
+
+// sample is one audited record's residue in the sliding window.
+type sample struct {
+	qerr  float64
+	query string
+}
+
+// window is a fixed-capacity ring of recent q-errors for one sketch.
+// Methods are not self-locking; the Auditor's mutex guards them.
+type window struct {
+	cap     int
+	vals    []sample
+	next    int
+	inDrift bool
+}
+
+func (w *window) len() int { return len(w.vals) }
+
+func (w *window) push(qe float64, query string) {
+	if len(w.vals) < w.cap {
+		w.vals = append(w.vals, sample{qerr: qe, query: query})
+		return
+	}
+	w.vals[w.next] = sample{qerr: qe, query: query}
+	w.next = (w.next + 1) % w.cap
+}
+
+// ordered returns the window's q-errors oldest first.
+func (w *window) ordered() []float64 {
+	out := make([]float64, 0, len(w.vals))
+	for i := 0; i < len(w.vals); i++ {
+		out = append(out, w.vals[(w.next+i)%len(w.vals)].qerr)
+	}
+	return out
+}
+
+func (w *window) mean() float64 {
+	if len(w.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range w.vals {
+		sum += s.qerr
+	}
+	return sum / float64(len(w.vals))
+}
+
+func (w *window) max() sample {
+	var m sample
+	for _, s := range w.vals {
+		if s.qerr > m.qerr {
+			m = s
+		}
+	}
+	return m
+}
+
+func (w *window) p95() float64 {
+	if len(w.vals) == 0 {
+		return 0
+	}
+	qs := make([]float64, len(w.vals))
+	for i, s := range w.vals {
+		qs[i] = s.qerr
+	}
+	sort.Float64s(qs)
+	return quantileSorted(qs, 0.95)
+}
+
+// hashString is FNV-1a over the string's bytes followed by an avalanche
+// finalizer, the same construction the router's ring uses: raw FNV leaves
+// structured IDs (hex trace IDs share an alphabet) poorly mixed in the
+// high bits the threshold comparison reads.
+func hashString(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche so every input
+// bit affects every output bit.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

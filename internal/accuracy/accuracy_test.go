@@ -1,0 +1,391 @@
+package accuracy
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xsketch/internal/eval"
+	"xsketch/internal/obs"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+func testDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.Parse(strings.NewReader(
+		"<site><movie><actor/><actor/></movie><movie><actor/></movie></site>"))
+	if err != nil {
+		t.Fatalf("parse test doc: %v", err)
+	}
+	return d
+}
+
+func mustParse(t *testing.T, s string) *twig.Query {
+	t.Helper()
+	q, err := twig.Parse(s)
+	if err != nil {
+		t.Fatalf("parse query %q: %v", s, err)
+	}
+	return q
+}
+
+// newTestAuditor builds an auditor with fast, deterministic settings.
+func newTestAuditor(t *testing.T, mutate func(*Config)) (*Auditor, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := Config{
+		SampleRate:    1,
+		Out:           &buf,
+		TruthInterval: -1, // no pacing in tests
+		Now:           func() time.Time { return time.Unix(0, 0) },
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(a.Close)
+	return a, &buf
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{10, 10, 1},
+		{2, 4, 2},
+		{4, 2, 2},
+		{0.5, 1, 1},    // both floored at 1
+		{0, 100, 100},  // zero estimate floors to 1
+		{100, 0, 100},  // zero truth floors to 1
+		{0.25, 0.5, 1}, // sub-one pairs are equal after flooring
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.truth); got != c.want {
+			t.Errorf("QError(%v, %v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestSamplingDeterministicAndProportional(t *testing.T) {
+	a, _ := newTestAuditor(t, func(c *Config) { c.SampleRate = 0.25 })
+	b, _ := newTestAuditor(t, func(c *Config) { c.SampleRate = 0.25 })
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		id := obs.NewTraceID()
+		da, db := a.ShouldSample(id), b.ShouldSample(id)
+		if da != db {
+			t.Fatalf("two auditors at the same rate disagree on %q", id)
+		}
+		if da != a.ShouldSample(id) {
+			t.Fatalf("decision for %q not deterministic", id)
+		}
+		if da {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("sample rate 0.25 hit %.4f of %d trace IDs", got, n)
+	}
+}
+
+func TestSamplingRateExtremes(t *testing.T) {
+	all, _ := newTestAuditor(t, func(c *Config) { c.SampleRate = 1 })
+	none, _ := newTestAuditor(t, func(c *Config) { c.SampleRate = 0 })
+	for i := 0; i < 1000; i++ {
+		id := obs.NewTraceID()
+		if !all.ShouldSample(id) {
+			t.Fatalf("rate 1 skipped %q", id)
+		}
+		if none.ShouldSample(id) {
+			t.Fatalf("rate 0 sampled %q", id)
+		}
+	}
+}
+
+func TestSamplingItemsIndependent(t *testing.T) {
+	a, _ := newTestAuditor(t, func(c *Config) { c.SampleRate = 0.5 })
+	// Across many batch items of one trace ID the item decisions must
+	// split, not inherit the request decision wholesale.
+	id := obs.NewTraceID()
+	hits := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.ShouldSampleItem(id, i) {
+			hits++
+		}
+	}
+	if hits == 0 || hits == n {
+		t.Fatalf("item sampling at rate 0.5 hit %d of %d items of one trace", hits, n)
+	}
+}
+
+func TestInvalidSampleRate(t *testing.T) {
+	for _, rate := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := New(Config{SampleRate: rate}); err == nil {
+			t.Errorf("New accepted sample rate %v", rate)
+		}
+	}
+}
+
+func TestShouldSampleZeroAlloc(t *testing.T) {
+	a, _ := newTestAuditor(t, func(c *Config) { c.SampleRate = 0.5 })
+	id := obs.NewTraceID()
+	if n := testing.AllocsPerRun(1000, func() { a.ShouldSample(id) }); n != 0 {
+		t.Errorf("ShouldSample allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { a.ShouldSampleItem(id, 7) }); n != 0 {
+		t.Errorf("ShouldSampleItem allocates %v per run, want 0", n)
+	}
+}
+
+func TestSubmitJournalsAndAudits(t *testing.T) {
+	doc := testDoc(t)
+	q := mustParse(t, "t0 in movie, t1 in t0/actor")
+	truth := eval.New(doc).Selectivity(q)
+	a, buf := newTestAuditor(t, nil)
+
+	rec := Record{Sketch: "s", Query: q.String(), Estimate: 7.25, Generation: 3, TraceID: "tid1"}
+	a.Submit(rec, doc, q)
+	a.Flush()
+
+	records, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("journaled %d records, want 1", len(records))
+	}
+	got := records[0]
+	if got.TS == "" {
+		t.Errorf("record missing write timestamp")
+	}
+	got.TS = ""
+	if got != rec {
+		t.Errorf("record round-trip mismatch: got %+v want %+v", got, rec)
+	}
+	if math.Float64bits(got.Estimate) != math.Float64bits(rec.Estimate) {
+		t.Errorf("estimate bits changed across JSON round trip")
+	}
+
+	want := QError(rec.Estimate, float64(truth))
+	ws := a.WindowStats("s")
+	if ws.Count != 1 || ws.Mean != want || ws.Max != want {
+		t.Errorf("window stats %+v, want single q-error %v", ws, want)
+	}
+	if v := a.m.audited.With("s").Value(); v != 1 {
+		t.Errorf("audited counter %d, want 1", v)
+	}
+	if v := a.m.sampled.With("s").Value(); v != 1 {
+		t.Errorf("sampled counter %d, want 1", v)
+	}
+}
+
+func TestDetachedSketchSkipsTruth(t *testing.T) {
+	a, buf := newTestAuditor(t, nil)
+	a.Submit(Record{Sketch: "s", Query: "t0 in movie", Estimate: 2}, nil, nil)
+	a.Flush()
+	if records, err := ReadLog(bytes.NewReader(buf.Bytes())); err != nil || len(records) != 1 {
+		t.Fatalf("ReadLog: %v, %d records, want 1 (detached records still journal)", err, len(records))
+	}
+	if v := a.m.skipped.With(skipDetached).Value(); v != 1 {
+		t.Errorf("detached skip counter %d, want 1", v)
+	}
+	if v := a.m.audited.With("s").Value(); v != 0 {
+		t.Errorf("audited counter %d for a detached record, want 0", v)
+	}
+}
+
+func TestWindowRingAndStats(t *testing.T) {
+	doc := testDoc(t)
+	q := mustParse(t, "t0 in movie")
+	truth := float64(eval.New(doc).Selectivity(q))
+	a, _ := newTestAuditor(t, func(c *Config) { c.WindowSize = 3 })
+	// Five submissions into a window of three: only the last three stay.
+	ests := []float64{truth, truth * 2, truth * 4, truth * 8, truth * 16}
+	for _, est := range ests {
+		a.Submit(Record{Sketch: "s", Query: q.String(), Estimate: est}, doc, q)
+		a.Flush()
+	}
+	ws := a.WindowStats("s")
+	if ws.Count != 3 {
+		t.Fatalf("window count %d, want 3", ws.Count)
+	}
+	want := []float64{4, 8, 16}
+	for i, w := range want {
+		if ws.QErrors[i] != w {
+			t.Errorf("window[%d] = %v, want %v (full window %v)", i, ws.QErrors[i], w, ws.QErrors)
+		}
+	}
+	if ws.Max != 16 {
+		t.Errorf("window max %v, want 16", ws.Max)
+	}
+	if wantMean := (4.0 + 8.0 + 16.0) / 3.0; ws.Mean != wantMean {
+		t.Errorf("window mean %v, want %v", ws.Mean, wantMean)
+	}
+	// Nearest rank over 3 sorted samples indexes int(0.95*2) == 1.
+	if ws.P95 != 8 {
+		t.Errorf("window p95 %v, want 8 (nearest rank of 3 samples)", ws.P95)
+	}
+}
+
+func TestDriftCrossingSemantics(t *testing.T) {
+	doc := testDoc(t)
+	q := mustParse(t, "t0 in movie")
+	truth := float64(eval.New(doc).Selectivity(q))
+	a, _ := newTestAuditor(t, func(c *Config) {
+		c.WindowSize = 1 // each record is the whole window: mean == its q-error
+		c.DriftThreshold = 2
+	})
+	submit := func(est float64) {
+		a.Submit(Record{Sketch: "s", Query: q.String(), Estimate: est}, doc, q)
+		a.Flush()
+	}
+	drifts := func() uint64 { return a.m.drift.With("s").Value() }
+
+	submit(truth) // qerr 1: under threshold
+	if got := drifts(); got != 0 {
+		t.Fatalf("drift counter %d before any drift", got)
+	}
+	submit(truth * 10) // qerr 10: crossing
+	if got := drifts(); got != 1 {
+		t.Fatalf("drift counter %d after crossing, want 1", got)
+	}
+	submit(truth * 20) // still over: no new crossing
+	if got := drifts(); got != 1 {
+		t.Fatalf("drift counter %d while staying over, want 1", got)
+	}
+	submit(truth) // recovery re-arms
+	submit(truth * 10)
+	if got := drifts(); got != 2 {
+		t.Fatalf("drift counter %d after recover + re-cross, want 2", got)
+	}
+}
+
+// gateWriter blocks every Write until released, to hold the audit writer
+// mid-record while a test fills the queue behind it.
+type gateWriter struct {
+	entered chan struct{}
+	release chan struct{}
+	mu      sync.Mutex
+	buf     bytes.Buffer
+}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.buf.Write(p)
+}
+
+func TestFullQueueDropsInsteadOfBlocking(t *testing.T) {
+	gate := &gateWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	var a *Auditor
+	a, _ = newTestAuditor(t, func(c *Config) {
+		c.Out = gate
+		c.QueueSize = 1
+	})
+	a.Submit(Record{Sketch: "s", Query: "t0 in movie", Estimate: 1}, nil, nil)
+	<-gate.entered                                                             // writer is now parked inside Write for record 1
+	a.Submit(Record{Sketch: "s", Query: "t0 in movie", Estimate: 2}, nil, nil) // queued
+	a.Submit(Record{Sketch: "s", Query: "t0 in movie", Estimate: 3}, nil, nil) // dropped
+	if v := a.m.dropped.Value(); v != 1 {
+		t.Errorf("dropped counter %d, want 1", v)
+	}
+	close(gate.release)
+	<-gate.entered // record 2 reaches the writer
+	a.Flush()
+	if v := a.m.sampled.With("s").Value(); v != 2 {
+		t.Errorf("sampled counter %d, want 2 accepted records", v)
+	}
+}
+
+func TestSubmitAfterCloseDrops(t *testing.T) {
+	a, _ := newTestAuditor(t, nil)
+	a.Close()
+	a.Submit(Record{Sketch: "s", Query: "t0 in movie", Estimate: 1}, nil, nil)
+	if v := a.m.dropped.Value(); v != 1 {
+		t.Errorf("dropped counter %d after post-close submit, want 1", v)
+	}
+}
+
+func TestReadLogMalformedLine(t *testing.T) {
+	in := "{\"sketch\":\"s\",\"query\":\"q\",\"estimate\":1,\"truncated\":false,\"generation\":0,\"trace_id\":\"t\"}\nnot json\n"
+	if _, err := ReadLog(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("ReadLog error %v, want a line-2 failure", err)
+	}
+}
+
+func TestReplayAggregates(t *testing.T) {
+	doc := testDoc(t)
+	q := mustParse(t, "t0 in movie")
+	truth := eval.New(doc).Selectivity(q)
+	records := []Record{
+		{Sketch: "b", Query: q.String(), Estimate: float64(truth), Generation: 1},
+		{Sketch: "a", Query: q.String(), Estimate: float64(truth) * 3},
+		{Sketch: "a", Query: q.String(), Estimate: float64(truth)},
+	}
+	rep, err := Replay(records, doc, 1)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Records != 3 || len(rep.Sketches) != 2 {
+		t.Fatalf("report shape %+v, want 3 records over 2 sketches", rep)
+	}
+	if rep.Sketches[0].Sketch != "a" || rep.Sketches[1].Sketch != "b" {
+		t.Fatalf("sketches not sorted: %q, %q", rep.Sketches[0].Sketch, rep.Sketches[1].Sketch)
+	}
+	a := rep.Sketches[0]
+	if a.Records != 2 || a.MaxQError != 3 || a.MeanQError != 2 {
+		t.Errorf("sketch a aggregates %+v, want 2 records, mean 2, max 3", a)
+	}
+	if len(a.Worst) != 1 || a.Worst[0].QError != 3 || a.Worst[0].Truth != truth {
+		t.Errorf("sketch a worst %+v, want the 3x record with truth %d", a.Worst, truth)
+	}
+	b := rep.Sketches[1]
+	if b.Records != 1 || b.MaxQError != 1 || b.Worst[0].Generation != 1 {
+		t.Errorf("sketch b aggregates %+v, want one exact record at generation 1", b)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report not JSON-marshalable: %v", err)
+	}
+	if text := rep.Text(); !strings.Contains(text, "worst queries for a") {
+		t.Errorf("text report missing worst section:\n%s", text)
+	}
+}
+
+func TestReplayMalformedQuery(t *testing.T) {
+	doc := testDoc(t)
+	if _, err := Replay([]Record{{Sketch: "s", Query: "][", Estimate: 1}}, doc, 0); err == nil {
+		t.Fatal("Replay accepted a malformed query")
+	}
+}
+
+func TestQuantileSortedEdges(t *testing.T) {
+	if got := quantileSorted(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	one := []float64{42}
+	for _, q := range []float64{0, 0.5, 1, -1, 2} {
+		if got := quantileSorted(one, q); got != 42 {
+			t.Errorf("single-sample quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	asc := []float64{1, 2, 3, 4}
+	if got := quantileSorted(asc, 0); got != 1 {
+		t.Errorf("q=0 = %v, want min", got)
+	}
+	if got := quantileSorted(asc, 1); got != 4 {
+		t.Errorf("q=1 = %v, want max", got)
+	}
+}

@@ -1,0 +1,21 @@
+// Package accuracy is the online estimate-quality auditor: it samples a
+// deterministic fraction of served estimates, journals them to a JSONL
+// audit log through a bounded asynchronous writer, and — when the sampled
+// sketch still has its source document — recomputes exact ground truth in
+// a rate-limited background worker using internal/eval.
+//
+// Observed error is reported as the q-error (the symmetric multiplicative
+// error factor, see QError) through per-sketch histograms, windowed
+// mean/p95/max gauges, and a drift detector that counts threshold
+// crossings and emits a structured log event naming the worst-erring
+// query — the hook a future adaptive-refinement pass consumes.
+//
+// The request path pays exactly one atomic-free branch when auditing is
+// disabled, and a hash comparison plus a non-blocking channel send when
+// enabled: sampling decisions never allocate and the writer never blocks
+// a request (full queues drop and count instead).
+//
+// The same package also replays audit logs offline (ReadLog, Replay) so
+// the xaudit command reports exactly the error figures the online loop
+// observed: both paths share QError and the internal/eval ground truth.
+package accuracy

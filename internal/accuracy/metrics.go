@@ -1,0 +1,66 @@
+package accuracy
+
+import "xsketch/internal/obs"
+
+// Reasons the ground-truth loop skips a journaled record.
+const (
+	// skipDetached: the sketch has no live source document (catalog-served),
+	// so truth can only be computed by an offline xaudit replay.
+	skipDetached = "detached"
+	// skipQueueFull: the truth queue was full; the record stays in the log.
+	skipQueueFull = "queue_full"
+)
+
+// metrics bundles the auditor's instrument handles. Every family is
+// documented in SERVING.md's catalog; internal/serve's metrics-endpoint
+// test cross-checks the names.
+type metrics struct {
+	sampled  *obs.CounterVec   // xserve_accuracy_sampled_total{sketch}
+	dropped  *obs.Counter      // xserve_accuracy_dropped_total
+	audited  *obs.CounterVec   // xserve_accuracy_audited_total{sketch}
+	skipped  *obs.CounterVec   // xserve_accuracy_truth_skipped_total{reason}
+	drift    *obs.CounterVec   // xserve_accuracy_drift_total{sketch}
+	qerror   *obs.HistogramVec // xserve_accuracy_qerror{sketch}
+	truthLat *obs.Histogram    // xserve_accuracy_truth_latency_seconds
+	window   *obs.FuncFamily   // xserve_accuracy_window_qerror{sketch,stat}
+}
+
+// QErrorBuckets spans exact estimates (q-error 1) through catastrophic
+// misses (1000×); the lower edges are dense because the paper's synopses
+// live in the 1–2× band at realistic budgets.
+func QErrorBuckets() []float64 {
+	return []float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 10, 25, 100, 1000}
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		sampled: reg.NewCounterVec("xserve_accuracy_sampled_total",
+			"Served estimates sampled into the audit log, per sketch.", "sketch"),
+		dropped: reg.NewCounter("xserve_accuracy_dropped_total",
+			"Sampled records dropped because the audit queue was full or the auditor closed."),
+		audited: reg.NewCounterVec("xserve_accuracy_audited_total",
+			"Sampled estimates ground-truthed by the background worker, per sketch.", "sketch"),
+		skipped: reg.NewCounterVec("xserve_accuracy_truth_skipped_total",
+			"Journaled records whose ground truth was skipped, by reason (detached, queue_full).", "reason"),
+		drift: reg.NewCounterVec("xserve_accuracy_drift_total",
+			"Upward crossings of the windowed mean q-error over the drift threshold, per sketch.", "sketch"),
+		qerror: reg.NewHistogramVec("xserve_accuracy_qerror",
+			"Observed q-error (max(est,truth)/min(est,truth), floored at 1) of audited estimates, per sketch.",
+			QErrorBuckets(), "sketch"),
+		truthLat: reg.NewHistogram("xserve_accuracy_truth_latency_seconds",
+			"Latency of exact ground-truth evaluations in the audit worker.", nil),
+		window: reg.NewFuncFamily("xserve_accuracy_window_qerror",
+			"Sliding-window q-error summary per sketch (stat = mean, p95, max).", "gauge"),
+	}
+}
+
+// precreate materializes a sketch's zero-valued counter series so the
+// scrape catalog is complete before the first sample.
+func (m *metrics) precreate(sketch string) {
+	m.sampled.With(sketch)
+	m.audited.With(sketch)
+	m.drift.With(sketch)
+	m.qerror.With(sketch)
+	m.skipped.With(skipDetached)
+	m.skipped.With(skipQueueFull)
+}

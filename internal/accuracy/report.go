@@ -1,0 +1,205 @@
+package accuracy
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xsketch/internal/eval"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+// QError returns the symmetric multiplicative error factor between an
+// estimate and the true count: max(e, t) / min(e, t) with both floored at
+// one, so a perfect estimate scores 1 and over- and under-estimation are
+// penalized alike. This is the error measure both the online worker and
+// the offline replay report — they agree bit-for-bit on equal inputs.
+func QError(estimate, truth float64) float64 {
+	e := estimate
+	if e < 1 {
+		e = 1
+	}
+	t := truth
+	if t < 1 {
+		t = 1
+	}
+	if e > t {
+		return e / t
+	}
+	return t / e
+}
+
+// ReadLog decodes a JSONL audit log. Blank lines are skipped; a malformed
+// line fails with its line number so truncated logs are diagnosable.
+func ReadLog(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("audit log line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("audit log line %d: %w", line, err)
+	}
+	return out, nil
+}
+
+// A Report is the outcome of replaying an audit log against a document:
+// per-sketch accuracy aggregates over every journaled estimate.
+type Report struct {
+	// Records is the total record count replayed.
+	Records int `json:"records"`
+	// Sketches aggregates per sketch name, sorted by name.
+	Sketches []SketchReport `json:"sketches"`
+}
+
+// A SketchReport aggregates one sketch's replayed records.
+type SketchReport struct {
+	// Sketch is the sketch name the records were served from.
+	Sketch string `json:"sketch"`
+	// Records is the record count for this sketch.
+	Records int `json:"records"`
+	// MeanQError, P50QError, P95QError and MaxQError summarize the
+	// replayed q-errors; the quantiles are nearest-rank.
+	MeanQError float64 `json:"mean_qerror"`
+	P50QError  float64 `json:"p50_qerror"`
+	P95QError  float64 `json:"p95_qerror"`
+	MaxQError  float64 `json:"max_qerror"`
+	// Worst lists the worst-erring records, q-error descending.
+	Worst []WorstQuery `json:"worst,omitempty"`
+}
+
+// A WorstQuery is one high-error record in a SketchReport.
+type WorstQuery struct {
+	// Query is the canonical twig query text.
+	Query string `json:"query"`
+	// Estimate is the selectivity the service answered.
+	Estimate float64 `json:"estimate"`
+	// Truth is the exact selectivity recomputed by the replay.
+	Truth int64 `json:"truth"`
+	// QError is the record's replayed q-error.
+	QError float64 `json:"qerror"`
+	// Generation is the sketch's hot-swap generation when served.
+	Generation uint64 `json:"generation"`
+}
+
+// Replay recomputes every record's ground truth against doc with
+// internal/eval — the same engine the online worker uses — and aggregates
+// per-sketch accuracy. topN bounds each sketch's Worst list (0 omits it).
+// Truth is cached per distinct query text, so replaying a hot workload
+// costs one evaluation per unique query.
+func Replay(records []Record, doc *xmltree.Document, topN int) (*Report, error) {
+	ev := eval.New(doc)
+	truthByQuery := make(map[string]int64)
+	bySketch := make(map[string][]WorstQuery)
+	for i, rec := range records {
+		truth, ok := truthByQuery[rec.Query]
+		if !ok {
+			q, err := twig.Parse(rec.Query)
+			if err != nil {
+				return nil, fmt.Errorf("record %d: malformed query %q: %w", i, rec.Query, err)
+			}
+			truth = ev.Selectivity(q)
+			truthByQuery[rec.Query] = truth
+		}
+		bySketch[rec.Sketch] = append(bySketch[rec.Sketch], WorstQuery{
+			Query:      rec.Query,
+			Estimate:   rec.Estimate,
+			Truth:      truth,
+			QError:     QError(rec.Estimate, float64(truth)),
+			Generation: rec.Generation,
+		})
+	}
+	rep := &Report{Records: len(records)}
+	names := make([]string, 0, len(bySketch))
+	for name := range bySketch {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entries := bySketch[name]
+		qs := make([]float64, len(entries))
+		sum := 0.0
+		for i, e := range entries {
+			qs[i] = e.QError
+			sum += e.QError
+		}
+		sort.Float64s(qs)
+		sr := SketchReport{
+			Sketch:     name,
+			Records:    len(entries),
+			MeanQError: sum / float64(len(entries)),
+			P50QError:  quantileSorted(qs, 0.5),
+			P95QError:  quantileSorted(qs, 0.95),
+			MaxQError:  qs[len(qs)-1],
+		}
+		if topN > 0 {
+			sort.SliceStable(entries, func(i, j int) bool {
+				if entries[i].QError != entries[j].QError {
+					return entries[i].QError > entries[j].QError
+				}
+				return entries[i].Query < entries[j].Query
+			})
+			if len(entries) > topN {
+				entries = entries[:topN]
+			}
+			sr.Worst = entries
+		}
+		rep.Sketches = append(rep.Sketches, sr)
+	}
+	return rep, nil
+}
+
+// Text renders the report as a human-readable table with one row per
+// sketch, followed by each sketch's worst queries.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replayed %d audit records over %d sketch(es)\n\n", r.Records, len(r.Sketches))
+	fmt.Fprintf(&b, "%-20s %8s %12s %12s %12s %12s\n",
+		"sketch", "records", "mean qerr", "p50 qerr", "p95 qerr", "max qerr")
+	for _, s := range r.Sketches {
+		fmt.Fprintf(&b, "%-20s %8d %12.4f %12.4f %12.4f %12.4f\n",
+			s.Sketch, s.Records, s.MeanQError, s.P50QError, s.P95QError, s.MaxQError)
+	}
+	for _, s := range r.Sketches {
+		if len(s.Worst) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nworst queries for %s:\n", s.Sketch)
+		for _, w := range s.Worst {
+			fmt.Fprintf(&b, "  qerr=%-10.4f est=%-14.4f truth=%-10d gen=%-4d %s\n",
+				w.QError, w.Estimate, w.Truth, w.Generation, w.Query)
+		}
+	}
+	return b.String()
+}
+
+// quantileSorted is the nearest-rank quantile over an ascending-sorted
+// slice, the same convention internal/loadgen reports: index
+// int(q*(n-1)), so q=0 is the minimum and q=1 the maximum. Empty input
+// returns 0.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}

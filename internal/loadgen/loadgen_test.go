@@ -156,3 +156,29 @@ func TestQuantileExact(t *testing.T) {
 		t.Errorf("single-sample quantile = %v", q)
 	}
 }
+
+// TestQuantileEdgeCases pins the nearest-rank convention at the
+// boundaries the summary prints: one sample answers every quantile, an
+// all-equal window answers the shared value everywhere, and q=0 / q=1
+// are exactly the minimum and maximum.
+func TestQuantileEdgeCases(t *testing.T) {
+	single := []float64{7.5}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := quantile(single, q); got != 7.5 {
+			t.Errorf("quantile([7.5], %v) = %v, want 7.5", q, got)
+		}
+	}
+	equal := []float64{3, 3, 3, 3, 3}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := quantile(equal, q); got != 3 {
+			t.Errorf("quantile(all-equal, %v) = %v, want 3", q, got)
+		}
+	}
+	spread := []float64{1, 4, 9, 16}
+	if got := quantile(spread, 0); got != 1 {
+		t.Errorf("q=0 = %v, want the minimum 1", got)
+	}
+	if got := quantile(spread, 1); got != 16 {
+		t.Errorf("q=1 = %v, want the maximum 16", got)
+	}
+}

@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the xserve_build_info family: a constant-1
+// func-backed gauge whose labels carry the binary's module version and Go
+// toolchain, the Prometheus convention for joining build metadata onto
+// other series. Both serve and router modes register it, so a fleet
+// dashboard can group replicas by rollout version.
+func RegisterBuildInfo(r *Registry) {
+	version := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	r.NewFuncFamily("xserve_build_info",
+		"Build metadata as labels; the value is always 1.", "gauge").
+		Attach(func() float64 { return 1 }, "version", version, "go_version", runtime.Version())
+}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+)
+
+// TestRegisterBuildInfo checks the build-metadata gauge renders as the
+// Prometheus build_info convention: constant 1 with version and
+// go_version labels, declared as a gauge.
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var b bytes.Buffer
+	r.WriteTo(&b)
+	out := b.String()
+	if !regexp.MustCompile(`(?m)^# TYPE xserve_build_info gauge$`).MatchString(out) {
+		t.Errorf("missing gauge TYPE line:\n%s", out)
+	}
+	series := regexp.MustCompile(`(?m)^xserve_build_info\{version="[^"]+",go_version="go[^"]+"\} 1$`)
+	if !series.MatchString(out) {
+		t.Errorf("build info series malformed:\n%s", out)
+	}
+}

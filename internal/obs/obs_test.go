@@ -276,3 +276,31 @@ func TestTraceIDs(t *testing.T) {
 		t.Fatalf("trace ids %q %q", a, b)
 	}
 }
+
+// TestHistogramVecLabelOrdering pins the series-identity contract the
+// accuracy auditor's per-sketch histograms rely on: labels render in
+// declaration order with the bucket's le last, and With maps values to
+// keys positionally, so swapped values are a different series.
+func TestHistogramVecLabelOrdering(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("win_qerror", "windowed q-error", []float64{1, 10}, "sketch", "stat")
+	v.With("imdb", "mean").Observe(0.5)
+	v.With("mean", "imdb").Observe(20) // swapped values: distinct series
+	var b bytes.Buffer
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`win_qerror_bucket{sketch="imdb",stat="mean",le="1"} 1`,
+		`win_qerror_bucket{sketch="imdb",stat="mean",le="+Inf"} 1`,
+		`win_qerror_count{sketch="imdb",stat="mean"} 1`,
+		`win_qerror_bucket{sketch="mean",stat="imdb",le="10"} 0`,
+		`win_qerror_count{sketch="mean",stat="imdb"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if v.With("imdb", "mean").Count() != 1 || v.With("mean", "imdb").Count() != 1 {
+		t.Error("swapped label values shared a histogram")
+	}
+}

@@ -75,6 +75,9 @@ func newRouterMetrics(reg *obs.Registry, rt *Router, backends []string) *metrics
 	reg.NewFuncFamily("xrouter_uptime_seconds",
 		"Seconds since the router started.", "gauge").
 		Attach(func() float64 { return time.Since(rt.start).Seconds() })
+	// Build metadata registers under its cross-tier name on both serve and
+	// router registries, so one dashboard join covers the whole fleet.
+	obs.RegisterBuildInfo(reg)
 	return m
 }
 

@@ -256,8 +256,9 @@ func retryableStatus(code int) bool {
 // forward proxies method+path with the given body through the key's ring
 // candidates: the owner first, then — after RetryBackoff — one retry
 // against the next candidate. It returns the first non-retryable
-// response, or an error when every attempt failed.
-func (rt *Router) forward(ctx context.Context, key, method, path string, body []byte, tid string) (attemptResult, error) {
+// response, or an error when every attempt failed. audit is the request's
+// X-Audit-Sample override, forwarded verbatim (empty omits the header).
+func (rt *Router) forward(ctx context.Context, key, method, path string, body []byte, tid, audit string) (attemptResult, error) {
 	cands := rt.candidatesFor(key)
 	if len(cands) == 0 {
 		return attemptResult{}, errors.New("no backends on the ring")
@@ -278,7 +279,7 @@ func (rt *Router) forward(ctx context.Context, key, method, path string, body []
 				return attemptResult{}, ctx.Err()
 			}
 		}
-		res, err := rt.attempt(ctx, b, method, path, body, tid)
+		res, err := rt.attempt(ctx, b, method, path, body, tid, audit)
 		if err != nil {
 			rt.m.shardErr.With(b.addr, errKindTransport).Inc()
 			rt.setState(b, stateDown, "proxy transport failure")
@@ -302,7 +303,7 @@ func (rt *Router) forward(ctx context.Context, key, method, path string, body []
 
 // attempt sends one proxy request to one backend under the per-attempt
 // timeout, counting the shard request and its latency.
-func (rt *Router) attempt(ctx context.Context, b *backend, method, path string, body []byte, tid string) (attemptResult, error) {
+func (rt *Router) attempt(ctx context.Context, b *backend, method, path string, body []byte, tid, audit string) (attemptResult, error) {
 	rt.m.shardReq.With(b.addr).Inc()
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
@@ -316,6 +317,14 @@ func (rt *Router) attempt(ctx context.Context, b *backend, method, path string, 
 	// Forward the router's trace ID so one request carries one ID across
 	// the fleet: the replica echoes it into its own logs and response.
 	req.Header.Set(traceIDHeader, tid)
+	// An audit-sampling override rides through unchanged, so clients (and
+	// shadow-test harnesses) control replica-side accuracy sampling
+	// identically whether they talk to a replica or the router. Without
+	// the header, replicas hash the forwarded trace ID — the same
+	// deterministic decision fleet-wide.
+	if audit != "" {
+		req.Header.Set(auditSampleHeader, audit)
+	}
 	start := time.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -366,7 +375,7 @@ func (rt *Router) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// Single estimates shard by sketch name alone: all of one sketch's
 	// point queries land on its owner replica, whose estimator and plan
 	// caches stay hot for exactly that sketch.
-	res, err := rt.forward(r.Context(), req.Sketch, http.MethodPost, "/estimate?"+r.URL.RawQuery, body, tid)
+	res, err := rt.forward(r.Context(), req.Sketch, http.MethodPost, "/estimate?"+r.URL.RawQuery, body, tid, r.Header.Get(auditSampleHeader))
 	if err != nil {
 		rt.writeError(w, http.StatusBadGateway, tid, fmt.Errorf("estimate failed on every candidate: %w", err))
 		return
@@ -458,6 +467,7 @@ func (rt *Router) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Fan the sub-batches out concurrently; each group retries through its
 	// own anchor key's candidate order independently.
+	audit := r.Header.Get(auditSampleHeader)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, g := range groups {
@@ -480,7 +490,7 @@ func (rt *Router) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 				g.err = err
 				return
 			}
-			g.res, g.err = rt.forward(r.Context(), g.key, http.MethodPost, "/estimate/batch", subBody, tid)
+			g.res, g.err = rt.forward(r.Context(), g.key, http.MethodPost, "/estimate/batch", subBody, tid, audit)
 		}(g)
 	}
 	wg.Wait()
@@ -547,7 +557,7 @@ func (rt *Router) handleSketches(w http.ResponseWriter, r *http.Request) {
 	tid := traceID(r)
 	// Every replica serves the same catalog, so any healthy backend's
 	// listing is authoritative; the empty key picks a stable owner.
-	res, err := rt.forward(r.Context(), "", http.MethodGet, "/sketches", nil, tid)
+	res, err := rt.forward(r.Context(), "", http.MethodGet, "/sketches", nil, tid, "")
 	if err != nil {
 		rt.writeError(w, http.StatusBadGateway, tid, fmt.Errorf("sketches failed on every candidate: %w", err))
 		return
@@ -637,6 +647,11 @@ func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
 // traceIDHeader carries the request's trace ID in both directions, and
 // onward to the backend replicas.
 const traceIDHeader = "X-Trace-Id"
+
+// auditSampleHeader is the replicas' accuracy-sampling override header
+// (see internal/serve); the router forwards it verbatim so fleet-wide
+// sample control works through either tier.
+const auditSampleHeader = "X-Audit-Sample"
 
 type traceKey struct{}
 

@@ -785,3 +785,62 @@ func TestSketchesProxy(t *testing.T) {
 		t.Errorf("sketch listing %s does not mention imdb", body)
 	}
 }
+
+// TestAuditSampleHeaderForwarded checks the router passes the replicas'
+// X-Audit-Sample override through on both estimate paths (and omits it
+// when the client did not send one), so fleet-wide accuracy sampling is
+// controlled identically through either tier.
+func TestAuditSampleHeaderForwarded(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[string][]string)
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.URL.Path] = append(seen[r.URL.Path], r.Header.Get("X-Audit-Sample"))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/estimate":
+			w.Write([]byte(`{"sketch":"imdb","estimate":1,"trace_id":"x"}`))
+		case "/estimate/batch":
+			w.Write([]byte(`{"sketch":"imdb","count":1,"results":[{"estimate":1,"truncated":false}],"trace_id":"x"}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(stub.Close)
+	_, ts := newTestRouter(t, testConfig(), stub.URL)
+
+	send := func(path, body, header string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		if header != "" {
+			req.Header.Set("X-Audit-Sample", header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	est := fmt.Sprintf(`{"sketch":"imdb","query":%q}`, testQuery)
+	batch := fmt.Sprintf(`{"sketch":"imdb","queries":[%q]}`, testQuery)
+	send("/estimate", est, "1")
+	send("/estimate", est, "")
+	send("/estimate/batch", batch, "0")
+
+	mu.Lock()
+	defer mu.Unlock()
+	if got := seen["/estimate"]; len(got) != 2 || got[0] != "1" || got[1] != "" {
+		t.Errorf("/estimate saw audit headers %q, want [1 \"\"]", got)
+	}
+	if got := seen["/estimate/batch"]; len(got) != 1 || got[0] != "0" {
+		t.Errorf("/estimate/batch saw audit headers %q, want [0]", got)
+	}
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"xsketch/internal/accuracy"
+	"xsketch/internal/twig"
+	core "xsketch/internal/xsketch"
+)
+
+// auditSampleHeader overrides the hash sampling decision for one request:
+// a true value (strconv.ParseBool spellings) forces the estimate into the
+// audit sample, a false value suppresses it, absence defers to the
+// trace-ID hash. The router forwards the header untouched, so a client
+// or a shadow-test harness controls sampling identically through either
+// tier.
+const auditSampleHeader = "X-Audit-Sample"
+
+// auditSampled decides whether this request's estimate joins the audit
+// sample. Only called with auditing enabled.
+func (s *Server) auditSampled(r *http.Request, tid string) bool {
+	if v := r.Header.Get(auditSampleHeader); v != "" {
+		b, err := strconv.ParseBool(v)
+		return err == nil && b
+	}
+	return s.aud.ShouldSample(tid)
+}
+
+// auditSampledItem is auditSampled for one batch item: the override
+// header still wins, otherwise items sample independently by index.
+func (s *Server) auditSampledItem(r *http.Request, tid string, item int) bool {
+	if v := r.Header.Get(auditSampleHeader); v != "" {
+		b, err := strconv.ParseBool(v)
+		return err == nil && b
+	}
+	return s.aud.ShouldSampleItem(tid, item)
+}
+
+// auditEstimate submits one served estimate to the auditor. The record
+// carries the entry's swap count, so replays can tell which synopsis
+// generation produced the estimate; the state's document (nil for
+// detached catalog sketches) decides whether the online ground-truth loop
+// can audit it.
+func (s *Server) auditEstimate(e *entry, st *sketchState, q *twig.Query, tid string, res core.EstimateResult) {
+	s.aud.Submit(accuracy.Record{
+		Sketch:     e.name,
+		Query:      q.String(),
+		Estimate:   res.Estimate,
+		Truncated:  res.Truncated,
+		Generation: e.swaps.Load(),
+		TraceID:    tid,
+	}, st.sk.Document(), q)
+}

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+
+	"xsketch/internal/accuracy"
+	"xsketch/internal/eval"
+	"xsketch/internal/obs"
+	"xsketch/internal/twig"
+	"xsketch/internal/xmltree"
+)
+
+// auditTestConfig wires a fast auditor into a test server: sample
+// everything, journal into buf, ground-truth without pacing.
+func auditTestConfig(buf *bytes.Buffer) *accuracy.Config {
+	return &accuracy.Config{SampleRate: 1, Out: buf, TruthInterval: -1}
+}
+
+func TestHealthzReportsGenerations(t *testing.T) {
+	sk := newTestSketch(t)
+	s, ts := newTestServer(t, sk, nil)
+
+	generations := func() map[string]uint64 {
+		t.Helper()
+		_, body := getBody(t, ts.URL+"/healthz")
+		var h healthResponse
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("unmarshal healthz: %v (%s)", err, body)
+		}
+		return h.Generations
+	}
+
+	if got := generations(); len(got) != 1 || got["imdb"] != 0 {
+		t.Fatalf("generations before swap = %v, want map[imdb:0]", got)
+	}
+	if err := s.SwapSketch("imdb", "test-swap", newTestSketch(t)); err != nil {
+		t.Fatalf("SwapSketch: %v", err)
+	}
+	if got := generations(); got["imdb"] != 1 {
+		t.Fatalf("generations after swap = %v, want imdb at 1", got)
+	}
+}
+
+func TestAuditDisabledBitIdenticalAndSilent(t *testing.T) {
+	// The same sketch served twice: once with auditing off, once sampling
+	// at rate 0. Responses must be bit-identical — the auditor must not
+	// perturb the estimate path — and rate 0 must journal nothing.
+	sk := newTestSketch(t)
+	_, tsOff := newTestServer(t, sk, nil)
+	var buf bytes.Buffer
+	sRate0, tsRate0 := newTestServer(t, sk, func(c *Config) {
+		c.Audit = &accuracy.Config{SampleRate: 0, Out: &buf, TruthInterval: -1}
+	})
+
+	body := fmt.Sprintf(`{"query":%q}`, testQuery)
+	_, off := postJSON(t, tsOff.URL+"/estimate", body)
+	_, rate0 := postJSON(t, tsRate0.URL+"/estimate", body)
+	var eOff, eRate0 estimateResponse
+	if err := json.Unmarshal(off, &eOff); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if err := json.Unmarshal(rate0, &eRate0); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if math.Float64bits(eOff.Estimate) != math.Float64bits(eRate0.Estimate) {
+		t.Errorf("audit-off estimate %v != rate-0 estimate %v", eOff.Estimate, eRate0.Estimate)
+	}
+
+	sRate0.Auditor().Flush()
+	if buf.Len() != 0 {
+		t.Errorf("rate-0 auditor journaled %d bytes: %s", buf.Len(), buf.Bytes())
+	}
+	_, metrics := getBody(t, tsRate0.URL+"/metrics")
+	if !strings.Contains(string(metrics), `xserve_accuracy_sampled_total{sketch="imdb"} 0`) {
+		t.Error("rate-0 sampled counter not zero")
+	}
+}
+
+func TestAuditSampleHeaderOverridesHashDecision(t *testing.T) {
+	var buf bytes.Buffer
+	s, ts := newTestServer(t, newTestSketch(t), func(c *Config) {
+		c.Audit = &accuracy.Config{SampleRate: 0, Out: &buf, TruthInterval: -1}
+	})
+	post := func(path, header string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path,
+			strings.NewReader(fmt.Sprintf(`{"query":%q}`, testQuery)))
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		if header != "" {
+			req.Header.Set("X-Audit-Sample", header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	post("/estimate", "1") // forced into the sample despite rate 0
+	s.Auditor().Flush()
+	records, err := accuracy.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(records) != 1 {
+		t.Fatalf("forced sample journaled %d records (%v), want 1", len(records), err)
+	}
+
+	// And a false value suppresses sampling even at rate 1.
+	var buf2 bytes.Buffer
+	s2, ts2 := newTestServer(t, newTestSketch(t), func(c *Config) {
+		c.Audit = auditTestConfig(&buf2)
+	})
+	req, _ := http.NewRequest(http.MethodPost, ts2.URL+"/estimate",
+		strings.NewReader(fmt.Sprintf(`{"query":%q}`, testQuery)))
+	req.Header.Set("X-Audit-Sample", "0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	s2.Auditor().Flush()
+	if buf2.Len() != 0 {
+		t.Errorf("suppressed request was journaled: %s", buf2.Bytes())
+	}
+}
+
+// TestAuditOnlineMatchesOfflineReplay is the tentpole's equivalence
+// criterion: the q-errors the online ground-truth worker fed into the
+// sliding window must match an offline xaudit-style replay of the same
+// log bit-for-bit.
+func TestAuditOnlineMatchesOfflineReplay(t *testing.T) {
+	sk := newTestSketch(t)
+	doc := sk.Document()
+	if doc == nil {
+		t.Fatal("test sketch has no live document")
+	}
+	var buf bytes.Buffer
+	s, ts := newTestServer(t, sk, func(c *Config) { c.Audit = auditTestConfig(&buf) })
+
+	queries := []string{
+		"t0 in movie, t1 in t0/actor",
+		"t0 in movie/type",
+		"t0 in movie//name",
+	}
+	for _, q := range queries {
+		resp, body := postJSON(t, ts.URL+"/estimate", fmt.Sprintf(`{"query":%q}`, q))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate %q: status %d body %s", q, resp.StatusCode, body)
+		}
+	}
+	// A batch rides along so batch items hit the same audit path.
+	resp, body := postJSON(t, ts.URL+"/estimate/batch",
+		fmt.Sprintf(`{"queries":[%q,%q]}`, queries[0], queries[1]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d body %s", resp.StatusCode, body)
+	}
+	s.Auditor().Flush()
+
+	records, err := accuracy.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(records) != len(queries)+2 {
+		t.Fatalf("journaled %d records, want %d", len(records), len(queries)+2)
+	}
+	for i, rec := range records {
+		if rec.Sketch != "imdb" || rec.TraceID == "" || rec.Generation != 0 {
+			t.Errorf("record %d malformed: %+v", i, rec)
+		}
+	}
+
+	rep, err := accuracy.Replay(records, doc, len(records))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(rep.Sketches) != 1 || rep.Sketches[0].Records != len(records) {
+		t.Fatalf("report shape %+v", rep)
+	}
+	replayed := make([]float64, 0, len(records))
+	for _, w := range rep.Sketches[0].Worst {
+		replayed = append(replayed, w.QError)
+	}
+	online := append([]float64(nil), s.Auditor().WindowStats("imdb").QErrors...)
+	if len(online) != len(replayed) {
+		t.Fatalf("online window has %d q-errors, replay %d", len(online), len(replayed))
+	}
+	sort.Float64s(online)
+	sort.Float64s(replayed)
+	for i := range online {
+		if math.Float64bits(online[i]) != math.Float64bits(replayed[i]) {
+			t.Errorf("q-error %d: online %v != replayed %v (bit mismatch)", i, online[i], replayed[i])
+		}
+	}
+
+	// The worker's aggregates surface at /metrics.
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		fmt.Sprintf(`xserve_accuracy_sampled_total{sketch="imdb"} %d`, len(records)),
+		fmt.Sprintf(`xserve_accuracy_audited_total{sketch="imdb"} %d`, len(records)),
+		fmt.Sprintf(`xserve_accuracy_qerror_count{sketch="imdb"} %d`, len(records)),
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestAuditDriftInjection serves a sketch whose source document mutated
+// after construction: the stale estimates must push the windowed mean
+// q-error over the threshold and fire the drift counter and log event.
+func TestAuditDriftInjection(t *testing.T) {
+	sk := newTestSketch(t)
+	doc := sk.Document()
+	q := twig.MustParse(testQuery)
+	before := eval.New(doc).Selectivity(q)
+	if before <= 0 {
+		t.Fatalf("test query matches nothing before mutation (truth %d)", before)
+	}
+
+	// Inject drift: quadruple the true (movie, actor) pair count by
+	// appending actors the already-built synopsis knows nothing about.
+	movieTag, ok := doc.LookupTag("movie")
+	if !ok {
+		t.Fatal("no movie tag in test document")
+	}
+	var movie xmltree.NodeID = -1
+	for i := 0; i < doc.Len(); i++ {
+		if doc.Node(xmltree.NodeID(i)).Tag == movieTag {
+			movie = xmltree.NodeID(i)
+			break
+		}
+	}
+	if movie < 0 {
+		t.Fatal("no movie element in test document")
+	}
+	for i := int64(0); i < 3*before; i++ {
+		doc.AddChild(movie, "actor")
+	}
+	after := eval.New(doc).Selectivity(q)
+	if after < 4*before {
+		t.Fatalf("mutation did not move truth: before %d, after %d", before, after)
+	}
+
+	var logBuf, auditBuf bytes.Buffer
+	s, ts := newTestServer(t, sk, func(c *Config) {
+		c.Logger = obs.NewLogger(&logBuf)
+		ac := auditTestConfig(&auditBuf)
+		ac.DriftThreshold = 2 // truth moved 4x, stale estimates err >= 4x
+		c.Audit = ac
+	})
+	resp, body := postJSON(t, ts.URL+"/estimate", fmt.Sprintf(`{"query":%q}`, testQuery))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: status %d body %s", resp.StatusCode, body)
+	}
+	s.Auditor().Flush()
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `xserve_accuracy_drift_total{sketch="imdb"} 1`) {
+		t.Errorf("drift counter did not fire; metrics:\n%s",
+			grepLines(string(metrics), "xserve_accuracy"))
+	}
+	if !strings.Contains(logBuf.String(), "accuracy drift") {
+		t.Errorf("no structured drift event logged; log:\n%s", logBuf.String())
+	}
+	if ws := s.Auditor().WindowStats("imdb"); !ws.InDrift || ws.Mean < 2 {
+		t.Errorf("window not in drift: %+v", ws)
+	}
+}
+
+// grepLines returns text's lines containing substr, for failure output.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

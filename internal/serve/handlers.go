@@ -132,6 +132,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if res.Truncated {
 		s.m.truncated.With(e.name).Inc()
 	}
+	if s.aud != nil && s.auditSampled(r, tid) {
+		s.auditEstimate(e, st, q, tid, res)
+	}
 	resp := estimateResponse{
 		Sketch:         e.name,
 		Query:          q.String(),
@@ -248,6 +251,16 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 			s.m.truncated.With(e.name).Inc()
 		}
 	}
+	if s.aud != nil {
+		for i := range queries {
+			// Items that failed carry no estimate to audit.
+			if out[i].Error != "" || !s.auditSampledItem(r, tid, i) {
+				continue
+			}
+			s.auditEstimate(e, st, queries[i], tid,
+				core.EstimateResult{Estimate: out[i].Estimate, Truncated: out[i].Truncated})
+		}
+	}
 	s.writeJSON(w, http.StatusOK, batchResponse{
 		Sketch:         e.name,
 		Count:          len(out),
@@ -310,13 +323,22 @@ type healthResponse struct {
 	Draining      bool    `json:"draining"`
 	Sketches      int     `json:"sketches"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Generations maps each served sketch to its hot-swap count, so a
+	// router tier (or an operator mid-rolling-reload) can spot replicas
+	// serving different catalog generations without scraping metrics.
+	Generations map[string]uint64 `json:"generations"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	gens := make(map[string]uint64, len(s.names))
+	for _, name := range s.names {
+		gens[name] = s.entries[name].swaps.Load()
+	}
 	h := healthResponse{
 		Status:        "ok",
 		Sketches:      len(s.entries),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Generations:   gens,
 	}
 	code := http.StatusOK
 	if s.Draining() {

@@ -119,6 +119,7 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 		m.stageLat.With(st.String())
 	}
 
+	obs.RegisterBuildInfo(reg)
 	reg.NewFuncFamily("xserve_goroutines",
 		"Goroutines in the serving process.", "gauge").
 		Attach(func() float64 { return float64(runtime.NumGoroutine()) })

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"xsketch/internal/accuracy"
 )
 
 // documentedSeries is the metrics catalog promised in SERVING.md: every
@@ -41,6 +43,18 @@ var documentedSeries = map[string]string{
 	"xserve_sketch_size_bytes":                 "gauge",
 	"xserve_goroutines":                        "gauge",
 	"xserve_uptime_seconds":                    "gauge",
+	"xserve_build_info":                        "gauge",
+
+	// Accuracy-auditor families; rendered only when auditing is enabled
+	// (the catalog test's server enables it).
+	"xserve_accuracy_sampled_total":         "counter",
+	"xserve_accuracy_dropped_total":         "counter",
+	"xserve_accuracy_audited_total":         "counter",
+	"xserve_accuracy_truth_skipped_total":   "counter",
+	"xserve_accuracy_drift_total":           "counter",
+	"xserve_accuracy_qerror":                "histogram",
+	"xserve_accuracy_truth_latency_seconds": "histogram",
+	"xserve_accuracy_window_qerror":         "gauge",
 }
 
 // parseExposition validates the Prometheus text format line by line and
@@ -97,7 +111,10 @@ func parseExposition(t *testing.T, text string) (types map[string]string, sample
 }
 
 func TestMetricsEndpointMatchesDocumentedCatalog(t *testing.T) {
-	_, ts := newTestServer(t, newTestSketch(t), nil)
+	// Auditing enabled so the xserve_accuracy_* families render too.
+	_, ts := newTestServer(t, newTestSketch(t), func(c *Config) {
+		c.Audit = &accuracy.Config{SampleRate: 1, TruthInterval: -1}
+	})
 
 	// Generate traffic across the instrumented paths first.
 	postJSON(t, ts.URL+"/estimate", fmt.Sprintf(`{"query":%q}`, testQuery))

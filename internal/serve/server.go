@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xsketch/internal/accuracy"
 	"xsketch/internal/obs"
 	core "xsketch/internal/xsketch"
 )
@@ -46,6 +47,13 @@ type Config struct {
 	// Logger receives one structured JSON line per request; nil disables
 	// logging.
 	Logger *obs.Logger
+	// Audit configures the accuracy auditor: sampled estimates are
+	// journaled to a JSONL log and, for sketches with a live source
+	// document, ground-truthed in the background (see internal/accuracy).
+	// The Registry, Logger and Sketches fields are filled in by New. nil
+	// disables auditing entirely; the estimate path then pays a single
+	// nil check.
+	Audit *accuracy.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +136,7 @@ type Server struct {
 	start    time.Time
 	mux      *http.ServeMux
 	m        *metrics
+	aud      *accuracy.Auditor
 
 	// testHookEstimate, when set, runs inside an estimate handler after
 	// admission and before estimation — test scaffolding for the drain and
@@ -170,6 +179,17 @@ func New(cfg Config, sketches []Sketch) (*Server, error) {
 	}
 	sort.Strings(s.names)
 	s.m = newMetrics(s.reg, s)
+	if cfg.Audit != nil {
+		ac := *cfg.Audit
+		ac.Registry = s.reg
+		ac.Logger = cfg.Logger
+		ac.Sketches = s.names
+		aud, err := accuracy.New(ac)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.aud = aud
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /estimate", s.instrument("/estimate", s.handleEstimate))
 	s.mux.HandleFunc("POST /estimate/batch", s.instrument("/estimate/batch", s.handleEstimateBatch))
@@ -201,6 +221,11 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Draining reports whether SetDraining(true) was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Auditor returns the accuracy auditor, or nil when auditing is disabled.
+// Owners should Close it after draining the HTTP server so queued audit
+// records are flushed to the log.
+func (s *Server) Auditor() *accuracy.Auditor { return s.aud }
 
 // lookup resolves a request's sketch name; an empty name selects the only
 // sketch when exactly one is served.

@@ -370,6 +370,17 @@ func (sk *Sketch) jointDistribution(id graphsyn.NodeID, scope []ScopeEdge, vdims
 // construction).
 func (sk *Sketch) Summary(id graphsyn.NodeID) *NodeSummary { return sk.Summaries[id] }
 
+// Document returns the source document the synopsis summarizes, or nil
+// for detached sketches (loaded from a standalone catalog), which carry
+// only a structural stub — consumers needing exact ground truth (the
+// accuracy auditor) must treat those as unauditable online.
+func (sk *Sketch) Document() *xmltree.Document {
+	if sk.Syn == nil || sk.Syn.Detached() {
+		return nil
+	}
+	return sk.Syn.Doc
+}
+
 // SizeBytes prices the stored synopsis under the size model: structural
 // summary + per-node scope descriptors and histogram buckets + value
 // histogram buckets (each value bucket charged as two bounds plus a count).
